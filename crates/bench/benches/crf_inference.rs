@@ -1,0 +1,40 @@
+//! Criterion micro-benchmark: linear-chain CRF inference over the 78-type
+//! state space (forward–backward for training, Viterbi for prediction) as a
+//! function of the number of table columns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sato_crf::LinearChainCrf;
+use sato_tabular::types::NUM_TYPES;
+
+fn random_unary(columns: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    (0..columns)
+        .map(|_| (0..NUM_TYPES).map(|_| rng.gen_range(-3.0..0.0)).collect())
+        .collect()
+}
+
+fn bench_crf(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let pairwise: Vec<f64> = (0..NUM_TYPES * NUM_TYPES)
+        .map(|_| rng.gen_range(-0.5..0.5))
+        .collect();
+    let crf = LinearChainCrf::with_pairwise(NUM_TYPES, pairwise);
+
+    let mut group = c.benchmark_group("crf_78_states");
+    for columns in [2usize, 4, 8] {
+        let unary = random_unary(columns, &mut rng);
+        group.bench_with_input(BenchmarkId::new("viterbi", columns), &unary, |b, u| {
+            b.iter(|| crf.viterbi(std::hint::black_box(u)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("forward_backward", columns),
+            &unary,
+            |b, u| b.iter(|| crf.marginals(std::hint::black_box(u))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crf);
+criterion_main!(benches);

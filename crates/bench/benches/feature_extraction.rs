@@ -1,0 +1,33 @@
+//! Criterion micro-benchmark: Sherlock-style feature extraction throughput
+//! (the per-column cost that dominates Sato's prediction path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sato_features::{FeatureConfig, FeatureExtractor};
+use sato_tabular::corpus::default_corpus;
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let corpus = default_corpus(50, 123);
+    let extractor = FeatureExtractor::new(FeatureConfig::default());
+    let mut group = c.benchmark_group("feature_extraction");
+
+    let table = corpus
+        .iter()
+        .find(|t| t.num_columns() >= 3)
+        .expect("corpus has a multi-column table");
+    group.bench_function("extract_table_3plus_columns", |b| {
+        b.iter(|| extractor.extract_table(std::hint::black_box(table)))
+    });
+
+    for (name, column) in [
+        ("city_column", &table.columns[0]),
+        ("numeric_column", &corpus.tables[1].columns[0]),
+    ] {
+        group.bench_with_input(BenchmarkId::new("extract_column", name), column, |b, col| {
+            b.iter(|| extractor.extract_column(std::hint::black_box(col)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_feature_extraction);
+criterion_main!(benches);

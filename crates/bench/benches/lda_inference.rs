@@ -1,0 +1,32 @@
+//! Criterion micro-benchmark: LDA table-intent inference (the per-table cost
+//! Sato adds on top of Sherlock for the global context signal).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sato_tabular::corpus::default_corpus;
+use sato_topic::{LdaConfig, TableIntentEstimator};
+
+fn bench_lda(c: &mut Criterion) {
+    let corpus = default_corpus(200, 7);
+    let mut group = c.benchmark_group("lda");
+    group.sample_size(20);
+
+    for topics in [16usize, 64] {
+        let config = LdaConfig {
+            num_topics: topics,
+            train_iterations: 30,
+            infer_iterations: 15,
+            ..LdaConfig::default()
+        };
+        let estimator = TableIntentEstimator::fit(&corpus, config);
+        let table = &corpus.tables[0];
+        group.bench_with_input(
+            BenchmarkId::new("infer_table_topic_vector", topics),
+            &estimator,
+            |b, est| b.iter(|| est.estimate(std::hint::black_box(table))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lda);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion micro-benchmark: end-to-end per-table prediction latency of a
+//! trained Base and a trained full Sato model (the paper reports ≈0.8 ms per
+//! table and argues the CRF overhead of ≈0.2 ms is unnoticeable; Section 5.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sato::{SatoConfig, SatoModel, SatoVariant};
+use sato_tabular::corpus::default_corpus;
+
+fn bench_prediction(c: &mut Criterion) {
+    let corpus = default_corpus(80, 31);
+    let config = SatoConfig::fast();
+    let table = corpus
+        .iter()
+        .find(|t| t.num_columns() >= 3)
+        .expect("multi-column table available")
+        .clone();
+
+    let mut group = c.benchmark_group("prediction_latency");
+    group.sample_size(30);
+    for variant in [SatoVariant::Base, SatoVariant::Full] {
+        let mut model = SatoModel::train(&corpus, config.clone(), variant);
+        group.bench_with_input(
+            BenchmarkId::new("predict_table", variant.name()),
+            &table,
+            |b, t| b.iter(|| model.predict(std::hint::black_box(t))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! **Figure 8** — per-type F1 with vs without structured (CRF) prediction:
+//! (a) Sato vs Sato_noStruct and (b) Sato_noTopic vs Base, on the
+//! multi-column dataset `D_mult`.
+
+use sato::SatoVariant;
+use sato_bench::{banner, ExperimentOptions};
+use sato_eval::crossval::{cross_validate, CrossValResult};
+use sato_eval::report::TextTable;
+
+fn compare(title: &str, with_struct: &CrossValResult, without_struct: &CrossValResult) {
+    let with = with_struct.per_type_f1(true);
+    let without = without_struct.per_type_f1(true);
+    let mut improved = 0usize;
+    let mut equal = 0usize;
+    let mut worse = 0usize;
+    let mut rows: Vec<(String, f64, f64, f64)> = Vec::new();
+    for ((ty, a), (_, b)) in with.iter().zip(&without) {
+        if a > b {
+            improved += 1;
+        } else if (a - b).abs() < 1e-12 {
+            equal += 1;
+        } else {
+            worse += 1;
+        }
+        rows.push((ty.canonical_name().to_string(), *a, *b, a - b));
+    }
+    rows.sort_by(|x, y| y.3.partial_cmp(&x.3).unwrap_or(std::cmp::Ordering::Equal));
+
+    println!("\n{title}");
+    println!(
+        "types improved by structured prediction: {improved}, unchanged: {equal}, worse: {worse}"
+    );
+    let mut table = TextTable::new(&[
+        "semantic type",
+        &format!("F1 {}", with_struct.variant.name()),
+        &format!("F1 {}", without_struct.variant.name()),
+        "delta",
+    ]);
+    println!("largest gains:");
+    for (name, a, b, d) in rows.iter().take(10) {
+        table.add_row(vec![
+            name.clone(),
+            format!("{a:.3}"),
+            format!("{b:.3}"),
+            format!("{d:+.3}"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "types hurt by structured prediction: {}",
+        rows.iter().filter(|r| r.3 < 0.0).count()
+    );
+}
+
+fn main() {
+    let opts = ExperimentOptions::from_env();
+    banner(
+        "Figure 8: per-type F1 with vs without structured (CRF) prediction (D_mult)",
+        "Figure 8 of the Sato paper (Section 5.2)",
+        &opts,
+    );
+    let corpus = opts.corpus();
+    let config = opts.sato_config();
+
+    eprintln!("[fig8] cross-validating the four variants ...");
+    let full = cross_validate(&corpus, opts.folds, &config, SatoVariant::Full);
+    let no_struct = cross_validate(&corpus, opts.folds, &config, SatoVariant::SatoNoStruct);
+    let no_topic = cross_validate(&corpus, opts.folds, &config, SatoVariant::SatoNoTopic);
+    let base = cross_validate(&corpus, opts.folds, &config, SatoVariant::Base);
+
+    compare("(a) Sato vs Sato_noStruct (CRF on top of topic-aware prediction)", &full, &no_struct);
+    compare("(b) Sato_noTopic vs Base (CRF on top of single-column prediction)", &no_topic, &base);
+
+    println!("\npaper reference: structured prediction improved 59 types in (a) and 50 types in (b);");
+    println!("its per-type gains are smaller than the topic module's but it degrades fewer types,");
+    println!("because modelling neighbouring columns 'salvages' overly aggressive predictions.");
+}

@@ -1,0 +1,64 @@
+//! **Section 6 (Using learned representations)** — a "featurisation-free"
+//! single-column predictor (the BERT-fine-tuning analogue) compared against
+//! the Sherlock baseline and the multi-column Sato model.
+
+use sato::{BertLikeConfig, BertLikeModel, ColumnwisePredictor, SatoModel, SatoVariant};
+use sato_bench::{banner, ExperimentOptions};
+use sato_eval::crossval::evaluate_model;
+use sato_eval::metrics::Evaluation;
+use sato_eval::report::TextTable;
+use sato_tabular::split::train_test_split;
+use sato_tabular::table::Corpus;
+
+fn evaluate_columnwise(model: &mut dyn ColumnwisePredictor, test: &Corpus) -> Evaluation {
+    let mut gold = Vec::new();
+    let mut pred = Vec::new();
+    for table in test.iter().filter(|t| t.is_multi_column()) {
+        gold.extend(table.labels.iter().copied());
+        pred.extend(model.predict_types(table));
+    }
+    Evaluation::from_pairs(&gold, &pred)
+}
+
+fn main() {
+    let opts = ExperimentOptions::from_env();
+    banner(
+        "Section 6: featurisation-free single-column model (BERT analogue) vs Sherlock vs Sato",
+        "Section 6, 'Using learned representations', of the Sato paper",
+        &opts,
+    );
+
+    let corpus = opts.corpus().multi_column_only();
+    let config = opts.sato_config();
+    let split = train_test_split(&corpus, 0.25, opts.seed);
+
+    eprintln!("[sec6] training the BERT-like raw-text model ...");
+    let mut bert = BertLikeModel::new(BertLikeConfig::from_sato(&config));
+    bert.fit(&split.train);
+    let bert_eval = evaluate_columnwise(&mut bert, &split.test);
+
+    eprintln!("[sec6] training the Base (Sherlock) model ...");
+    let mut base = SatoModel::train(&split.train, config.clone(), SatoVariant::Base);
+    let (_, base_eval) = evaluate_model(&mut base, &split.test);
+
+    eprintln!("[sec6] training the full Sato model ...");
+    let mut full = SatoModel::train(&split.train, config, SatoVariant::Full);
+    let (_, full_eval) = evaluate_model(&mut full, &split.test);
+
+    let mut table = TextTable::new(&["model", "weighted F1 (D_mult)", "macro F1 (D_mult)"]);
+    for (name, eval) in [
+        ("Sherlock (Base)", &base_eval),
+        ("BERT-like (raw text)", &bert_eval),
+        ("Sato (multi-column)", &full_eval),
+    ] {
+        table.add_row(vec![
+            name.to_string(),
+            format!("{:.3}", eval.weighted_f1),
+            format!("{:.3}", eval.macro_f1),
+        ]);
+    }
+    println!("\n{}", table.render());
+    println!("paper reference: BERT reaches weighted F1 0.866 vs Sherlock's 0.852, while multi-column");
+    println!("Sato still outperforms both by a large margin.");
+    println!("Expected shape: the featurisation-free model lands in the same range as Sherlock; Sato stays clearly ahead of both.");
+}

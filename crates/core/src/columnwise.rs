@@ -1,0 +1,357 @@
+//! The column-wise prediction models: the Sherlock-style **Base** network
+//! (Section 3.1) and its **topic-aware** extension (Section 3.2), which are
+//! the same multi-input architecture with and without the additional topic
+//! subnetwork.
+//!
+//! Architecture (following the paper): every high-dimensional feature group
+//! (Char, Word, Para and, for topic-aware models, Topic) passes through its
+//! own compression subnetwork; the 27 Stat features are concatenated
+//! directly; the concatenation feeds a primary network of two
+//! fully-connected ReLU layers with BatchNorm and Dropout, followed by a
+//! 78-way output layer with softmax.
+
+use crate::config::SatoConfig;
+use crate::dataset::{Standardizer, TableInputs, TrainingData};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sato_features::{FeatureExtractor, FeatureGroup};
+use sato_nn::layers::{BatchNorm, Dense, Dropout, Layer, ReLU};
+use sato_nn::loss::{softmax, softmax_cross_entropy};
+use sato_nn::network::{MultiInputNetwork, Sequential};
+use sato_nn::optim::Adam;
+use sato_nn::Matrix;
+use sato_tabular::table::{Corpus, Table};
+use sato_tabular::types::{SemanticType, NUM_TYPES};
+use sato_topic::TableIntentEstimator;
+
+/// Common interface of every single-column (column-wise) predictor, i.e. the
+/// pluggable slot of Sato's extensible architecture (the paper swaps the
+/// Sherlock model for BERT in Section 6 without touching the rest).
+pub trait ColumnwisePredictor {
+    /// Per-column class probabilities for every column of `table`
+    /// (each inner vector has [`NUM_TYPES`] entries summing to one).
+    fn predict_proba(&mut self, table: &Table) -> Vec<Vec<f32>>;
+
+    /// Per-column hard predictions.
+    fn predict_types(&mut self, table: &Table) -> Vec<SemanticType> {
+        self.predict_proba(table)
+            .iter()
+            .map(|p| {
+                let best = p
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                SemanticType::from_index(best).expect("class index in range")
+            })
+            .collect()
+    }
+}
+
+/// The Sherlock/Sato column-wise neural model.
+pub struct ColumnwiseModel {
+    config: SatoConfig,
+    use_topic: bool,
+    extractor: FeatureExtractor,
+    intent: Option<TableIntentEstimator>,
+    /// Branch subnetworks + primary trunk (everything up to the last hidden
+    /// representation, i.e. the *column embedding* of Section 5.6).
+    net: Option<MultiInputNetwork>,
+    /// Final classification layer on top of the trunk.
+    head: Option<Sequential>,
+    /// Per-group feature standardizers fitted on the training data.
+    scalers: Vec<Standardizer>,
+    group_widths: Vec<usize>,
+    loss_history: Vec<f32>,
+}
+
+impl ColumnwiseModel {
+    /// Create an untrained Base model (no topic subnetwork).
+    pub fn base(config: SatoConfig) -> Self {
+        Self::new(config, false)
+    }
+
+    /// Create an untrained topic-aware model.
+    pub fn topic_aware(config: SatoConfig) -> Self {
+        Self::new(config, true)
+    }
+
+    fn new(config: SatoConfig, use_topic: bool) -> Self {
+        let extractor = FeatureExtractor::new(config.features.clone());
+        ColumnwiseModel {
+            config,
+            use_topic,
+            extractor,
+            intent: None,
+            net: None,
+            head: None,
+            scalers: Vec::new(),
+            group_widths: Vec::new(),
+            loss_history: Vec::new(),
+        }
+    }
+
+    /// Whether this model uses the table topic vector (global context).
+    pub fn uses_topic(&self) -> bool {
+        self.use_topic
+    }
+
+    /// Whether the model has been trained.
+    pub fn is_trained(&self) -> bool {
+        self.net.is_some()
+    }
+
+    /// Mean training loss per epoch (available after [`Self::fit`]).
+    pub fn loss_history(&self) -> &[f32] {
+        &self.loss_history
+    }
+
+    /// The feature extractor used by this model.
+    pub fn extractor(&self) -> &FeatureExtractor {
+        &self.extractor
+    }
+
+    /// The table intent estimator (present after training a topic-aware model).
+    pub fn intent_estimator(&self) -> Option<&TableIntentEstimator> {
+        self.intent.as_ref()
+    }
+
+    /// Extract the network inputs for a table (features + topic vector).
+    /// Exposed so the permutation-importance experiment can shuffle feature
+    /// groups before calling [`Self::predict_proba_from_inputs`].
+    pub fn extract_inputs(&self, table: &Table) -> TableInputs {
+        TableInputs::extract(table, &self.extractor, self.intent.as_ref())
+    }
+
+    fn build_network(&mut self, widths: &[usize]) {
+        let cfg = &self.config.network;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut branches = Vec::new();
+        let mut concat_dim = 0usize;
+        // Branch order mirrors TrainingData: Char, Word, Para, Stat [, Topic].
+        for (i, &w) in widths.iter().enumerate() {
+            let is_stat = i == FeatureGroup::ALL.len() - 1; // Stat is the 4th group
+            if is_stat {
+                branches.push(Sequential::new());
+                concat_dim += w;
+            } else {
+                branches.push(
+                    Sequential::new()
+                        .push(Dense::new(w, cfg.subnetwork_dim, &mut rng))
+                        .push(ReLU::new())
+                        .push(Dropout::new(
+                            cfg.dropout,
+                            StdRng::seed_from_u64(self.config.seed ^ (i as u64 + 1)),
+                        )),
+                );
+                concat_dim += cfg.subnetwork_dim;
+            }
+        }
+        let trunk = Sequential::new()
+            .push(Dense::new(concat_dim, cfg.hidden_dim, &mut rng))
+            .push(ReLU::new())
+            .push(BatchNorm::new(cfg.hidden_dim))
+            .push(Dropout::new(
+                cfg.dropout,
+                StdRng::seed_from_u64(self.config.seed ^ 0x100),
+            ))
+            .push(Dense::new(cfg.hidden_dim, cfg.hidden_dim, &mut rng))
+            .push(ReLU::new())
+            .push(BatchNorm::new(cfg.hidden_dim))
+            .push(Dropout::new(
+                cfg.dropout,
+                StdRng::seed_from_u64(self.config.seed ^ 0x200),
+            ));
+        let head = Sequential::new().push(Dense::new(cfg.hidden_dim, NUM_TYPES, &mut rng));
+        self.net = Some(MultiInputNetwork::new(branches, trunk));
+        self.head = Some(head);
+        self.group_widths = widths.to_vec();
+    }
+
+    /// Train on a labelled corpus. For topic-aware models the table intent
+    /// estimator (LDA) is pre-trained on the same corpus first, using only
+    /// cell values.
+    pub fn fit(&mut self, corpus: &Corpus) -> &[f32] {
+        if self.use_topic {
+            let estimator = TableIntentEstimator::fit(corpus, self.config.lda.clone());
+            self.intent = Some(estimator);
+        }
+        let mut data = TrainingData::build(corpus, &self.extractor, self.intent.as_ref());
+        assert!(!data.is_empty(), "cannot train on an empty corpus");
+        // Standardise every feature group (Sherlock-style preprocessing); the
+        // fitted scalers are reused at prediction time.
+        self.scalers = Standardizer::fit_groups(&data.groups);
+        data.groups = Standardizer::transform_groups(&self.scalers, &data.groups);
+        self.build_network(&data.group_widths());
+        let net = self.net.as_mut().expect("network just built");
+        let head = self.head.as_mut().expect("head just built");
+
+        let cfg = &self.config.network;
+        let mut adam = Adam::new(cfg.learning_rate, cfg.weight_decay);
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xbeef);
+        let mut indices: Vec<usize> = (0..data.len()).collect();
+        self.loss_history.clear();
+
+        for _epoch in 0..cfg.epochs {
+            indices.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            for batch_idx in indices.chunks(cfg.batch_size) {
+                let (groups, labels) = data.batch(batch_idx);
+                let embedding = net.forward(&groups, true);
+                let logits = head.forward(&embedding, true);
+                let out = softmax_cross_entropy(&logits, &labels);
+                let grad_embed = head.backward(&out.grad_logits);
+                net.backward(&grad_embed);
+                let mut params = net.params_mut();
+                params.extend(head.params_mut());
+                adam.step(&mut params);
+                epoch_loss += out.loss;
+                batches += 1;
+            }
+            self.loss_history.push(epoch_loss / batches.max(1) as f32);
+        }
+        &self.loss_history
+    }
+
+    /// Forward pass (evaluation mode) on pre-extracted inputs, returning the
+    /// per-column probability rows.
+    pub fn predict_proba_from_inputs(&mut self, inputs: &TableInputs) -> Vec<Vec<f32>> {
+        let net = self.net.as_mut().expect("model must be trained first");
+        let head = self.head.as_mut().expect("model must be trained first");
+        if inputs.columns.is_empty() {
+            return Vec::new();
+        }
+        let groups = inputs.to_matrices(self.use_topic);
+        let groups = Standardizer::transform_groups(&self.scalers, &groups);
+        let embedding = net.forward(&groups, false);
+        let logits = head.forward(&embedding, false);
+        let probs = softmax(&logits);
+        (0..probs.rows()).map(|r| probs.row(r).to_vec()).collect()
+    }
+
+    /// Column embeddings (the final hidden representation before the output
+    /// layer), used by the Col2Vec analysis of Section 5.6 / Figure 10.
+    pub fn column_embeddings(&mut self, table: &Table) -> Vec<Vec<f32>> {
+        let inputs = self.extract_inputs(table);
+        let net = self.net.as_mut().expect("model must be trained first");
+        if inputs.columns.is_empty() {
+            return Vec::new();
+        }
+        let groups = inputs.to_matrices(self.use_topic);
+        let groups = Standardizer::transform_groups(&self.scalers, &groups);
+        let embedding: Matrix = net.forward(&groups, false);
+        (0..embedding.rows())
+            .map(|r| embedding.row(r).to_vec())
+            .collect()
+    }
+}
+
+impl ColumnwisePredictor for ColumnwiseModel {
+    fn predict_proba(&mut self, table: &Table) -> Vec<Vec<f32>> {
+        let inputs = self.extract_inputs(table);
+        self.predict_proba_from_inputs(&inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sato_tabular::corpus::default_corpus;
+
+    fn train_small(use_topic: bool) -> (ColumnwiseModel, Corpus) {
+        let corpus = default_corpus(60, 11);
+        let mut model = if use_topic {
+            ColumnwiseModel::topic_aware(SatoConfig::fast())
+        } else {
+            ColumnwiseModel::base(SatoConfig::fast())
+        };
+        model.fit(&corpus);
+        (model, corpus)
+    }
+
+    #[test]
+    fn base_model_trains_and_loss_decreases() {
+        let (model, _) = train_small(false);
+        let history = model.loss_history();
+        assert!(!history.is_empty());
+        assert!(
+            history.last().unwrap() < history.first().unwrap(),
+            "loss did not decrease: {history:?}"
+        );
+        assert!(model.is_trained());
+        assert!(!model.uses_topic());
+        assert!(model.intent_estimator().is_none());
+    }
+
+    #[test]
+    fn topic_model_trains_with_intent_estimator() {
+        let (model, _) = train_small(true);
+        assert!(model.uses_topic());
+        assert!(model.intent_estimator().is_some());
+    }
+
+    #[test]
+    fn probabilities_are_normalised_per_column() {
+        let (mut model, corpus) = train_small(false);
+        let table = &corpus.tables[0];
+        let probs = model.predict_proba(table);
+        assert_eq!(probs.len(), table.num_columns());
+        for p in probs {
+            assert_eq!(p.len(), NUM_TYPES);
+            let s: f32 = p.iter().sum();
+            assert!((s - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn predictions_beat_chance_on_training_data() {
+        let (mut model, corpus) = train_small(false);
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for table in corpus.iter().take(30) {
+            let preds = model.predict_types(table);
+            correct += preds
+                .iter()
+                .zip(&table.labels)
+                .filter(|(a, b)| a == b)
+                .count();
+            total += table.labels.len();
+        }
+        let acc = correct as f32 / total as f32;
+        assert!(acc > 0.3, "training accuracy {acc} barely above chance (1/78)");
+    }
+
+    #[test]
+    fn column_embeddings_have_hidden_dim() {
+        let (mut model, corpus) = train_small(false);
+        let table = &corpus.tables[1];
+        let emb = model.column_embeddings(table);
+        assert_eq!(emb.len(), table.num_columns());
+        assert!(emb.iter().all(|e| e.len() == SatoConfig::fast().network.hidden_dim));
+    }
+
+    #[test]
+    fn prediction_is_deterministic_in_eval_mode() {
+        let (mut model, corpus) = train_small(false);
+        let table = &corpus.tables[2];
+        assert_eq!(model.predict_proba(table), model.predict_proba(table));
+    }
+
+    #[test]
+    #[should_panic(expected = "trained")]
+    fn predicting_before_training_panics() {
+        let corpus = default_corpus(3, 1);
+        let mut model = ColumnwiseModel::base(SatoConfig::fast());
+        model.predict_proba(&corpus.tables[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty corpus")]
+    fn training_on_empty_corpus_panics() {
+        let mut model = ColumnwiseModel::base(SatoConfig::fast());
+        model.fit(&Corpus::new(vec![]));
+    }
+}

@@ -1,0 +1,50 @@
+//! # sato
+//!
+//! A from-scratch Rust reproduction of **Sato: Contextual Semantic Type
+//! Detection in Tables** (Zhang et al., VLDB 2020).
+//!
+//! Sato predicts the semantic type (`city`, `birthPlace`, `sales`, … — 78
+//! types in total) of every column of a relational table from the cell
+//! values alone. It combines three signals:
+//!
+//! 1. a **single-column deep model** (Sherlock-style multi-input network over
+//!    Char/Word/Para/Stat features) — [`ColumnwiseModel::base`],
+//! 2. **global table context** via an LDA *table intent* topic vector fed to
+//!    an extra subnetwork — [`ColumnwiseModel::topic_aware`],
+//! 3. **local table context** via a linear-chain CRF over the columns of a
+//!    table — [`StructuredLayer`].
+//!
+//! The [`SatoModel`] facade trains and runs the four variants evaluated in
+//! the paper (`Base`, `Sato_noStruct`, `Sato_noTopic`, full `Sato`), and
+//! [`BertLikeModel`] reproduces the Section 6 "featurisation-free"
+//! single-column alternative.
+//!
+//! ```no_run
+//! use sato::{SatoConfig, SatoModel, SatoVariant};
+//! use sato_tabular::corpus::default_corpus;
+//! use sato_tabular::split::train_test_split;
+//!
+//! let corpus = default_corpus(500, 42);
+//! let split = train_test_split(&corpus, 0.2, 0);
+//! let mut model = SatoModel::train(&split.train, SatoConfig::default(), SatoVariant::Full);
+//! for table in split.test.iter().take(3) {
+//!     let types = model.predict(table);
+//!     println!("table {} -> {:?}", table.id, types);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bert_like;
+pub mod columnwise;
+pub mod config;
+pub mod dataset;
+pub mod model;
+pub mod structured;
+
+pub use bert_like::{BertLikeConfig, BertLikeModel};
+pub use columnwise::{ColumnwiseModel, ColumnwisePredictor};
+pub use config::{CrfTrainParams, NetworkConfig, SatoConfig};
+pub use dataset::{InputGroup, TableInputs, TrainingData};
+pub use model::{SatoModel, SatoVariant, TablePrediction, TrainTimings};
+pub use structured::{unary_from_proba, StructuredLayer};

@@ -1,0 +1,241 @@
+//! The Sato model facade: the four evaluated variants of the paper
+//! (Table 1) behind a single train/predict API.
+//!
+//! | Variant | Topic-aware (global context) | Structured (local context) |
+//! |---|---|---|
+//! | `Base` (Sherlock)      | no  | no  |
+//! | `SatoNoStruct`         | yes | no  |
+//! | `SatoNoTopic`          | no  | yes |
+//! | `Full` (Sato)          | yes | yes |
+
+use crate::columnwise::{ColumnwiseModel, ColumnwisePredictor};
+use crate::config::SatoConfig;
+use crate::structured::StructuredLayer;
+use sato_tabular::table::{Corpus, Table};
+use sato_tabular::types::SemanticType;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// The model variants evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SatoVariant {
+    /// Single-column Sherlock baseline (no table context).
+    Base,
+    /// Topic-aware prediction only (no CRF), `Sato_noStruct` in the paper.
+    SatoNoStruct,
+    /// Structured prediction on Base outputs (no topic), `Sato_noTopic`.
+    SatoNoTopic,
+    /// The full Sato model: topic-aware + structured prediction.
+    Full,
+}
+
+impl SatoVariant {
+    /// All variants, in the row order of Table 1.
+    pub const ALL: [SatoVariant; 4] = [
+        SatoVariant::Base,
+        SatoVariant::Full,
+        SatoVariant::SatoNoStruct,
+        SatoVariant::SatoNoTopic,
+    ];
+
+    /// Whether the variant feeds the table topic vector to the column-wise
+    /// network.
+    pub fn uses_topic(self) -> bool {
+        matches!(self, SatoVariant::SatoNoStruct | SatoVariant::Full)
+    }
+
+    /// Whether the variant runs CRF structured prediction.
+    pub fn uses_structure(self) -> bool {
+        matches!(self, SatoVariant::SatoNoTopic | SatoVariant::Full)
+    }
+
+    /// The display name used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SatoVariant::Base => "Base",
+            SatoVariant::SatoNoStruct => "Sato_noStruct",
+            SatoVariant::SatoNoTopic => "Sato_noTopic",
+            SatoVariant::Full => "Sato",
+        }
+    }
+}
+
+/// Wall-clock training cost, reported separately for the column-wise model
+/// ("Features" in Table 2) and the CRF layer ("Structured").
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct TrainTimings {
+    /// Seconds spent training the column-wise network (plus the LDA model
+    /// for topic-aware variants).
+    pub columnwise_secs: f64,
+    /// Seconds spent training the CRF layer (0 for unstructured variants).
+    pub crf_secs: f64,
+}
+
+/// A trained Sato model (one of the four variants).
+pub struct SatoModel {
+    variant: SatoVariant,
+    columnwise: ColumnwiseModel,
+    structured: Option<StructuredLayer>,
+    timings: TrainTimings,
+    config: SatoConfig,
+}
+
+/// Predictions for one table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TablePrediction {
+    /// The table's id.
+    pub table_id: u64,
+    /// Gold labels (empty when the table is unlabelled).
+    pub gold: Vec<SemanticType>,
+    /// Predicted labels, parallel to the table's columns.
+    pub predicted: Vec<SemanticType>,
+}
+
+impl SatoModel {
+    /// Train the requested variant on a labelled corpus.
+    pub fn train(corpus: &Corpus, config: SatoConfig, variant: SatoVariant) -> Self {
+        let start = Instant::now();
+        let mut columnwise = if variant.uses_topic() {
+            ColumnwiseModel::topic_aware(config.clone())
+        } else {
+            ColumnwiseModel::base(config.clone())
+        };
+        columnwise.fit(corpus);
+        let columnwise_secs = start.elapsed().as_secs_f64();
+
+        let (structured, crf_secs) = if variant.uses_structure() {
+            let start = Instant::now();
+            let layer = StructuredLayer::fit(&mut columnwise, corpus, &config);
+            (Some(layer), start.elapsed().as_secs_f64())
+        } else {
+            (None, 0.0)
+        };
+
+        SatoModel {
+            variant,
+            columnwise,
+            structured,
+            timings: TrainTimings {
+                columnwise_secs,
+                crf_secs,
+            },
+            config,
+        }
+    }
+
+    /// The variant this model was trained as.
+    pub fn variant(&self) -> SatoVariant {
+        self.variant
+    }
+
+    /// The configuration used for training.
+    pub fn config(&self) -> &SatoConfig {
+        &self.config
+    }
+
+    /// Wall-clock training cost breakdown (Table 2).
+    pub fn timings(&self) -> TrainTimings {
+        self.timings
+    }
+
+    /// Borrow the column-wise model (e.g. for column embeddings or for the
+    /// permutation-importance analysis).
+    pub fn columnwise_mut(&mut self) -> &mut ColumnwiseModel {
+        &mut self.columnwise
+    }
+
+    /// Borrow the CRF layer, if the variant has one.
+    pub fn structured(&self) -> Option<&StructuredLayer> {
+        self.structured.as_ref()
+    }
+
+    /// Per-column probability rows from the column-wise stage (before any
+    /// structured decoding).
+    pub fn predict_proba(&mut self, table: &Table) -> Vec<Vec<f32>> {
+        self.columnwise.predict_proba(table)
+    }
+
+    /// Predict the semantic type of every column of a table.
+    pub fn predict(&mut self, table: &Table) -> Vec<SemanticType> {
+        match &self.structured {
+            Some(layer) => {
+                let proba = self.columnwise.predict_proba(table);
+                layer.decode_proba(&proba)
+            }
+            None => self.columnwise.predict_types(table),
+        }
+    }
+
+    /// Predict every table of a corpus, pairing predictions with gold labels.
+    pub fn predict_corpus(&mut self, corpus: &Corpus) -> Vec<TablePrediction> {
+        corpus
+            .iter()
+            .map(|table| TablePrediction {
+                table_id: table.id,
+                gold: table.labels.clone(),
+                predicted: self.predict(table),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sato_tabular::corpus::default_corpus;
+    use sato_tabular::split::train_test_split;
+
+    #[test]
+    fn variant_flags_match_the_paper() {
+        assert!(!SatoVariant::Base.uses_topic() && !SatoVariant::Base.uses_structure());
+        assert!(SatoVariant::SatoNoStruct.uses_topic() && !SatoVariant::SatoNoStruct.uses_structure());
+        assert!(!SatoVariant::SatoNoTopic.uses_topic() && SatoVariant::SatoNoTopic.uses_structure());
+        assert!(SatoVariant::Full.uses_topic() && SatoVariant::Full.uses_structure());
+        assert_eq!(SatoVariant::Full.name(), "Sato");
+        assert_eq!(SatoVariant::ALL.len(), 4);
+    }
+
+    #[test]
+    fn base_variant_trains_and_predicts() {
+        let corpus = default_corpus(50, 2);
+        let split = train_test_split(&corpus, 0.2, 1);
+        let mut model = SatoModel::train(&split.train, SatoConfig::fast(), SatoVariant::Base);
+        assert_eq!(model.variant(), SatoVariant::Base);
+        assert!(model.structured().is_none());
+        assert!(model.timings().columnwise_secs > 0.0);
+        assert_eq!(model.timings().crf_secs, 0.0);
+
+        let preds = model.predict_corpus(&split.test);
+        assert_eq!(preds.len(), split.test.len());
+        for (p, t) in preds.iter().zip(split.test.iter()) {
+            assert_eq!(p.predicted.len(), t.num_columns());
+            assert_eq!(p.gold, t.labels);
+        }
+    }
+
+    #[test]
+    fn full_variant_has_structured_layer_and_crf_timing() {
+        let corpus = default_corpus(40, 4);
+        let mut model = SatoModel::train(&corpus, SatoConfig::fast(), SatoVariant::Full);
+        assert!(model.structured().is_some());
+        assert!(model.timings().crf_secs > 0.0);
+        let table = &corpus.tables[0];
+        let pred = model.predict(table);
+        assert_eq!(pred.len(), table.num_columns());
+    }
+
+    #[test]
+    fn structured_and_unstructured_predictions_share_columnwise_scores() {
+        // For a single-column table the CRF cannot change anything: the MAP
+        // label equals the column-wise argmax.
+        let corpus = default_corpus(40, 6);
+        let mut model = SatoModel::train(&corpus, SatoConfig::fast(), SatoVariant::SatoNoTopic);
+        let singleton = corpus
+            .iter()
+            .find(|t| t.num_columns() == 1)
+            .expect("corpus contains singleton tables");
+        let structured = model.predict(singleton);
+        let columnwise = model.columnwise_mut().predict_types(singleton);
+        assert_eq!(structured, columnwise);
+    }
+}

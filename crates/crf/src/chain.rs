@@ -1,0 +1,439 @@
+//! The linear-chain conditional random field at the heart of Sato's
+//! structured prediction module (Section 3.3).
+//!
+//! A table with `m` columns is a chain of `m` nodes. Each node carries a
+//! *unary potential* vector (the log-scores of the column-wise, topic-aware
+//! prediction model) and each edge between adjacent columns carries a shared
+//! *pairwise potential* matrix `P` with `P[i][j] = ψ_PAIR(t_i = i, t_j = j)`.
+//!
+//! The conditional distribution is
+//! `P(t | c) ∝ exp( Σ ψ_UNI(t_i, c_i) + Σ ψ_PAIR(t_i, t_{i+1}) )`,
+//! the partition function is computed with the forward algorithm in log
+//! space, marginals with forward–backward, and the MAP labelling with
+//! Viterbi — exactly the machinery the paper describes.
+
+use serde::{Deserialize, Serialize};
+
+/// A linear-chain CRF over `num_states` labels with a shared pairwise
+/// potential matrix. Unary potentials are supplied per sequence at call time
+/// (they come from the column-wise model), which is why they are not stored
+/// on the struct.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearChainCrf {
+    num_states: usize,
+    /// Row-major `num_states × num_states` pairwise potential matrix (log scale).
+    pairwise: Vec<f64>,
+}
+
+/// Node and edge marginals of a chain, as produced by forward–backward.
+#[derive(Debug, Clone)]
+pub struct Marginals {
+    /// `node[i][s]`: probability that position `i` has label `s`.
+    pub node: Vec<Vec<f64>>,
+    /// `edge[i][a * K + b]`: probability that positions `(i, i+1)` have
+    /// labels `(a, b)`. Has `m - 1` entries.
+    pub edge: Vec<Vec<f64>>,
+    /// The log partition function `log Z(c)`.
+    pub log_partition: f64,
+}
+
+impl LinearChainCrf {
+    /// A CRF with all-zero pairwise potentials (equivalent to independent
+    /// per-column prediction).
+    pub fn new(num_states: usize) -> Self {
+        assert!(num_states >= 2, "need at least two states");
+        LinearChainCrf {
+            num_states,
+            pairwise: vec![0.0; num_states * num_states],
+        }
+    }
+
+    /// A CRF with an explicit pairwise potential matrix (e.g. the log
+    /// co-occurrence initialisation of Section 4.3).
+    pub fn with_pairwise(num_states: usize, pairwise: Vec<f64>) -> Self {
+        assert_eq!(
+            pairwise.len(),
+            num_states * num_states,
+            "pairwise matrix must be {num_states}x{num_states}"
+        );
+        LinearChainCrf {
+            num_states,
+            pairwise,
+        }
+    }
+
+    /// Number of labels.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Borrow the pairwise potential matrix (row-major).
+    pub fn pairwise(&self) -> &[f64] {
+        &self.pairwise
+    }
+
+    /// Mutably borrow the pairwise potential matrix (used by the trainer).
+    pub fn pairwise_mut(&mut self) -> &mut [f64] {
+        &mut self.pairwise
+    }
+
+    /// Pairwise potential of the ordered pair `(a, b)`.
+    #[inline]
+    pub fn pair(&self, a: usize, b: usize) -> f64 {
+        self.pairwise[a * self.num_states + b]
+    }
+
+    fn check_unary(&self, unary: &[Vec<f64>]) {
+        assert!(!unary.is_empty(), "empty chain");
+        assert!(
+            unary.iter().all(|u| u.len() == self.num_states),
+            "every unary potential must have {} entries",
+            self.num_states
+        );
+    }
+
+    /// Unnormalised log-score of a complete labelling.
+    pub fn score(&self, unary: &[Vec<f64>], labels: &[usize]) -> f64 {
+        self.check_unary(unary);
+        assert_eq!(unary.len(), labels.len(), "one label per position");
+        let mut s = 0.0;
+        for (u, &l) in unary.iter().zip(labels) {
+            s += u[l];
+        }
+        for w in labels.windows(2) {
+            s += self.pair(w[0], w[1]);
+        }
+        s
+    }
+
+    /// `log Z(c)` computed with the forward algorithm in log space.
+    pub fn log_partition(&self, unary: &[Vec<f64>]) -> f64 {
+        self.check_unary(unary);
+        let k = self.num_states;
+        let mut alpha: Vec<f64> = unary[0].clone();
+        let mut next = vec![0.0f64; k];
+        for u in &unary[1..] {
+            for (b, nb) in next.iter_mut().enumerate() {
+                let terms: Vec<f64> = (0..k).map(|a| alpha[a] + self.pair(a, b)).collect();
+                *nb = log_sum_exp(&terms) + u[b];
+            }
+            std::mem::swap(&mut alpha, &mut next);
+        }
+        log_sum_exp(&alpha)
+    }
+
+    /// Log-likelihood of a labelling: `score(t) - log Z(c)`.
+    pub fn log_likelihood(&self, unary: &[Vec<f64>], labels: &[usize]) -> f64 {
+        self.score(unary, labels) - self.log_partition(unary)
+    }
+
+    /// Forward–backward: node and edge marginals plus `log Z`.
+    pub fn marginals(&self, unary: &[Vec<f64>]) -> Marginals {
+        self.check_unary(unary);
+        let k = self.num_states;
+        let m = unary.len();
+
+        // Forward messages alpha[i][s] (log space, including unary of i).
+        let mut alpha = vec![vec![0.0f64; k]; m];
+        alpha[0].clone_from(&unary[0]);
+        for i in 1..m {
+            for b in 0..k {
+                let terms: Vec<f64> = (0..k).map(|a| alpha[i - 1][a] + self.pair(a, b)).collect();
+                alpha[i][b] = log_sum_exp(&terms) + unary[i][b];
+            }
+        }
+        // Backward messages beta[i][s] (log space, excluding unary of i).
+        let mut beta = vec![vec![0.0f64; k]; m];
+        for i in (0..m - 1).rev() {
+            for a in 0..k {
+                let terms: Vec<f64> = (0..k)
+                    .map(|b| self.pair(a, b) + unary[i + 1][b] + beta[i + 1][b])
+                    .collect();
+                beta[i][a] = log_sum_exp(&terms);
+            }
+        }
+        let log_z = log_sum_exp(&alpha[m - 1]);
+
+        let node: Vec<Vec<f64>> = (0..m)
+            .map(|i| {
+                (0..k)
+                    .map(|s| (alpha[i][s] + beta[i][s] - log_z).exp())
+                    .collect()
+            })
+            .collect();
+
+        let edge: Vec<Vec<f64>> = (0..m.saturating_sub(1))
+            .map(|i| {
+                let mut e = vec![0.0f64; k * k];
+                for a in 0..k {
+                    for b in 0..k {
+                        e[a * k + b] = (alpha[i][a]
+                            + self.pair(a, b)
+                            + unary[i + 1][b]
+                            + beta[i + 1][b]
+                            - log_z)
+                            .exp();
+                    }
+                }
+                e
+            })
+            .collect();
+
+        Marginals {
+            node,
+            edge,
+            log_partition: log_z,
+        }
+    }
+
+    /// Viterbi MAP decoding: the labelling with the highest score.
+    pub fn viterbi(&self, unary: &[Vec<f64>]) -> Vec<usize> {
+        self.check_unary(unary);
+        let k = self.num_states;
+        let m = unary.len();
+        let mut delta = vec![vec![f64::NEG_INFINITY; k]; m];
+        let mut backptr = vec![vec![0usize; k]; m];
+        delta[0].clone_from(&unary[0]);
+        for i in 1..m {
+            for b in 0..k {
+                let mut best = f64::NEG_INFINITY;
+                let mut best_a = 0;
+                for (a, &prev) in delta[i - 1].iter().enumerate() {
+                    let s = prev + self.pair(a, b);
+                    if s > best {
+                        best = s;
+                        best_a = a;
+                    }
+                }
+                delta[i][b] = best + unary[i][b];
+                backptr[i][b] = best_a;
+            }
+        }
+        let mut labels = vec![0usize; m];
+        labels[m - 1] = argmax(&delta[m - 1]);
+        for i in (0..m - 1).rev() {
+            labels[i] = backptr[i + 1][labels[i + 1]];
+        }
+        labels
+    }
+}
+
+/// Numerically stable `log Σ exp(x)`.
+pub fn log_sum_exp(values: &[f64]) -> f64 {
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if max == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    max + values.iter().map(|&v| (v - max).exp()).sum::<f64>().ln()
+}
+
+/// Index of the maximum value.
+pub fn argmax(values: &[f64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Enumerate all labellings for brute-force checks.
+    fn all_labellings(m: usize, k: usize) -> Vec<Vec<usize>> {
+        let mut out = vec![vec![]];
+        for _ in 0..m {
+            let mut next = Vec::new();
+            for prefix in &out {
+                for s in 0..k {
+                    let mut p = prefix.clone();
+                    p.push(s);
+                    next.push(p);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+
+    fn sample_crf() -> (LinearChainCrf, Vec<Vec<f64>>) {
+        let pairwise = vec![
+            0.5, -0.2, 0.1, //
+            0.0, 1.0, -0.5, //
+            0.3, 0.2, 0.0,
+        ];
+        let crf = LinearChainCrf::with_pairwise(3, pairwise);
+        let unary = vec![
+            vec![1.0, 0.2, -0.3],
+            vec![0.1, 0.4, 0.5],
+            vec![-0.2, 0.9, 0.0],
+            vec![0.7, 0.0, 0.3],
+        ];
+        (crf, unary)
+    }
+
+    #[test]
+    fn partition_matches_brute_force() {
+        let (crf, unary) = sample_crf();
+        let brute: f64 = log_sum_exp(
+            &all_labellings(unary.len(), 3)
+                .iter()
+                .map(|l| crf.score(&unary, l))
+                .collect::<Vec<_>>(),
+        );
+        assert!((crf.log_partition(&unary) - brute).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marginals_match_brute_force() {
+        let (crf, unary) = sample_crf();
+        let m = crf.marginals(&unary);
+        let labellings = all_labellings(unary.len(), 3);
+        let log_z = m.log_partition;
+
+        // Node marginal of position 2, state 1.
+        let brute: f64 = labellings
+            .iter()
+            .filter(|l| l[2] == 1)
+            .map(|l| (crf.score(&unary, l) - log_z).exp())
+            .sum();
+        assert!((m.node[2][1] - brute).abs() < 1e-9);
+
+        // Edge marginal of positions (1, 2), states (0, 2).
+        let brute_e: f64 = labellings
+            .iter()
+            .filter(|l| l[1] == 0 && l[2] == 2)
+            .map(|l| (crf.score(&unary, l) - log_z).exp())
+            .sum();
+        assert!((m.edge[1][2] - brute_e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_marginals_sum_to_one() {
+        let (crf, unary) = sample_crf();
+        let m = crf.marginals(&unary);
+        for node in &m.node {
+            let s: f64 = node.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        for edge in &m.edge {
+            let s: f64 = edge.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn viterbi_matches_brute_force_argmax() {
+        let (crf, unary) = sample_crf();
+        let best = all_labellings(unary.len(), 3)
+            .into_iter()
+            .max_by(|a, b| {
+                crf.score(&unary, a)
+                    .partial_cmp(&crf.score(&unary, b))
+                    .unwrap()
+            })
+            .unwrap();
+        assert_eq!(crf.viterbi(&unary), best);
+    }
+
+    #[test]
+    fn single_column_chain_reduces_to_argmax_of_unary() {
+        let crf = LinearChainCrf::new(4);
+        let unary = vec![vec![0.1, 2.0, -1.0, 0.5]];
+        assert_eq!(crf.viterbi(&unary), vec![1]);
+        assert!((crf.log_partition(&unary) - log_sum_exp(&unary[0])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_pairwise_crf_factorises() {
+        // With zero pairwise potentials the chain is a product of independent
+        // softmaxes, so Viterbi must equal per-position argmax.
+        let crf = LinearChainCrf::new(3);
+        let unary = vec![vec![3.0, 0.0, 1.0], vec![0.0, 0.1, 2.0], vec![1.0, 5.0, 0.0]];
+        assert_eq!(crf.viterbi(&unary), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn pairwise_potentials_can_flip_a_prediction() {
+        // The second column weakly prefers state 0, but the pairwise matrix
+        // strongly couples state 1 with state 1.
+        let mut pairwise = vec![0.0; 4];
+        pairwise[3] = 3.0; // entry (1, 1) of the 2x2 matrix
+        let crf = LinearChainCrf::with_pairwise(2, pairwise);
+        let unary = vec![vec![0.0, 5.0], vec![0.5, 0.0]];
+        assert_eq!(crf.viterbi(&unary), vec![1, 1]);
+    }
+
+    #[test]
+    fn log_likelihood_is_negative_and_maximal_for_map() {
+        let (crf, unary) = sample_crf();
+        let map = crf.viterbi(&unary);
+        let ll_map = crf.log_likelihood(&unary, &map);
+        assert!(ll_map < 0.0);
+        for l in all_labellings(unary.len(), 3) {
+            assert!(crf.log_likelihood(&unary, &l) <= ll_map + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty chain")]
+    fn empty_chain_panics() {
+        let crf = LinearChainCrf::new(2);
+        crf.log_partition(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pairwise matrix")]
+    fn wrong_pairwise_size_panics() {
+        LinearChainCrf::with_pairwise(3, vec![0.0; 4]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn partition_dominates_any_single_labelling(
+            unary in proptest::collection::vec(
+                proptest::collection::vec(-5.0f64..5.0, 3), 1..5),
+            pairwise in proptest::collection::vec(-2.0f64..2.0, 9),
+            labels in proptest::collection::vec(0usize..3, 5),
+        ) {
+            let crf = LinearChainCrf::with_pairwise(3, pairwise);
+            let labels = &labels[..unary.len()];
+            let score = crf.score(&unary, labels);
+            let log_z = crf.log_partition(&unary);
+            prop_assert!(log_z >= score - 1e-9);
+        }
+
+        #[test]
+        fn viterbi_beats_random_labellings(
+            unary in proptest::collection::vec(
+                proptest::collection::vec(-5.0f64..5.0, 4), 1..5),
+            pairwise in proptest::collection::vec(-2.0f64..2.0, 16),
+            labels in proptest::collection::vec(0usize..4, 5),
+        ) {
+            let crf = LinearChainCrf::with_pairwise(4, pairwise);
+            let labels = &labels[..unary.len()];
+            let map = crf.viterbi(&unary);
+            prop_assert!(crf.score(&unary, &map) >= crf.score(&unary, labels) - 1e-9);
+        }
+
+        #[test]
+        fn marginals_are_probabilities(
+            unary in proptest::collection::vec(
+                proptest::collection::vec(-4.0f64..4.0, 3), 2..5),
+            pairwise in proptest::collection::vec(-1.5f64..1.5, 9),
+        ) {
+            let crf = LinearChainCrf::with_pairwise(3, pairwise);
+            let m = crf.marginals(&unary);
+            for node in &m.node {
+                let s: f64 = node.iter().sum();
+                prop_assert!((s - 1.0).abs() < 1e-6);
+                prop_assert!(node.iter().all(|&p| (-1e-9..=1.0 + 1e-9).contains(&p)));
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # sato-crf
+//!
+//! A from-scratch linear-chain conditional random field: the structured
+//! prediction module of *Sato: Contextual Semantic Type Detection in Tables*
+//! (Section 3.3). Provides exact inference on chains (forward–backward for
+//! the partition function and marginals, Viterbi for MAP decoding) and
+//! maximum-likelihood training of the pairwise potential matrix.
+//!
+//! ```
+//! use sato_crf::LinearChainCrf;
+//!
+//! // Two labels; the pairwise matrix couples label 1 with label 1.
+//! let crf = LinearChainCrf::with_pairwise(2, vec![0.0, 0.0, 0.0, 2.0]);
+//! let unary = vec![vec![0.0, 3.0], vec![0.4, 0.0]];
+//! // Alone, column 2 would prefer label 0 — context flips it to label 1.
+//! assert_eq!(crf.viterbi(&unary), vec![1, 1]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod train;
+
+pub use chain::{argmax, log_sum_exp, LinearChainCrf, Marginals};
+pub use train::{train_crf, CrfExample, CrfTrainConfig};

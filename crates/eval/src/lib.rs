@@ -1,0 +1,33 @@
+//! # sato-eval
+//!
+//! Evaluation machinery for the Sato reproduction: the metrics of
+//! Section 4.4 (per-type F1, macro and support-weighted averages),
+//! table-level k-fold cross-validation, permutation feature importance
+//! (Section 5.4), 2-D projections of column embeddings (Section 5.6), and
+//! plain-text report formatting used by the benchmark binaries.
+//!
+//! ```
+//! use sato_eval::metrics::Evaluation;
+//! use sato_tabular::types::SemanticType;
+//!
+//! let gold = vec![SemanticType::City, SemanticType::Country];
+//! let pred = vec![SemanticType::City, SemanticType::Country];
+//! let eval = Evaluation::from_pairs(&gold, &pred);
+//! assert_eq!(eval.macro_f1, 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod crossval;
+pub mod hierarchical;
+pub mod metrics;
+pub mod permutation;
+pub mod projection;
+pub mod report;
+
+pub use crossval::{cross_validate, evaluate_model, CrossValResult, FoldResult};
+pub use hierarchical::HierarchicalEvaluation;
+pub use metrics::{mean_and_ci95, Evaluation, TypeMetrics};
+pub use permutation::{permutation_importance, GroupImportance, ImportanceReport};
+pub use projection::{pca_2d, separation_ratio, tsne_2d, TsneConfig};
+pub use report::{ascii_bar, fmt_mean_ci, fmt_mean_ci_with_improvement, TextTable};

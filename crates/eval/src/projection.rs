@@ -1,0 +1,349 @@
+//! Dimensionality reduction for the column-embedding analysis
+//! (Section 5.6 / Figure 10): PCA and a small exact t-SNE implementation.
+//!
+//! The paper projects column embeddings with t-SNE; a deterministic PCA is
+//! also provided because it is faster and sufficient to inspect whether the
+//! topic-aware model separates the organisation-like types better than the
+//! Sherlock baseline.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A 2-D point.
+pub type Point2 = [f64; 2];
+
+fn center(data: &[Vec<f32>]) -> Vec<Vec<f64>> {
+    let n = data.len();
+    let d = data.first().map_or(0, Vec::len);
+    let mut mean = vec![0.0f64; d];
+    for row in data {
+        for (m, &v) in mean.iter_mut().zip(row) {
+            *m += v as f64;
+        }
+    }
+    mean.iter_mut().for_each(|m| *m /= n.max(1) as f64);
+    data.iter()
+        .map(|row| row.iter().zip(&mean).map(|(&v, m)| v as f64 - m).collect())
+        .collect()
+}
+
+fn matvec(data: &[Vec<f64>], v: &[f64]) -> Vec<f64> {
+    // Computes Covariance * v without forming the covariance matrix:
+    // C v = (1/n) Xᵀ (X v).
+    let n = data.len();
+    let d = v.len();
+    let mut xv = vec![0.0f64; n];
+    for (i, row) in data.iter().enumerate() {
+        xv[i] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+    }
+    let mut out = vec![0.0f64; d];
+    for (i, row) in data.iter().enumerate() {
+        for (o, &a) in out.iter_mut().zip(row) {
+            *o += a * xv[i];
+        }
+    }
+    out.iter_mut().for_each(|x| *x /= n.max(1) as f64);
+    out
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 1e-12 {
+        v.iter_mut().for_each(|x| *x /= norm);
+    }
+    norm
+}
+
+/// Project rows to two dimensions with PCA (power iteration + deflation).
+pub fn pca_2d(data: &[Vec<f32>], seed: u64) -> Vec<Point2> {
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let centered = center(data);
+    let d = centered[0].len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut components: Vec<Vec<f64>> = Vec::new();
+
+    for _ in 0..2.min(d) {
+        let mut v: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        normalize(&mut v);
+        for _ in 0..100 {
+            let mut next = matvec(&centered, &v);
+            // Deflate previously found components.
+            for c in &components {
+                let dot: f64 = next.iter().zip(c).map(|(a, b)| a * b).sum();
+                for (n, &ci) in next.iter_mut().zip(c) {
+                    *n -= dot * ci;
+                }
+            }
+            if normalize(&mut next) < 1e-12 {
+                break;
+            }
+            v = next;
+        }
+        components.push(v);
+    }
+    centered
+        .iter()
+        .map(|row| {
+            let mut p = [0.0f64; 2];
+            for (k, c) in components.iter().enumerate() {
+                p[k] = row.iter().zip(c).map(|(a, b)| a * b).sum();
+            }
+            p
+        })
+        .collect()
+}
+
+/// Configuration for the exact t-SNE implementation.
+#[derive(Debug, Clone)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional distributions.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Random seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            perplexity: 20.0,
+            iterations: 300,
+            learning_rate: 100.0,
+            seed: 5,
+        }
+    }
+}
+
+/// Exact (O(n²)) t-SNE to two dimensions. Suitable for the few hundred
+/// column embeddings plotted in Figure 10.
+pub fn tsne_2d(data: &[Vec<f32>], config: &TsneConfig) -> Vec<Point2> {
+    let n = data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![[0.0, 0.0]];
+    }
+
+    // Pairwise squared distances in the input space.
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist: f64 = data[i]
+                .iter()
+                .zip(&data[j])
+                .map(|(&a, &b)| (a as f64 - b as f64).powi(2))
+                .sum();
+            d2[i * n + j] = dist;
+            d2[j * n + i] = dist;
+        }
+    }
+
+    // Binary-search per-point bandwidths to match the target perplexity.
+    let target_entropy = config.perplexity.max(2.0).ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let mut beta = 1.0f64;
+        let mut beta_min = f64::NEG_INFINITY;
+        let mut beta_max = f64::INFINITY;
+        for _ in 0..50 {
+            let mut sum = 0.0;
+            for j in 0..n {
+                if i != j {
+                    p[i * n + j] = (-beta * d2[i * n + j]).exp();
+                    sum += p[i * n + j];
+                } else {
+                    p[i * n + j] = 0.0;
+                }
+            }
+            let sum = sum.max(1e-300);
+            let mut entropy = 0.0;
+            for j in 0..n {
+                if i != j && p[i * n + j] > 0.0 {
+                    let pj = p[i * n + j] / sum;
+                    entropy -= pj * pj.max(1e-300).ln();
+                }
+            }
+            let diff = entropy - target_entropy;
+            if diff.abs() < 1e-4 {
+                break;
+            }
+            if diff > 0.0 {
+                beta_min = beta;
+                beta = if beta_max.is_infinite() { beta * 2.0 } else { (beta + beta_max) / 2.0 };
+            } else {
+                beta_max = beta;
+                beta = if beta_min.is_infinite() { beta / 2.0 } else { (beta + beta_min) / 2.0 };
+            }
+        }
+        let sum: f64 = (0..n).filter(|&j| j != i).map(|j| p[i * n + j]).sum::<f64>().max(1e-300);
+        for j in 0..n {
+            if i != j {
+                p[i * n + j] /= sum;
+            }
+        }
+    }
+    // Symmetrise.
+    let mut pij = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            pij[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+
+    // Gradient descent on the 2-D layout.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut y: Vec<Point2> = (0..n)
+        .map(|_| [rng.gen_range(-1e-2..1e-2), rng.gen_range(-1e-2..1e-2)])
+        .collect();
+    let mut velocity = vec![[0.0f64; 2]; n];
+
+    for iter in 0..config.iterations {
+        // Student-t affinities in the embedding.
+        let mut q = vec![0.0f64; n * n];
+        let mut q_sum = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let t = 1.0 / (1.0 + dx * dx + dy * dy);
+                q[i * n + j] = t;
+                q[j * n + i] = t;
+                q_sum += 2.0 * t;
+            }
+        }
+        let q_sum = q_sum.max(1e-300);
+        // Early exaggeration.
+        let exaggeration = if iter < config.iterations / 4 { 4.0 } else { 1.0 };
+        let momentum = if iter < 50 { 0.5 } else { 0.8 };
+
+        for i in 0..n {
+            let mut grad = [0.0f64; 2];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let qij_un = q[i * n + j];
+                let qij = (qij_un / q_sum).max(1e-12);
+                let coeff = 4.0 * (exaggeration * pij[i * n + j] - qij) * qij_un;
+                grad[0] += coeff * (y[i][0] - y[j][0]);
+                grad[1] += coeff * (y[i][1] - y[j][1]);
+            }
+            for k in 0..2 {
+                velocity[i][k] = momentum * velocity[i][k] - config.learning_rate * grad[k];
+            }
+        }
+        for i in 0..n {
+            y[i][0] += velocity[i][0];
+            y[i][1] += velocity[i][1];
+        }
+    }
+    y
+}
+
+/// Mean pairwise distance between two groups of 2-D points relative to the
+/// mean within-group distance — a scalar "separation" measure used by tests
+/// and by the Figure 10 report to compare the embeddings of two models.
+pub fn separation_ratio(a: &[Point2], b: &[Point2]) -> f64 {
+    let dist = |x: &Point2, y: &Point2| ((x[0] - y[0]).powi(2) + (x[1] - y[1]).powi(2)).sqrt();
+    let mean_pair = |xs: &[Point2], ys: &[Point2]| {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for x in xs {
+            for y in ys {
+                total += dist(x, y);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    };
+    let within = (mean_pair(a, a) + mean_pair(b, b)) / 2.0;
+    let between = mean_pair(a, b);
+    if within < 1e-12 {
+        f64::INFINITY
+    } else {
+        between / within
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian-ish blobs in 10 dimensions.
+    fn blobs() -> (Vec<Vec<f32>>, usize) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut data = Vec::new();
+        for i in 0..40 {
+            let offset = if i < 20 { 0.0 } else { 5.0 };
+            let row: Vec<f32> = (0..10)
+                .map(|_| offset + rng.gen_range(-0.5..0.5))
+                .collect();
+            data.push(row);
+        }
+        (data, 20)
+    }
+
+    #[test]
+    fn pca_preserves_blob_separation() {
+        let (data, split) = blobs();
+        let proj = pca_2d(&data, 1);
+        assert_eq!(proj.len(), data.len());
+        let ratio = separation_ratio(&proj[..split], &proj[split..]);
+        assert!(ratio > 2.0, "PCA separation ratio too low: {ratio}");
+    }
+
+    #[test]
+    fn pca_handles_empty_and_single_point() {
+        assert!(pca_2d(&[], 0).is_empty());
+        let one = pca_2d(&[vec![1.0, 2.0, 3.0]], 0);
+        assert_eq!(one.len(), 1);
+        assert!(one[0].iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn tsne_preserves_blob_separation() {
+        let (data, split) = blobs();
+        let config = TsneConfig {
+            iterations: 150,
+            ..TsneConfig::default()
+        };
+        let proj = tsne_2d(&data, &config);
+        assert_eq!(proj.len(), data.len());
+        assert!(proj.iter().all(|p| p.iter().all(|v| v.is_finite())));
+        let ratio = separation_ratio(&proj[..split], &proj[split..]);
+        assert!(ratio > 1.5, "t-SNE separation ratio too low: {ratio}");
+    }
+
+    #[test]
+    fn tsne_trivial_inputs() {
+        assert!(tsne_2d(&[], &TsneConfig::default()).is_empty());
+        let one = tsne_2d(&[vec![1.0, 2.0]], &TsneConfig::default());
+        assert_eq!(one, vec![[0.0, 0.0]]);
+    }
+
+    #[test]
+    fn separation_ratio_of_identical_groups_is_about_one() {
+        let pts = vec![[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]];
+        let r = separation_ratio(&pts, &pts);
+        assert!((r - 1.0).abs() < 0.3, "ratio {r}");
+    }
+
+    #[test]
+    fn projections_are_deterministic() {
+        let (data, _) = blobs();
+        assert_eq!(pca_2d(&data, 7), pca_2d(&data, 7));
+        let cfg = TsneConfig { iterations: 50, ..TsneConfig::default() };
+        assert_eq!(tsne_2d(&data, &cfg), tsne_2d(&data, &cfg));
+    }
+}

@@ -1,0 +1,138 @@
+//! Plain-text report formatting shared by the benchmark binaries: aligned
+//! tables that mirror the rows/series of the paper's tables and figures.
+
+/// A simple text table builder with left-aligned first column and
+/// right-aligned value columns.
+#[derive(Debug, Default, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given header cells.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells are displayed as given).
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    line.push_str(&format!("{cell:<w$}"));
+                } else {
+                    line.push_str(&format!("  {cell:>w$}"));
+                }
+            }
+            line
+        };
+        let mut out = String::new();
+        out.push_str(&render_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a `(mean, ci)` pair the way Table 1 does: `0.735 ±0.022`.
+pub fn fmt_mean_ci(mean_ci: (f64, f64)) -> String {
+    format!("{:.3} ±{:.3}", mean_ci.0, mean_ci.1)
+}
+
+/// Format a `(mean, ci)` pair with a relative improvement over a baseline:
+/// `0.735 ±0.022 (14.4%↑)`.
+pub fn fmt_mean_ci_with_improvement(mean_ci: (f64, f64), baseline: f64) -> String {
+    if baseline <= 0.0 {
+        return fmt_mean_ci(mean_ci);
+    }
+    let pct = (mean_ci.0 - baseline) / baseline * 100.0;
+    let arrow = if pct >= 0.0 { "↑" } else { "↓" };
+    format!("{} ({:.1}%{})", fmt_mean_ci(mean_ci), pct.abs(), arrow)
+}
+
+/// Render an ASCII horizontal bar (used for the figure-style outputs).
+pub fn ascii_bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let filled = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    "#".repeat(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(&["model", "macro F1"]);
+        t.add_row(vec!["Base".into(), "0.642".into()]);
+        t.add_row(vec!["Sato".into(), "0.735".into()]);
+        let text = t.render();
+        assert!(text.contains("model"));
+        assert!(text.contains("Sato"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows have the same width.
+        assert_eq!(lines[0].chars().count(), lines[2].chars().count());
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn mean_ci_formatting_matches_paper_style() {
+        assert_eq!(fmt_mean_ci((0.735, 0.022)), "0.735 ±0.022");
+        let s = fmt_mean_ci_with_improvement((0.735, 0.022), 0.642);
+        assert!(s.starts_with("0.735 ±0.022 (14.5%↑)") || s.starts_with("0.735 ±0.022 (14.4%↑)"));
+        let down = fmt_mean_ci_with_improvement((0.5, 0.01), 0.6);
+        assert!(down.contains("↓"));
+        assert_eq!(fmt_mean_ci_with_improvement((0.5, 0.01), 0.0), "0.500 ±0.010");
+    }
+
+    #[test]
+    fn ascii_bar_scales_with_value() {
+        assert_eq!(ascii_bar(1.0, 1.0, 10).len(), 10);
+        assert_eq!(ascii_bar(0.5, 1.0, 10).len(), 5);
+        assert_eq!(ascii_bar(0.0, 1.0, 10).len(), 0);
+        assert_eq!(ascii_bar(2.0, 0.0, 10), "");
+    }
+}

@@ -1,0 +1,118 @@
+//! Character-distribution features (the paper's **Char** feature group).
+//!
+//! Sherlock's original Char group aggregates, for every printable ASCII
+//! character, statistics of its per-cell occurrence counts. This
+//! implementation follows the same recipe over a curated character set
+//! (lower-case letters, digits and common punctuation) and three aggregate
+//! statistics per character — mean count per cell, standard deviation of the
+//! count, and the fraction of cells containing the character — which
+//! preserves the property the downstream model relies on: columns with
+//! different surface shapes (codes vs names vs dates vs free text) land in
+//! clearly different regions of the feature space.
+
+use sato_tabular::table::Column;
+
+/// The characters whose per-cell distributions are summarised.
+pub const CHARSET: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
+    's', 't', 'u', 'v', 'w', 'x', 'y', 'z', '0', '1', '2', '3', '4', '5', '6', '7', '8', '9',
+    ' ', '.', ',', '-', '_', '/', ':', '(', ')', '&', '\'', '"', '%', '$', '#', '@', '+',
+];
+
+/// Number of aggregate statistics kept per character.
+pub const STATS_PER_CHAR: usize = 3;
+
+/// Dimensionality of the Char feature group.
+pub const CHAR_FEATURE_DIM: usize = CHARSET.len() * STATS_PER_CHAR;
+
+/// Extract the Char feature vector for a column.
+///
+/// Empty columns (or columns whose cells are all empty) produce an all-zero
+/// vector, mirroring Sherlock's handling of missing data.
+pub fn char_features(column: &Column) -> Vec<f32> {
+    let cells: Vec<&str> = column
+        .values
+        .iter()
+        .map(String::as_str)
+        .filter(|v| !v.trim().is_empty())
+        .collect();
+    let mut out = vec![0.0f32; CHAR_FEATURE_DIM];
+    if cells.is_empty() {
+        return out;
+    }
+    let n = cells.len() as f32;
+    for (ci, &ch) in CHARSET.iter().enumerate() {
+        let counts: Vec<f32> = cells
+            .iter()
+            .map(|cell| cell.to_lowercase().chars().filter(|&c| c == ch).count() as f32)
+            .collect();
+        let mean = counts.iter().sum::<f32>() / n;
+        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f32>() / n;
+        let present = counts.iter().filter(|&&c| c > 0.0).count() as f32 / n;
+        out[ci * STATS_PER_CHAR] = mean;
+        out[ci * STATS_PER_CHAR + 1] = var.sqrt();
+        out[ci * STATS_PER_CHAR + 2] = present;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_is_fixed() {
+        let col = Column::new(["abc", "def"]);
+        assert_eq!(char_features(&col).len(), CHAR_FEATURE_DIM);
+        assert_eq!(CHAR_FEATURE_DIM, CHARSET.len() * 3);
+    }
+
+    #[test]
+    fn empty_column_gives_zero_vector() {
+        let col = Column::new(Vec::<String>::new());
+        assert!(char_features(&col).iter().all(|&x| x == 0.0));
+        let blank = Column::new(["", "  "]);
+        assert!(char_features(&blank).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn digit_heavy_columns_differ_from_letter_heavy_columns() {
+        let numbers = Column::new(["1234", "5678", "90123"]);
+        let words = Column::new(["alpha", "beta", "gamma"]);
+        let fn_ = char_features(&numbers);
+        let fw = char_features(&words);
+        // index of '1' presence fraction
+        let idx_one = CHARSET.iter().position(|&c| c == '1').unwrap() * STATS_PER_CHAR + 2;
+        let idx_a = CHARSET.iter().position(|&c| c == 'a').unwrap() * STATS_PER_CHAR + 2;
+        assert!(fn_[idx_one] > 0.0 && fw[idx_one] == 0.0);
+        assert!(fw[idx_a] > 0.0 && fn_[idx_a] == 0.0);
+    }
+
+    #[test]
+    fn case_is_folded() {
+        let upper = Column::new(["ABC"]);
+        let lower = Column::new(["abc"]);
+        assert_eq!(char_features(&upper), char_features(&lower));
+    }
+
+    #[test]
+    fn mean_count_reflects_repetition() {
+        let col = Column::new(["aaa", "a"]);
+        let f = char_features(&col);
+        let idx_a_mean = CHARSET.iter().position(|&c| c == 'a').unwrap() * STATS_PER_CHAR;
+        assert!((f[idx_a_mean] - 2.0).abs() < 1e-6);
+        // Std of [3, 1] is 1.
+        assert!((f[idx_a_mean + 1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn presence_fraction_bounded() {
+        let col = Column::new(["a-b", "c", "d-e-f", ""]);
+        let f = char_features(&col);
+        assert!(f.iter().all(|&x| x >= 0.0));
+        // every presence fraction (offset 2) is within [0, 1]
+        for ci in 0..CHARSET.len() {
+            assert!(f[ci * STATS_PER_CHAR + 2] <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! The column feature extractor `Φ`: assembles the four Sherlock feature
+//! groups (**Char**, **Word**, **Para**, **Stat**) into per-column feature
+//! vectors for whole tables, in the layout the Sato models consume.
+
+use crate::char_dist::{char_features, CHAR_FEATURE_DIM};
+use crate::para_embed::para_features;
+use crate::stats::{stat_features, STAT_FEATURE_DIM};
+use crate::word_embed::word_features;
+use sato_tabular::table::{Column, Table};
+use serde::{Deserialize, Serialize};
+
+/// The four Sherlock feature groups (plus, at the model level, the Topic
+/// group added by Sato).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureGroup {
+    /// Character distribution statistics.
+    Char,
+    /// Aggregated word embeddings.
+    Word,
+    /// Paragraph (whole-column) embedding.
+    Para,
+    /// 27 global column statistics.
+    Stat,
+}
+
+impl FeatureGroup {
+    /// All column-level groups, in the concatenation order used by
+    /// [`ColumnFeatures::concatenated`].
+    pub const ALL: [FeatureGroup; 4] = [
+        FeatureGroup::Char,
+        FeatureGroup::Word,
+        FeatureGroup::Para,
+        FeatureGroup::Stat,
+    ];
+
+    /// Lower-case display name (matches the labels in Figure 9).
+    pub fn name(self) -> &'static str {
+        match self {
+            FeatureGroup::Char => "char",
+            FeatureGroup::Word => "word",
+            FeatureGroup::Para => "par",
+            FeatureGroup::Stat => "rest",
+        }
+    }
+}
+
+/// Configuration of the feature extractor (group widths).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    /// Width of the per-token word embedding (the Word group is `2 *
+    /// word_dim` wide).
+    pub word_dim: usize,
+    /// Width of the paragraph embedding.
+    pub para_dim: usize,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig {
+            word_dim: 50,
+            para_dim: 100,
+        }
+    }
+}
+
+impl FeatureConfig {
+    /// A smaller configuration for fast unit tests.
+    pub fn small() -> Self {
+        FeatureConfig {
+            word_dim: 16,
+            para_dim: 32,
+        }
+    }
+}
+
+/// The extracted features of one column, kept per group so the models can
+/// route each group through its own subnetwork and so the permutation
+/// importance experiment (Figure 9) can shuffle one group at a time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnFeatures {
+    /// Char group.
+    pub char: Vec<f32>,
+    /// Word group.
+    pub word: Vec<f32>,
+    /// Para group.
+    pub para: Vec<f32>,
+    /// Stat group.
+    pub stat: Vec<f32>,
+}
+
+impl ColumnFeatures {
+    /// Borrow a group by tag.
+    pub fn group(&self, g: FeatureGroup) -> &[f32] {
+        match g {
+            FeatureGroup::Char => &self.char,
+            FeatureGroup::Word => &self.word,
+            FeatureGroup::Para => &self.para,
+            FeatureGroup::Stat => &self.stat,
+        }
+    }
+
+    /// Mutably borrow a group by tag.
+    pub fn group_mut(&mut self, g: FeatureGroup) -> &mut Vec<f32> {
+        match g {
+            FeatureGroup::Char => &mut self.char,
+            FeatureGroup::Word => &mut self.word,
+            FeatureGroup::Para => &mut self.para,
+            FeatureGroup::Stat => &mut self.stat,
+        }
+    }
+
+    /// Concatenate all groups in [`FeatureGroup::ALL`] order.
+    pub fn concatenated(&self) -> Vec<f32> {
+        let mut out =
+            Vec::with_capacity(self.char.len() + self.word.len() + self.para.len() + self.stat.len());
+        out.extend_from_slice(&self.char);
+        out.extend_from_slice(&self.word);
+        out.extend_from_slice(&self.para);
+        out.extend_from_slice(&self.stat);
+        out
+    }
+
+    /// Total feature dimensionality.
+    pub fn total_dim(&self) -> usize {
+        self.char.len() + self.word.len() + self.para.len() + self.stat.len()
+    }
+}
+
+/// The feature extractor `Φ` of the paper's problem formulation.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureExtractor {
+    config: FeatureConfig,
+}
+
+impl FeatureExtractor {
+    /// Create an extractor with the given widths.
+    pub fn new(config: FeatureConfig) -> Self {
+        FeatureExtractor { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FeatureConfig {
+        &self.config
+    }
+
+    /// Width of each group, in [`FeatureGroup::ALL`] order.
+    pub fn group_dims(&self) -> Vec<(FeatureGroup, usize)> {
+        vec![
+            (FeatureGroup::Char, CHAR_FEATURE_DIM),
+            (FeatureGroup::Word, 2 * self.config.word_dim),
+            (FeatureGroup::Para, self.config.para_dim),
+            (FeatureGroup::Stat, STAT_FEATURE_DIM),
+        ]
+    }
+
+    /// Total per-column feature dimensionality.
+    pub fn total_dim(&self) -> usize {
+        self.group_dims().iter().map(|(_, d)| d).sum()
+    }
+
+    /// Extract the features of one column.
+    pub fn extract_column(&self, column: &Column) -> ColumnFeatures {
+        ColumnFeatures {
+            char: char_features(column),
+            word: word_features(column, self.config.word_dim),
+            para: para_features(column, self.config.para_dim),
+            stat: stat_features(column),
+        }
+    }
+
+    /// Extract the features of every column of a table.
+    pub fn extract_table(&self, table: &Table) -> Vec<ColumnFeatures> {
+        table.columns.iter().map(|c| self.extract_column(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sato_tabular::corpus::default_corpus;
+
+    #[test]
+    fn group_dims_sum_to_total() {
+        let ex = FeatureExtractor::new(FeatureConfig::default());
+        let dims = ex.group_dims();
+        assert_eq!(dims.len(), 4);
+        assert_eq!(ex.total_dim(), dims.iter().map(|(_, d)| d).sum::<usize>());
+    }
+
+    #[test]
+    fn extracted_features_match_declared_dims() {
+        let ex = FeatureExtractor::new(FeatureConfig::small());
+        let col = Column::new(["Warsaw", "London", "Paris"]);
+        let f = ex.extract_column(&col);
+        let dims = ex.group_dims();
+        assert_eq!(f.char.len(), dims[0].1);
+        assert_eq!(f.word.len(), dims[1].1);
+        assert_eq!(f.para.len(), dims[2].1);
+        assert_eq!(f.stat.len(), dims[3].1);
+        assert_eq!(f.total_dim(), ex.total_dim());
+        assert_eq!(f.concatenated().len(), ex.total_dim());
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let ex = FeatureExtractor::new(FeatureConfig::small());
+        let col = Column::new(["3.5 MB", "4.0 MB"]);
+        assert_eq!(ex.extract_column(&col), ex.extract_column(&col));
+    }
+
+    #[test]
+    fn group_accessors_round_trip() {
+        let ex = FeatureExtractor::new(FeatureConfig::small());
+        let mut f = ex.extract_column(&Column::new(["42", "43"]));
+        for g in FeatureGroup::ALL {
+            assert_eq!(f.group(g).len(), f.group_mut(g).len());
+        }
+        f.group_mut(FeatureGroup::Stat)[0] = 99.0;
+        assert_eq!(f.stat[0], 99.0);
+    }
+
+    #[test]
+    fn table_extraction_yields_one_vector_per_column() {
+        let ex = FeatureExtractor::new(FeatureConfig::small());
+        let corpus = default_corpus(5, 1);
+        for table in corpus.iter() {
+            let feats = ex.extract_table(table);
+            assert_eq!(feats.len(), table.num_columns());
+        }
+    }
+
+    #[test]
+    fn all_features_are_finite() {
+        let ex = FeatureExtractor::new(FeatureConfig::default());
+        let corpus = default_corpus(20, 2);
+        for table in corpus.iter() {
+            for f in ex.extract_table(table) {
+                assert!(f.concatenated().iter().all(|x| x.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn group_names_match_figure9_labels() {
+        assert_eq!(FeatureGroup::Char.name(), "char");
+        assert_eq!(FeatureGroup::Word.name(), "word");
+        assert_eq!(FeatureGroup::Para.name(), "par");
+        assert_eq!(FeatureGroup::Stat.name(), "rest");
+    }
+}

@@ -1,0 +1,142 @@
+//! Deterministic feature hashing used by the word and paragraph embeddings.
+//!
+//! The real Sherlock features use pre-trained GloVe word vectors and doc2vec
+//! paragraph vectors. Those checkpoints are external binary artefacts, so
+//! this reproduction substitutes a fastText-style *hashing embedding*:
+//! character n-grams of a token are hashed into a fixed number of buckets
+//! with pseudo-random signs, summed and normalised. Similar strings share
+//! n-grams and therefore land near each other — the distributional property
+//! the downstream classifier actually exploits.
+
+/// A simple, stable 64-bit FNV-1a hash (so features do not depend on the
+/// platform's `DefaultHasher` seed and stay identical across runs).
+pub fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Hash a token's character n-grams into a `dim`-bucket signed vector.
+///
+/// * `ngram_range` controls which n-gram lengths are used (inclusive).
+/// * `seed` decorrelates different embedding spaces (the word and paragraph
+///   groups use different seeds so they are not identical features).
+pub fn hash_token(token: &str, dim: usize, ngram_range: (usize, usize), seed: u64) -> Vec<f32> {
+    let mut v = vec![0.0f32; dim];
+    let token = token.to_lowercase();
+    let chars: Vec<char> = format!("<{token}>").chars().collect();
+    let (lo, hi) = ngram_range;
+    for n in lo..=hi {
+        if chars.len() < n {
+            continue;
+        }
+        for window in chars.windows(n) {
+            let gram: String = window.iter().collect();
+            let h = fnv1a(gram.as_bytes(), seed);
+            let bucket = (h % dim as u64) as usize;
+            let sign = if (h >> 63) & 1 == 0 { 1.0 } else { -1.0 };
+            v[bucket] += sign;
+        }
+    }
+    l2_normalize(&mut v);
+    v
+}
+
+/// Normalise a vector to unit L2 norm in place (no-op for the zero vector).
+pub fn l2_normalize(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 1e-12 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// Split a cell into word tokens (alphanumeric runs).
+pub fn tokenize(cell: &str) -> Vec<String> {
+    cell.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+/// Cosine similarity between two equal-length vectors.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na < 1e-12 || nb < 1e-12 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let a = hash_token("Warsaw", 64, (3, 5), 1);
+        let b = hash_token("Warsaw", 64, (3, 5), 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let a = hash_token("Warsaw", 64, (3, 5), 1);
+        let b = hash_token("Warsaw", 64, (3, 5), 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn vectors_are_unit_norm() {
+        let v = hash_token("Florence", 64, (3, 5), 0);
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn similar_strings_are_closer_than_dissimilar_ones() {
+        let dim = 128;
+        let warsaw = hash_token("Warsaw", dim, (3, 5), 0);
+        let warsawa = hash_token("Warsawa", dim, (3, 5), 0);
+        let number = hash_token("1234567", dim, (3, 5), 0);
+        assert!(cosine(&warsaw, &warsawa) > cosine(&warsaw, &number));
+        assert!(cosine(&warsaw, &warsawa) > 0.4);
+    }
+
+    #[test]
+    fn short_tokens_still_produce_vectors() {
+        let v = hash_token("a", 32, (3, 5), 0);
+        // "<a>" has exactly one 3-gram, so the vector is non-zero.
+        assert!(v.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn tokenize_splits_on_non_alphanumerics() {
+        assert_eq!(tokenize("Warsaw, Poland"), vec!["warsaw", "poland"]);
+        assert_eq!(tokenize("3.5 MB"), vec!["3", "5", "mb"]);
+        assert!(tokenize("--- ").is_empty());
+    }
+
+    #[test]
+    fn cosine_bounds() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-6);
+        assert!(cosine(&a, &b).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &a), 0.0);
+    }
+
+    #[test]
+    fn fnv_differs_across_seeds_and_inputs() {
+        assert_ne!(fnv1a(b"abc", 0), fnv1a(b"abd", 0));
+        assert_ne!(fnv1a(b"abc", 0), fnv1a(b"abc", 1));
+    }
+}

@@ -1,0 +1,117 @@
+//! Paragraph-embedding features (the paper's **Para** feature group).
+//!
+//! Sherlock uses a doc2vec model that embeds the *whole column* as one
+//! paragraph. The substitution here builds a term-frequency weighted hashed
+//! bag-of-ngrams over the entire column text in a dedicated hash space
+//! (different seed than the Word group), then L2-normalises it. The result
+//! captures column-level co-occurrence information that the per-token Word
+//! group does not, which is the role the Para group plays in Sherlock.
+
+use crate::hashing::{fnv1a, l2_normalize, tokenize};
+use sato_tabular::table::Column;
+use std::collections::HashMap;
+
+/// Hash seed that defines the paragraph-embedding space.
+pub const PARA_EMBED_SEED: u64 = 0x5a70_0002;
+
+/// Default paragraph embedding width.
+pub const DEFAULT_PARA_DIM: usize = 100;
+
+/// Compute the Para feature group for a column.
+///
+/// Token counts are dampened with `ln(1 + tf)` before hashing so that a few
+/// extremely frequent cell values do not dominate the representation.
+pub fn para_features(column: &Column, dim: usize) -> Vec<f32> {
+    let mut term_freq: HashMap<String, usize> = HashMap::new();
+    for cell in column.iter() {
+        for token in tokenize(cell) {
+            *term_freq.entry(token).or_insert(0) += 1;
+        }
+    }
+    let mut out = vec![0.0f32; dim];
+    if term_freq.is_empty() {
+        return out;
+    }
+    for (token, tf) in term_freq {
+        let h = fnv1a(token.as_bytes(), PARA_EMBED_SEED);
+        let bucket = (h % dim as u64) as usize;
+        let sign = if (h >> 63) & 1 == 0 { 1.0 } else { -1.0 };
+        out[bucket] += sign * (1.0 + tf as f32).ln();
+    }
+    l2_normalize(&mut out);
+    out
+}
+
+/// Compute the Para features of an entire table's values — used as the LDA
+/// fall-back "table fingerprint" in some ablations and by the BERT-like
+/// encoder, which consumes raw value text rather than per-column features.
+pub fn table_para_features(columns: &[Column], dim: usize) -> Vec<f32> {
+    let mut merged = Column::default();
+    for c in columns {
+        merged.values.extend(c.values.iter().cloned());
+    }
+    para_features(&merged, dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashing::cosine;
+
+    #[test]
+    fn dimension_and_normalisation() {
+        let col = Column::new(["Rock", "Jazz", "Rock"]);
+        let f = para_features(&col, 64);
+        assert_eq!(f.len(), 64);
+        let norm: f32 = f.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_column_is_zero_vector() {
+        let col = Column::new(["", "  "]);
+        assert!(para_features(&col, 32).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn repeated_tokens_are_dampened() {
+        // A column dominated by one token should still resemble a column
+        // containing that token once (direction-wise).
+        let once = Column::new(["rock"]);
+        let many = Column::new(["rock"; 50]);
+        let f_once = para_features(&once, 64);
+        let f_many = para_features(&many, 64);
+        assert!(cosine(&f_once, &f_many) > 0.99);
+    }
+
+    #[test]
+    fn different_vocabularies_have_low_similarity() {
+        let music = Column::new(["Rock", "Jazz", "Blues", "Folk"]);
+        let cities = Column::new(["Warsaw", "London", "Paris", "Rome"]);
+        let fm = para_features(&music, 128);
+        let fc = para_features(&cities, 128);
+        assert!(cosine(&fm, &fc) < 0.3);
+    }
+
+    #[test]
+    fn para_space_differs_from_word_space() {
+        // Same column, same dim: the Para vector must not equal the mean
+        // Word vector because the hash seeds differ.
+        let col = Column::new(["Warsaw", "London"]);
+        let para = para_features(&col, 50);
+        let word = crate::word_embed::word_features(&col, 25);
+        assert_ne!(para, word[..50].to_vec());
+    }
+
+    #[test]
+    fn table_features_cover_all_columns() {
+        let a = Column::new(["Rock", "Jazz"]);
+        let b = Column::new(["Warsaw", "London"]);
+        let table = table_para_features(&[a.clone(), b.clone()], 64);
+        let fa = para_features(&a, 64);
+        let fb = para_features(&b, 64);
+        // The table vector should be similar to both column vectors.
+        assert!(cosine(&table, &fa) > 0.3);
+        assert!(cosine(&table, &fb) > 0.3);
+    }
+}

@@ -1,0 +1,211 @@
+//! Global column statistics (the paper's **Stat** feature group).
+//!
+//! Sherlock complements the distributional features with 27 hand-crafted
+//! global statistics per column (value counts, uniqueness, length and
+//! numeric-value statistics, …). This module computes an analogous set of
+//! exactly 27 statistics; the paper notes these are passed to the primary
+//! network directly, without a compression subnetwork, because of their low
+//! dimensionality.
+
+use sato_tabular::table::Column;
+
+/// Number of statistics in the Stat group (kept at the paper's 27).
+pub const STAT_FEATURE_DIM: usize = 27;
+
+/// Compute the 27 global statistics of a column.
+pub fn stat_features(column: &Column) -> Vec<f32> {
+    let total = column.values.len();
+    let non_empty: Vec<&str> = column
+        .values
+        .iter()
+        .map(String::as_str)
+        .filter(|v| !v.trim().is_empty())
+        .collect();
+    let n = non_empty.len();
+
+    let mut out = vec![0.0f32; STAT_FEATURE_DIM];
+    out[0] = total as f32;
+    out[1] = n as f32;
+    out[2] = if total > 0 {
+        1.0 - n as f32 / total as f32
+    } else {
+        0.0
+    }; // fraction missing
+    if n == 0 {
+        return out;
+    }
+
+    // Distinctness.
+    let mut distinct: Vec<&str> = non_empty.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    out[3] = distinct.len() as f32;
+    out[4] = distinct.len() as f32 / n as f32; // fraction unique
+
+    // Length statistics (in characters).
+    let lengths: Vec<f32> = non_empty.iter().map(|v| v.chars().count() as f32).collect();
+    let (len_mean, len_std, len_min, len_max) = moments(&lengths);
+    out[5] = len_mean;
+    out[6] = len_std;
+    out[7] = len_min;
+    out[8] = len_max;
+
+    // Token statistics (words per cell).
+    let token_counts: Vec<f32> = non_empty
+        .iter()
+        .map(|v| v.split_whitespace().count() as f32)
+        .collect();
+    let (tok_mean, tok_std, tok_min, tok_max) = moments(&token_counts);
+    out[9] = tok_mean;
+    out[10] = tok_std;
+    out[11] = tok_min;
+    out[12] = tok_max;
+
+    // Character-class fractions (cell level).
+    let frac = |pred: &dyn Fn(&str) -> bool| {
+        non_empty.iter().filter(|v| pred(v)).count() as f32 / n as f32
+    };
+    out[13] = frac(&|v| v.chars().all(|c| c.is_ascii_digit() || c == '.' || c == ',' || c == '-'));
+    out[14] = frac(&|v| v.chars().any(|c| c.is_ascii_digit()));
+    out[15] = frac(&|v| v.chars().all(|c| c.is_alphabetic() || c.is_whitespace()));
+    out[16] = frac(&|v| v.chars().any(|c| c.is_uppercase()));
+    out[17] = frac(&|v| v.contains(' '));
+    out[18] = frac(&|v| v.contains(|c: char| !c.is_alphanumeric() && !c.is_whitespace()));
+
+    // Numeric value statistics (over parseable cells).
+    let numeric: Vec<f32> = non_empty
+        .iter()
+        .filter_map(|v| parse_numeric(v))
+        .collect();
+    out[19] = numeric.len() as f32 / n as f32; // fraction numeric-parseable
+    if !numeric.is_empty() {
+        let (num_mean, num_std, num_min, num_max) = moments(&numeric);
+        out[20] = num_mean;
+        out[21] = num_std;
+        out[22] = num_min;
+        out[23] = num_max;
+        out[24] = numeric.iter().filter(|&&x| x < 0.0).count() as f32 / numeric.len() as f32;
+        out[25] = numeric.iter().filter(|&&x| x.fract() != 0.0).count() as f32
+            / numeric.len() as f32;
+    }
+    // Mean digit fraction per cell.
+    out[26] = non_empty
+        .iter()
+        .map(|v| {
+            let chars = v.chars().count().max(1) as f32;
+            v.chars().filter(|c| c.is_ascii_digit()).count() as f32 / chars
+        })
+        .sum::<f32>()
+        / n as f32;
+    out
+}
+
+/// Parse a cell into a number, tolerating thousands separators, currency-ish
+/// prefixes and unit suffixes ("1,777,972", "35 kg", "4.2 MB").
+fn parse_numeric(v: &str) -> Option<f32> {
+    let cleaned: String = v
+        .chars()
+        .filter(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    if cleaned.is_empty() || !v.chars().any(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    // Only treat as numeric if digits form a substantial part of the cell.
+    let digits = v.chars().filter(|c| c.is_ascii_digit()).count();
+    if (digits as f32) < 0.4 * v.chars().filter(|c| !c.is_whitespace()).count() as f32 {
+        return None;
+    }
+    cleaned.parse::<f32>().ok()
+}
+
+fn moments(values: &[f32]) -> (f32, f32, f32, f32) {
+    let n = values.len() as f32;
+    let mean = values.iter().sum::<f32>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let min = values.iter().cloned().fold(f32::INFINITY, f32::min);
+    let max = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    (mean, var.sqrt(), min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_27_statistics() {
+        let col = Column::new(["a", "b"]);
+        assert_eq!(stat_features(&col).len(), 27);
+        assert_eq!(STAT_FEATURE_DIM, 27);
+    }
+
+    #[test]
+    fn empty_column_reports_counts_only() {
+        let col = Column::new(["", ""]);
+        let f = stat_features(&col);
+        assert_eq!(f[0], 2.0);
+        assert_eq!(f[1], 0.0);
+        assert_eq!(f[2], 1.0);
+        assert!(f[3..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn uniqueness_and_lengths() {
+        let col = Column::new(["aa", "aa", "bbbb"]);
+        let f = stat_features(&col);
+        assert_eq!(f[3], 2.0); // distinct
+        assert!((f[4] - 2.0 / 3.0).abs() < 1e-6);
+        assert!((f[5] - (2.0 + 2.0 + 4.0) / 3.0).abs() < 1e-6);
+        assert_eq!(f[7], 2.0);
+        assert_eq!(f[8], 4.0);
+    }
+
+    #[test]
+    fn numeric_statistics_for_number_columns() {
+        let col = Column::new(["10", "20", "30"]);
+        let f = stat_features(&col);
+        assert_eq!(f[19], 1.0); // all numeric
+        assert!((f[20] - 20.0).abs() < 1e-4);
+        assert_eq!(f[22], 10.0);
+        assert_eq!(f[23], 30.0);
+        assert_eq!(f[13], 1.0); // all-digit cells
+    }
+
+    #[test]
+    fn formatted_numbers_are_recognised() {
+        let col = Column::new(["1,777,972", "380,948"]);
+        let f = stat_features(&col);
+        assert_eq!(f[19], 1.0);
+        assert!(f[23] > 1_000_000.0);
+    }
+
+    #[test]
+    fn unit_suffixed_numbers_are_numeric() {
+        let col = Column::new(["75 kg", "82 kg"]);
+        let f = stat_features(&col);
+        assert!(f[19] > 0.9);
+    }
+
+    #[test]
+    fn text_columns_have_low_numeric_fraction() {
+        let col = Column::new(["Warsaw", "London", "Paris"]);
+        let f = stat_features(&col);
+        assert_eq!(f[19], 0.0);
+        assert_eq!(f[15], 1.0); // purely alphabetic
+        assert_eq!(f[26], 0.0);
+    }
+
+    #[test]
+    fn text_and_numbers_produce_different_vectors() {
+        let text = stat_features(&Column::new(["alpha", "beta", "gamma"]));
+        let nums = stat_features(&Column::new(["1", "2", "3"]));
+        assert_ne!(text, nums);
+    }
+
+    #[test]
+    fn negative_and_fractional_flags() {
+        let col = Column::new(["-1.5", "2.25", "3"]);
+        let f = stat_features(&col);
+        assert!((f[24] - 1.0 / 3.0).abs() < 1e-6);
+        assert!((f[25] - 2.0 / 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,102 @@
+//! Word-embedding features (the paper's **Word** feature group).
+//!
+//! Sherlock averages pre-trained GloVe vectors over the tokens of a column;
+//! this reproduction uses the hashed character n-gram embedding from
+//! [`crate::hashing`] instead (see the module docs there for why this is a
+//! faithful substitution). The column feature is the concatenation of the
+//! element-wise mean and standard deviation of the token vectors, matching
+//! Sherlock's mean/std aggregation.
+
+use crate::hashing::{hash_token, tokenize};
+use sato_tabular::table::Column;
+
+/// Hash seed that defines the word-embedding space.
+pub const WORD_EMBED_SEED: u64 = 0x5a70_0001;
+
+/// Default per-token embedding width.
+pub const DEFAULT_WORD_DIM: usize = 50;
+
+/// Compute the Word feature group for a column: `[mean || std]` of the
+/// hashed token embeddings, `2 * dim` values in total.
+pub fn word_features(column: &Column, dim: usize) -> Vec<f32> {
+    let mut sum = vec![0.0f32; dim];
+    let mut sum_sq = vec![0.0f32; dim];
+    let mut count = 0usize;
+    for cell in column.iter() {
+        for token in tokenize(cell) {
+            let v = hash_token(&token, dim, (3, 5), WORD_EMBED_SEED);
+            for i in 0..dim {
+                sum[i] += v[i];
+                sum_sq[i] += v[i] * v[i];
+            }
+            count += 1;
+        }
+    }
+    let mut out = vec![0.0f32; 2 * dim];
+    if count == 0 {
+        return out;
+    }
+    let n = count as f32;
+    for i in 0..dim {
+        let mean = sum[i] / n;
+        let var = (sum_sq[i] / n - mean * mean).max(0.0);
+        out[i] = mean;
+        out[dim + i] = var.sqrt();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashing::cosine;
+
+    #[test]
+    fn dimension_is_twice_embedding_width() {
+        let col = Column::new(["Warsaw", "London"]);
+        assert_eq!(word_features(&col, 32).len(), 64);
+    }
+
+    #[test]
+    fn empty_column_is_zero() {
+        let col = Column::new(["", "  ", "---"]);
+        assert!(word_features(&col, 16).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn identical_columns_have_identical_features() {
+        let a = Column::new(["Florence", "Warsaw", "London"]);
+        let b = Column::new(["Florence", "Warsaw", "London"]);
+        assert_eq!(word_features(&a, 50), word_features(&b, 50));
+    }
+
+    #[test]
+    fn city_columns_are_more_similar_to_each_other_than_to_numbers() {
+        let cities_a = Column::new(["Florence", "Warsaw", "London", "Braunschweig"]);
+        let cities_b = Column::new(["Warsaw", "London", "Paris", "Rome"]);
+        let numbers = Column::new(["12345", "67890", "24680", "13579"]);
+        let fa = word_features(&cities_a, 64);
+        let fb = word_features(&cities_b, 64);
+        let fn_ = word_features(&numbers, 64);
+        assert!(cosine(&fa, &fb) > cosine(&fa, &fn_));
+    }
+
+    #[test]
+    fn single_token_column_has_zero_std_part() {
+        let col = Column::new(["warsaw"]);
+        let f = word_features(&col, 20);
+        assert!(f[20..].iter().all(|&x| x.abs() < 1e-6));
+        assert!(f[..20].iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn order_of_cells_does_not_matter() {
+        let a = Column::new(["alpha beta", "gamma"]);
+        let b = Column::new(["gamma", "alpha beta"]);
+        let fa = word_features(&a, 32);
+        let fb = word_features(&b, 32);
+        for (x, y) in fa.iter().zip(&fb) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+}

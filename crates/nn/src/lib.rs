@@ -1,0 +1,49 @@
+//! # sato-nn
+//!
+//! A minimal, dependency-light dense neural-network library: exactly the
+//! building blocks needed to reproduce the Sherlock/Sato multi-input
+//! feed-forward classifiers from *Sato: Contextual Semantic Type Detection
+//! in Tables* (VLDB 2020) — dense layers, ReLU, BatchNorm, Dropout, softmax
+//! cross-entropy, SGD/Adam, and save/load of trained parameters.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sato_nn::layers::{Dense, Layer, ReLU};
+//! use sato_nn::loss::softmax_cross_entropy;
+//! use sato_nn::matrix::Matrix;
+//! use sato_nn::network::Sequential;
+//! use sato_nn::optim::Adam;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut net = Sequential::new()
+//!     .push(Dense::new(2, 8, &mut rng))
+//!     .push(ReLU::new())
+//!     .push(Dense::new(8, 2, &mut rng));
+//! let x = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+//! let mut adam = Adam::new(0.01, 0.0);
+//! for _ in 0..50 {
+//!     let logits = net.forward(&x, true);
+//!     let out = softmax_cross_entropy(&logits, &[1, 0]);
+//!     net.backward(&out.grad_logits);
+//!     adam.step(&mut net.params_mut());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod matrix;
+pub mod network;
+pub mod optim;
+pub mod serialize;
+
+pub use layers::{BatchNorm, Dense, Dropout, Layer, Param, ReLU};
+pub use loss::{argmax_rows, log_softmax, softmax, softmax_cross_entropy};
+pub use matrix::Matrix;
+pub use network::{MultiInputNetwork, Sequential};
+pub use optim::{Adam, Sgd};
+pub use serialize::{load_state_dict, state_dict, StateDict};

@@ -1,0 +1,312 @@
+//! Network containers: [`Sequential`] stacks of layers and the
+//! [`MultiInputNetwork`] used by Sherlock/Sato, where each feature group
+//! passes through its own compression subnetwork before the concatenated
+//! representation enters a shared primary network (Section 3.1 / Figure 2).
+
+use crate::layers::{Layer, Param};
+use crate::matrix::Matrix;
+
+/// An ordered stack of layers applied one after another.
+///
+/// An empty `Sequential` is the identity function, which is how the `Stat`
+/// feature group (only 27 features, no compression subnetwork in the paper)
+/// is represented as a branch of the multi-input network.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// An empty (identity) network.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Append a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Append a boxed layer in place.
+    pub fn add(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers (identity).
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Layer names, for summaries.
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Matrix, training: bool) -> Matrix {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, training);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+
+    fn output_dim(&self, input_dim: usize) -> usize {
+        self.layers
+            .iter()
+            .fold(input_dim, |dim, l| l.output_dim(dim))
+    }
+}
+
+/// The Sherlock/Sato multi-input architecture: one branch subnetwork per
+/// feature group, whose outputs are concatenated and fed to a primary
+/// network that produces the class logits.
+pub struct MultiInputNetwork {
+    branches: Vec<Sequential>,
+    primary: Sequential,
+    last_branch_widths: Vec<usize>,
+}
+
+impl MultiInputNetwork {
+    /// Build from branch subnetworks (one per input group, identity branches
+    /// allowed) and a primary network.
+    pub fn new(branches: Vec<Sequential>, primary: Sequential) -> Self {
+        assert!(!branches.is_empty(), "at least one input branch is required");
+        MultiInputNetwork {
+            branches,
+            primary,
+            last_branch_widths: Vec::new(),
+        }
+    }
+
+    /// Number of input groups the network expects.
+    pub fn num_inputs(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Forward pass over one mini-batch. `inputs[i]` is the matrix for
+    /// branch `i`; all inputs must have the same number of rows.
+    pub fn forward(&mut self, inputs: &[Matrix], training: bool) -> Matrix {
+        assert_eq!(
+            inputs.len(),
+            self.branches.len(),
+            "expected {} input groups, got {}",
+            self.branches.len(),
+            inputs.len()
+        );
+        let rows = inputs[0].rows();
+        assert!(
+            inputs.iter().all(|m| m.rows() == rows),
+            "all input groups must have the same batch size"
+        );
+        let branch_outputs: Vec<Matrix> = self
+            .branches
+            .iter_mut()
+            .zip(inputs)
+            .map(|(b, x)| b.forward(x, training))
+            .collect();
+        self.last_branch_widths = branch_outputs.iter().map(Matrix::cols).collect();
+        let concat_refs: Vec<&Matrix> = branch_outputs.iter().collect();
+        let concatenated = Matrix::hconcat(&concat_refs);
+        self.primary.forward(&concatenated, training)
+    }
+
+    /// Backward pass; returns the gradient with respect to every input group
+    /// (rarely needed, but it makes the container a proper differentiable
+    /// unit and is exercised by the tests).
+    pub fn backward(&mut self, grad_output: &Matrix) -> Vec<Matrix> {
+        let grad_concat = self.primary.backward(grad_output);
+        assert!(
+            !self.last_branch_widths.is_empty(),
+            "backward called before forward"
+        );
+        let parts = grad_concat.hsplit(&self.last_branch_widths);
+        self.branches
+            .iter_mut()
+            .zip(parts)
+            .map(|(b, g)| b.backward(&g))
+            .collect()
+    }
+
+    /// All trainable parameters (branches first, then the primary network).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut params: Vec<&mut Param> = Vec::new();
+        for b in &mut self.branches {
+            params.extend(b.params_mut());
+        }
+        params.extend(self.primary.params_mut());
+        params
+    }
+
+    /// Reset all gradients.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, ReLU};
+    use crate::loss::softmax_cross_entropy;
+    use crate::optim::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut s = Sequential::new();
+        let x = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        assert_eq!(s.forward(&x, true), x);
+        assert_eq!(s.backward(&x), x);
+        assert!(s.is_empty());
+        assert_eq!(s.output_dim(2), 2);
+    }
+
+    #[test]
+    fn sequential_chains_layers_and_reports_dims() {
+        let mut r = rng();
+        let mut s = Sequential::new()
+            .push(Dense::new(4, 8, &mut r))
+            .push(ReLU::new())
+            .push(Dense::new(8, 3, &mut r));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.output_dim(4), 3);
+        assert_eq!(s.layer_names(), vec!["Dense", "ReLU", "Dense"]);
+        let x = Matrix::from_rows(&[vec![1.0, 0.0, -1.0, 0.5]]);
+        let y = s.forward(&x, false);
+        assert_eq!(y.shape(), (1, 3));
+        assert_eq!(s.params_mut().len(), 4);
+    }
+
+    #[test]
+    fn sequential_can_learn_xor_like_separation() {
+        // Tiny sanity check that forward/backward/optimiser wiring actually
+        // reduces the loss on a nonlinear problem.
+        let mut r = rng();
+        let mut net = Sequential::new()
+            .push(Dense::new(2, 16, &mut r))
+            .push(ReLU::new())
+            .push(Dense::new(16, 2, &mut r));
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ]);
+        let y = [0usize, 1, 1, 0];
+        let mut adam = Adam::new(0.01, 0.0);
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..400 {
+            let logits = net.forward(&x, true);
+            let out = softmax_cross_entropy(&logits, &y);
+            net.backward(&out.grad_logits);
+            adam.step(&mut net.params_mut());
+            first_loss.get_or_insert(out.loss);
+            last_loss = out.loss;
+        }
+        assert!(last_loss < first_loss.unwrap() * 0.2, "loss did not drop: {last_loss}");
+        let logits = net.forward(&x, false);
+        let preds = crate::loss::argmax_rows(&logits);
+        assert_eq!(preds, vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn multi_input_network_concatenates_branches() {
+        let mut r = rng();
+        let branches = vec![
+            Sequential::new().push(Dense::new(3, 2, &mut r)).push(ReLU::new()),
+            Sequential::new(), // identity branch, like the Stat features
+        ];
+        let primary = Sequential::new().push(Dense::new(2 + 2, 5, &mut r));
+        let mut net = MultiInputNetwork::new(branches, primary);
+        assert_eq!(net.num_inputs(), 2);
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![0.0, 1.0, 0.0]]);
+        let b = Matrix::from_rows(&[vec![0.5, -0.5], vec![1.0, 1.0]]);
+        let y = net.forward(&[a, b], true);
+        assert_eq!(y.shape(), (2, 5));
+        let grads = net.backward(&Matrix::filled(2, 5, 1.0));
+        assert_eq!(grads.len(), 2);
+        assert_eq!(grads[0].shape(), (2, 3));
+        assert_eq!(grads[1].shape(), (2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "input groups")]
+    fn multi_input_network_checks_group_count() {
+        let mut r = rng();
+        let mut net = MultiInputNetwork::new(
+            vec![Sequential::new().push(Dense::new(2, 2, &mut r))],
+            Sequential::new(),
+        );
+        let a = Matrix::zeros(1, 2);
+        let b = Matrix::zeros(1, 2);
+        net.forward(&[a, b], false);
+    }
+
+    #[test]
+    fn multi_input_network_trains_end_to_end() {
+        // Learn a task where the answer is only decodable from the *second*
+        // input group, verifying gradients flow through the concatenation.
+        let mut r = rng();
+        let branches = vec![
+            Sequential::new().push(Dense::new(2, 4, &mut r)).push(ReLU::new()),
+            Sequential::new().push(Dense::new(1, 4, &mut r)).push(ReLU::new()),
+        ];
+        let primary = Sequential::new().push(Dense::new(8, 2, &mut r));
+        let mut net = MultiInputNetwork::new(branches, primary);
+
+        let noise = Matrix::from_rows(&vec![vec![0.3, 0.3]; 6]);
+        let signal = Matrix::from_rows(&[
+            vec![0.0],
+            vec![1.0],
+            vec![0.0],
+            vec![1.0],
+            vec![0.0],
+            vec![1.0],
+        ]);
+        let targets = [0usize, 1, 0, 1, 0, 1];
+        let mut adam = Adam::new(0.05, 0.0);
+        for _ in 0..300 {
+            let logits = net.forward(&[noise.clone(), signal.clone()], true);
+            let out = softmax_cross_entropy(&logits, &targets);
+            net.backward(&out.grad_logits);
+            adam.step(&mut net.params_mut());
+        }
+        let logits = net.forward(&[noise, signal], false);
+        assert_eq!(crate::loss::argmax_rows(&logits), targets.to_vec());
+    }
+}

@@ -1,0 +1,158 @@
+//! Parameter (de)serialization: extract a network's parameters into a
+//! portable "state dict" and load it back into a structurally identical
+//! network, mirroring how trained Sato models are shipped and reloaded.
+
+use crate::layers::Param;
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of every trainable parameter of a network, in the stable
+/// traversal order of `params_mut()`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateDict {
+    /// Parameter values, in traversal order.
+    pub tensors: Vec<Matrix>,
+}
+
+/// Error returned when a state dict cannot be loaded into a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// The number of tensors differs from the number of parameters.
+    CountMismatch {
+        /// Parameters in the target network.
+        expected: usize,
+        /// Tensors in the state dict.
+        found: usize,
+    },
+    /// A tensor's shape differs from the target parameter's shape.
+    ShapeMismatch {
+        /// Index of the offending parameter.
+        index: usize,
+        /// Shape of the target parameter.
+        expected: (usize, usize),
+        /// Shape found in the state dict.
+        found: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::CountMismatch { expected, found } => {
+                write!(f, "state dict has {found} tensors but network has {expected} parameters")
+            }
+            LoadError::ShapeMismatch {
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "tensor {index} has shape {found:?} but parameter expects {expected:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Capture the current values of the given parameters.
+pub fn state_dict(params: &mut [&mut Param]) -> StateDict {
+    StateDict {
+        tensors: params.iter().map(|p| p.value.clone()).collect(),
+    }
+}
+
+/// Load a state dict into the given parameters (shapes must match exactly).
+pub fn load_state_dict(params: &mut [&mut Param], state: &StateDict) -> Result<(), LoadError> {
+    if params.len() != state.tensors.len() {
+        return Err(LoadError::CountMismatch {
+            expected: params.len(),
+            found: state.tensors.len(),
+        });
+    }
+    for (i, (p, t)) in params.iter().zip(&state.tensors).enumerate() {
+        if p.value.shape() != t.shape() {
+            return Err(LoadError::ShapeMismatch {
+                index: i,
+                expected: p.value.shape(),
+                found: t.shape(),
+            });
+        }
+    }
+    for (p, t) in params.iter_mut().zip(&state.tensors) {
+        p.value = t.clone();
+    }
+    Ok(())
+}
+
+impl StateDict {
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("state dict serialization cannot fail")
+    }
+
+    /// Deserialize from a JSON string.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Layer, ReLU};
+    use crate::network::Sequential;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new()
+            .push(Dense::new(3, 4, &mut rng))
+            .push(ReLU::new())
+            .push(Dense::new(4, 2, &mut rng))
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let mut a = net(1);
+        let mut b = net(2);
+        let x = crate::matrix::Matrix::from_rows(&[vec![1.0, -0.5, 2.0]]);
+        assert_ne!(a.forward(&x, false), b.forward(&x, false));
+
+        let state = state_dict(&mut a.params_mut());
+        load_state_dict(&mut b.params_mut(), &state).unwrap();
+        assert_eq!(a.forward(&x, false), b.forward(&x, false));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_values() {
+        let mut a = net(3);
+        let state = state_dict(&mut a.params_mut());
+        let json = state.to_json();
+        let back = StateDict::from_json(&json).unwrap();
+        assert_eq!(state, back);
+    }
+
+    #[test]
+    fn count_mismatch_is_detected() {
+        let mut a = net(1);
+        let state = StateDict { tensors: vec![] };
+        let err = load_state_dict(&mut a.params_mut(), &state).unwrap_err();
+        assert!(matches!(err, LoadError::CountMismatch { .. }));
+        assert!(err.to_string().contains("tensors"));
+    }
+
+    #[test]
+    fn shape_mismatch_is_detected_and_nothing_is_loaded() {
+        let mut a = net(1);
+        let mut wrong = state_dict(&mut a.params_mut());
+        wrong.tensors[2] = crate::matrix::Matrix::zeros(10, 10);
+        let before = state_dict(&mut a.params_mut());
+        let err = load_state_dict(&mut a.params_mut(), &wrong).unwrap_err();
+        assert!(matches!(err, LoadError::ShapeMismatch { index: 2, .. }));
+        // The failed load must not have partially overwritten parameters.
+        let after = state_dict(&mut a.params_mut());
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,309 @@
+//! Synthetic WebTables-style corpus generation.
+//!
+//! This is the data substrate that replaces the VizNet/WebTables corpus used
+//! by the paper (see DESIGN.md §2). Generation follows the paper's own
+//! generative story (Figure 3a): *intent → column types → column values*,
+//! with a long-tailed type distribution and realistic table shapes.
+
+use crate::intents::{sample_intent, TableIntent, INTENTS};
+use crate::table::{Column, Corpus, Table};
+use crate::types::SemanticType;
+use crate::values::ValueGenerator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the synthetic corpus generator.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of tables to generate (the paper's `D` has 80K; the default is
+    /// laptop-sized while keeping the same statistical structure).
+    pub num_tables: usize,
+    /// RNG seed; the corpus is a pure function of the configuration.
+    pub seed: u64,
+    /// Fraction of singleton (single-column) tables. The paper keeps them in
+    /// `D` but filters them out of `D_mult` (~59% of its 80K tables are
+    /// multi-column: 33K/80K ≈ 0.41 singletons).
+    pub singleton_fraction: f64,
+    /// Minimum number of columns for multi-column tables.
+    pub min_columns: usize,
+    /// Maximum number of columns for multi-column tables.
+    pub max_columns: usize,
+    /// Minimum number of rows per table.
+    pub min_rows: usize,
+    /// Maximum number of rows per table.
+    pub max_rows: usize,
+    /// Probability that an individual cell is missing (empty).
+    pub missing_cell_rate: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            num_tables: 2000,
+            seed: 42,
+            singleton_fraction: 0.4,
+            min_columns: 2,
+            max_columns: 6,
+            min_rows: 8,
+            max_rows: 40,
+            missing_cell_rate: 0.03,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// A small configuration for unit tests and doc examples.
+    pub fn tiny() -> Self {
+        CorpusConfig {
+            num_tables: 60,
+            seed: 7,
+            min_rows: 5,
+            max_rows: 12,
+            ..CorpusConfig::default()
+        }
+    }
+
+    /// Set the number of tables (builder style).
+    pub fn with_tables(mut self, n: usize) -> Self {
+        self.num_tables = n;
+        self
+    }
+
+    /// Set the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Synthetic corpus generator.
+#[derive(Debug, Clone)]
+pub struct CorpusGenerator {
+    config: CorpusConfig,
+    values: ValueGenerator,
+}
+
+impl CorpusGenerator {
+    /// Create a generator for the given configuration.
+    pub fn new(config: CorpusConfig) -> Self {
+        CorpusGenerator {
+            config,
+            values: ValueGenerator::new(),
+        }
+    }
+
+    /// Generate the full corpus `D` (singletons included).
+    pub fn generate(&self) -> Corpus {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let tables = (0..self.config.num_tables)
+            .map(|id| self.generate_table(id as u64, &mut rng))
+            .collect();
+        Corpus::new(tables)
+    }
+
+    /// Generate a single table.
+    fn generate_table(&self, id: u64, rng: &mut StdRng) -> Table {
+        let intent = sample_intent(rng);
+        let singleton = rng.gen_bool(self.config.singleton_fraction);
+        let num_cols = if singleton {
+            1
+        } else {
+            rng.gen_range(self.config.min_columns..=self.config.max_columns)
+        };
+        let num_rows = rng.gen_range(self.config.min_rows..=self.config.max_rows);
+        self.generate_table_with(id, intent, num_cols, num_rows, rng)
+    }
+
+    /// Generate a table with explicit intent and shape. Exposed so examples
+    /// and qualitative analyses (Table 4) can construct targeted scenarios.
+    pub fn generate_table_with(
+        &self,
+        id: u64,
+        intent: &TableIntent,
+        num_cols: usize,
+        num_rows: usize,
+        rng: &mut StdRng,
+    ) -> Table {
+        let types = intent.sample_types(num_cols, rng);
+        let columns: Vec<Column> = types
+            .iter()
+            .map(|ty| {
+                Column::new(self.values.generate_column(
+                    *ty,
+                    num_rows,
+                    self.config.missing_cell_rate,
+                    rng,
+                ))
+            })
+            .collect();
+        let mut table = Table::labelled(id, columns, types);
+        table.intent = Some(intent.name.to_string());
+        table
+    }
+
+    /// Generate a table for a *named* intent (panics on unknown name).
+    pub fn generate_for_intent(
+        &self,
+        id: u64,
+        intent_name: &str,
+        num_cols: usize,
+        num_rows: usize,
+        seed: u64,
+    ) -> Table {
+        let intent = INTENTS
+            .iter()
+            .find(|i| i.name == intent_name)
+            .unwrap_or_else(|| panic!("unknown intent {intent_name:?}"));
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.generate_table_with(id, intent, num_cols, num_rows, &mut rng)
+    }
+
+    /// The generator's value backend (useful for building ad-hoc columns).
+    pub fn values(&self) -> &ValueGenerator {
+        &self.values
+    }
+
+    /// The configuration this generator uses.
+    pub fn config(&self) -> &CorpusConfig {
+        &self.config
+    }
+}
+
+/// Convenience: generate the default evaluation corpus used across the
+/// benchmark binaries (`D`). `D_mult` is obtained with
+/// [`Corpus::multi_column_only`].
+pub fn default_corpus(num_tables: usize, seed: u64) -> Corpus {
+    CorpusGenerator::new(CorpusConfig {
+        num_tables,
+        seed,
+        ..CorpusConfig::default()
+    })
+    .generate()
+}
+
+/// Build the two motivating tables of Figure 1: Table A (influential people,
+/// whose last column is `birthPlace`) and Table B (European cities, whose
+/// first column is `city`), sharing identical city values.
+pub fn figure1_tables() -> (Table, Table) {
+    let shared_cities = ["Florence", "Warsaw", "London", "Braunschweig"];
+    let table_a = Table::labelled(
+        1_000_001,
+        vec![
+            Column::new(["Galileo Galilei", "Marie Curie", "Michael Faraday", "Carl Gauss"]),
+            Column::new(["1564-02-15", "1867-11-07", "1791-09-22", "1777-04-30"]),
+            Column::new(["Astronomy", "Physics", "Chemistry", "Mathematics"]),
+            Column::new(shared_cities),
+        ],
+        vec![
+            SemanticType::Name,
+            SemanticType::BirthDate,
+            SemanticType::Notes,
+            SemanticType::BirthPlace,
+        ],
+    );
+    let table_b = Table::labelled(
+        1_000_002,
+        vec![
+            Column::new(shared_cities),
+            Column::new(["Italy", "Poland", "United Kingdom", "Germany"]),
+            Column::new(["380,948", "1,777,972", "8,961,989", "248,502"]),
+        ],
+        vec![
+            SemanticType::City,
+            SemanticType::Country,
+            SemanticType::Capacity,
+        ],
+    );
+    (table_a, table_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_requested_size_and_labels() {
+        let corpus = default_corpus(200, 1);
+        assert_eq!(corpus.len(), 200);
+        for table in corpus.iter() {
+            assert!(table.is_labelled());
+            assert!(table.num_columns() >= 1);
+            assert!(table.num_rows() >= 5);
+            assert!(table.intent.is_some());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = default_corpus(50, 9);
+        let b = default_corpus(50, 9);
+        assert_eq!(a.tables, b.tables);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = default_corpus(50, 1);
+        let b = default_corpus(50, 2);
+        assert_ne!(a.tables, b.tables);
+    }
+
+    #[test]
+    fn singleton_fraction_is_respected_roughly() {
+        let corpus = default_corpus(1000, 3);
+        let singletons = corpus.iter().filter(|t| !t.is_multi_column()).count();
+        assert!(singletons > 300 && singletons < 500, "singletons={singletons}");
+        let mult = corpus.multi_column_only();
+        assert!(mult.iter().all(|t| t.is_multi_column()));
+    }
+
+    #[test]
+    fn type_distribution_is_long_tailed() {
+        let corpus = default_corpus(2000, 4);
+        let counts = corpus.type_counts();
+        let head: usize = counts.iter().take(10).map(|(_, c)| c).sum();
+        let tail: usize = counts.iter().rev().take(10).map(|(_, c)| c).sum();
+        assert!(
+            head > 5 * tail.max(1),
+            "expected a long tail: head={head} tail={tail}"
+        );
+        // The rarest types must still be observed at least occasionally so
+        // macro-F1 is well defined on a large corpus.
+        let observed = counts.iter().filter(|(_, c)| *c > 0).count();
+        assert!(observed > 70, "only {observed} types observed");
+    }
+
+    #[test]
+    fn every_column_matches_its_label_arity() {
+        let corpus = default_corpus(100, 5);
+        for table in corpus.iter() {
+            assert_eq!(table.columns.len(), table.labels.len());
+            let rows = table.num_rows();
+            for col in &table.columns {
+                assert_eq!(col.len(), rows);
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_tables_share_city_column_values() {
+        let (a, b) = figure1_tables();
+        assert_eq!(a.columns.last().unwrap(), &b.columns[0]);
+        assert_eq!(*a.labels.last().unwrap(), SemanticType::BirthPlace);
+        assert_eq!(b.labels[0], SemanticType::City);
+    }
+
+    #[test]
+    fn named_intent_generation() {
+        let gen = CorpusGenerator::new(CorpusConfig::tiny());
+        let t = gen.generate_for_intent(5, "music-catalogue", 4, 10, 11);
+        assert_eq!(t.num_columns(), 4);
+        assert_eq!(t.intent.as_deref(), Some("music-catalogue"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown intent")]
+    fn unknown_intent_panics() {
+        let gen = CorpusGenerator::new(CorpusConfig::tiny());
+        gen.generate_for_intent(5, "does-not-exist", 2, 5, 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Minimal CSV reading and writing for tables.
+//!
+//! The examples and the `csv_annotation` workflow load plain CSV files and
+//! annotate their columns; this module implements a small RFC-4180-ish
+//! parser (quoted fields, embedded commas/newlines, doubled quotes) without
+//! pulling in an external dependency.
+
+use crate::canonical::header_to_type;
+use crate::table::{Column, Table};
+use std::fmt::Write as _;
+
+/// Parse CSV text into rows of fields.
+pub fn parse_csv(text: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    row.push(std::mem::take(&mut field));
+                }
+                '\r' => {} // tolerate CRLF
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    rows
+}
+
+/// Escape a single CSV field if needed.
+fn escape_field(f: &str) -> String {
+    if f.contains(',') || f.contains('"') || f.contains('\n') || f.contains('\r') {
+        format!("\"{}\"", f.replace('"', "\"\""))
+    } else {
+        f.to_string()
+    }
+}
+
+/// Serialize rows of fields to CSV text (LF line endings).
+pub fn write_csv(rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|f| escape_field(f)).collect();
+        let _ = writeln!(out, "{}", line.join(","));
+    }
+    out
+}
+
+/// Convert CSV text (rows of cells, no header) into an unlabelled [`Table`].
+///
+/// Rows shorter than the widest row are padded with empty cells so all
+/// columns have equal length.
+pub fn table_from_csv(id: u64, text: &str, has_header: bool) -> Table {
+    let mut rows = parse_csv(text);
+    let header = if has_header && !rows.is_empty() {
+        Some(rows.remove(0))
+    } else {
+        None
+    };
+    let width = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut columns = vec![Vec::with_capacity(rows.len()); width];
+    for row in &rows {
+        for (c, col) in columns.iter_mut().enumerate() {
+            col.push(row.get(c).cloned().unwrap_or_default());
+        }
+    }
+    let columns: Vec<Column> = columns.into_iter().map(|values| Column { values }).collect();
+
+    // If a header is present, try to recover ground-truth labels through
+    // canonicalization; only attach them if *every* header maps to a known
+    // type (mirroring how the corpus was filtered in the paper).
+    if let Some(header) = header {
+        let labels: Vec<_> = header.iter().map(|h| header_to_type(h)).collect();
+        if labels.len() == columns.len() && labels.iter().all(Option::is_some) {
+            return Table::labelled(id, columns, labels.into_iter().flatten().collect());
+        }
+    }
+    Table::unlabelled(id, columns)
+}
+
+/// Serialize a table to CSV. When the table is labelled, the canonical type
+/// names are written as the header row.
+pub fn table_to_csv(table: &Table) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    if table.is_labelled() {
+        rows.push(table.labels.iter().map(|t| t.canonical_name().to_string()).collect());
+    }
+    let n_rows = table.num_rows();
+    for r in 0..n_rows {
+        rows.push(
+            table
+                .columns
+                .iter()
+                .map(|c| c.values.get(r).cloned().unwrap_or_default())
+                .collect(),
+        );
+    }
+    write_csv(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SemanticType;
+
+    #[test]
+    fn parse_simple_csv() {
+        let rows = parse_csv("a,b,c\n1,2,3\n");
+        assert_eq!(rows, vec![vec!["a", "b", "c"], vec!["1", "2", "3"]]);
+    }
+
+    #[test]
+    fn parse_quoted_fields() {
+        let rows = parse_csv("name,notes\n\"Smith, John\",\"said \"\"hi\"\"\"\n");
+        assert_eq!(rows[1][0], "Smith, John");
+        assert_eq!(rows[1][1], "said \"hi\"");
+    }
+
+    #[test]
+    fn parse_crlf_and_trailing_line() {
+        let rows = parse_csv("a,b\r\n1,2");
+        assert_eq!(rows, vec![vec!["a", "b"], vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn quoted_newline_stays_in_field() {
+        let rows = parse_csv("a,b\n\"line1\nline2\",x\n");
+        assert_eq!(rows[1][0], "line1\nline2");
+    }
+
+    #[test]
+    fn write_round_trips_through_parse() {
+        let rows = vec![
+            vec!["city".to_string(), "notes, extra".to_string()],
+            vec!["Warsaw".to_string(), "he said \"hi\"".to_string()],
+        ];
+        let text = write_csv(&rows);
+        assert_eq!(parse_csv(&text), rows);
+    }
+
+    #[test]
+    fn table_from_csv_with_recognized_header_is_labelled() {
+        let text = "City,Country\nWarsaw,Poland\nRome,Italy\n";
+        let t = table_from_csv(1, text, true);
+        assert!(t.is_labelled());
+        assert_eq!(t.labels, vec![SemanticType::City, SemanticType::Country]);
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn table_from_csv_with_unknown_header_is_unlabelled() {
+        let text = "population,city\n100,Warsaw\n";
+        let t = table_from_csv(2, text, true);
+        assert!(!t.is_labelled());
+        assert_eq!(t.num_columns(), 2);
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let text = "a,b,c\n1,2\n";
+        let t = table_from_csv(3, text, false);
+        assert_eq!(t.num_columns(), 3);
+        assert_eq!(t.columns[2].values, vec!["c", ""]);
+    }
+
+    #[test]
+    fn table_to_csv_round_trip() {
+        let table = Table::labelled(
+            9,
+            vec![
+                Column::new(["Warsaw", "Rome"]),
+                Column::new(["Poland", "Italy"]),
+            ],
+            vec![SemanticType::City, SemanticType::Country],
+        );
+        let text = table_to_csv(&table);
+        let back = table_from_csv(9, &text, true);
+        assert_eq!(back.labels, table.labels);
+        assert_eq!(back.columns, table.columns);
+    }
+}

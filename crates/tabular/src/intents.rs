@@ -1,0 +1,477 @@
+//! Table *intents*: the latent themes that drive which semantic types appear
+//! together in a synthetic table.
+//!
+//! Section 3.2 of the paper argues that every table is created with an intent
+//! in mind, that the intent determines the semantic types of the columns, and
+//! that the types in turn generate the values (Figure 3a). The synthetic
+//! corpus generator follows this generative story literally: it first samples
+//! an intent, then samples column types from the intent's type pool, then
+//! samples values from the per-type generators.
+//!
+//! The intent catalogue below is what produces the two statistical properties
+//! the paper's evaluation relies on:
+//! * the long-tailed type distribution of Figure 5 (head types such as
+//!   `name`, `description`, `type`, `year` appear in many intents with high
+//!   weight; tail types such as `organisation`, `continent`, `sales` appear
+//!   in few intents with low weight), and
+//! * the type co-occurrence structure of Figure 6 (e.g. `city`–`state`,
+//!   `age`–`weight`, `code`–`description`).
+
+use crate::types::SemanticType;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A latent table intent: a named theme plus a weighted pool of semantic
+/// types that such a table can express as columns.
+#[derive(Debug, Clone)]
+pub struct TableIntent {
+    /// Human readable intent name (e.g. `"person-biography"`). Stored on
+    /// generated tables for analysis only; never used by models.
+    pub name: &'static str,
+    /// Relative frequency of this intent among generated tables.
+    pub frequency: f64,
+    /// The types that a table with this intent may contain, with relative
+    /// weights. The first entries are the "core" attributes and get picked
+    /// more often.
+    pub type_pool: &'static [(SemanticType, f64)],
+}
+
+impl TableIntent {
+    /// Sample `k` distinct column types from the intent's pool, weighted.
+    ///
+    /// When `k` exceeds the pool size the whole pool is returned (shuffled).
+    pub fn sample_types(&self, k: usize, rng: &mut StdRng) -> Vec<SemanticType> {
+        let mut remaining: Vec<(SemanticType, f64)> = self.type_pool.to_vec();
+        let mut out = Vec::with_capacity(k.min(remaining.len()));
+        while out.len() < k && !remaining.is_empty() {
+            let total: f64 = remaining.iter().map(|(_, w)| *w).sum();
+            let mut target = rng.gen_range(0.0..total);
+            let mut idx = remaining.len() - 1;
+            for (i, (_, w)) in remaining.iter().enumerate() {
+                if target < *w {
+                    idx = i;
+                    break;
+                }
+                target -= *w;
+            }
+            out.push(remaining.remove(idx).0);
+        }
+        out
+    }
+}
+
+use SemanticType as T;
+
+/// The catalogue of intents used by the default synthetic corpus.
+pub const INTENTS: &[TableIntent] = &[
+    TableIntent {
+        name: "person-biography",
+        frequency: 10.0,
+        type_pool: &[
+            (T::Name, 3.0),
+            (T::BirthPlace, 1.6),
+            (T::BirthDate, 1.2),
+            (T::Nationality, 1.0),
+            (T::Age, 1.4),
+            (T::Sex, 0.8),
+            (T::Education, 0.6),
+            (T::Religion, 0.5),
+            (T::Notes, 0.8),
+            (T::Affiliation, 0.6),
+            (T::Person, 0.7),
+        ],
+    },
+    TableIntent {
+        name: "european-cities",
+        frequency: 8.0,
+        type_pool: &[
+            (T::City, 3.0),
+            (T::Country, 2.0),
+            (T::Region, 1.0),
+            (T::Area, 1.0),
+            (T::Elevation, 0.8),
+            (T::Capacity, 0.6),
+            (T::Continent, 0.5),
+            (T::Location, 1.0),
+            (T::Year, 0.8),
+        ],
+    },
+    TableIntent {
+        name: "us-places",
+        frequency: 9.0,
+        type_pool: &[
+            (T::City, 2.8),
+            (T::State, 3.0),
+            (T::County, 1.4),
+            (T::Location, 1.2),
+            (T::Area, 0.8),
+            (T::Elevation, 0.6),
+            (T::Address, 1.0),
+            (T::Status, 0.6),
+        ],
+    },
+    TableIntent {
+        name: "sports-roster",
+        frequency: 9.0,
+        type_pool: &[
+            (T::Name, 2.4),
+            (T::Team, 2.0),
+            (T::Position, 1.6),
+            (T::Age, 1.6),
+            (T::Weight, 1.4),
+            (T::Club, 1.2),
+            (T::Rank, 1.0),
+            (T::Result, 1.0),
+            (T::Status, 0.8),
+            (T::Plays, 0.6),
+            (T::Gender, 0.6),
+        ],
+    },
+    TableIntent {
+        name: "league-standings",
+        frequency: 7.0,
+        type_pool: &[
+            (T::TeamName, 2.0),
+            (T::Team, 1.6),
+            (T::Rank, 1.8),
+            (T::Result, 1.4),
+            (T::Plays, 1.2),
+            (T::Year, 1.2),
+            (T::Club, 1.0),
+            (T::Ranking, 0.6),
+            (T::Location, 0.6),
+        ],
+    },
+    TableIntent {
+        name: "horse-racing",
+        frequency: 4.0,
+        type_pool: &[
+            (T::Jockey, 2.0),
+            (T::Weight, 1.6),
+            (T::Age, 1.4),
+            (T::Rank, 1.2),
+            (T::Result, 1.0),
+            (T::Owner, 0.8),
+            (T::Status, 0.6),
+        ],
+    },
+    TableIntent {
+        name: "business-listings",
+        frequency: 8.0,
+        type_pool: &[
+            (T::Company, 2.2),
+            (T::Code, 1.8),
+            (T::Symbol, 1.4),
+            (T::Description, 2.0),
+            (T::Industry, 1.0),
+            (T::Sales, 0.8),
+            (T::Address, 0.8),
+            (T::Status, 0.8),
+            (T::Currency, 0.6),
+            (T::Owner, 0.6),
+        ],
+    },
+    TableIntent {
+        name: "books-and-publishing",
+        frequency: 5.0,
+        type_pool: &[
+            (T::Isbn, 1.6),
+            (T::Publisher, 1.4),
+            (T::Sales, 1.0),
+            (T::Symbol, 0.8),
+            (T::Company, 1.0),
+            (T::Description, 1.4),
+            (T::Year, 1.2),
+            (T::Format, 1.0),
+            (T::Creator, 0.8),
+            (T::Language, 0.8),
+        ],
+    },
+    TableIntent {
+        name: "music-catalogue",
+        frequency: 6.0,
+        type_pool: &[
+            (T::Artist, 2.2),
+            (T::Album, 1.8),
+            (T::Genre, 1.4),
+            (T::Duration, 1.4),
+            (T::Year, 1.6),
+            (T::Plays, 0.8),
+            (T::Format, 0.8),
+            (T::Publisher, 0.6),
+        ],
+    },
+    TableIntent {
+        name: "file-directory",
+        frequency: 5.0,
+        type_pool: &[
+            (T::FileSize, 1.6),
+            (T::Format, 1.6),
+            (T::Description, 1.6),
+            (T::Command, 1.0),
+            (T::Code, 1.0),
+            (T::Day, 0.8),
+            (T::Year, 0.8),
+            (T::Status, 0.8),
+            (T::Order, 0.6),
+        ],
+    },
+    TableIntent {
+        name: "product-inventory",
+        frequency: 6.0,
+        type_pool: &[
+            (T::Product, 1.8),
+            (T::Brand, 1.4),
+            (T::Manufacturer, 1.2),
+            (T::Category, 1.6),
+            (T::Sales, 0.9),
+            (T::Currency, 0.8),
+            (T::Code, 1.0),
+            (T::Description, 1.4),
+            (T::Weight, 0.8),
+            (T::Status, 0.6),
+        ],
+    },
+    TableIntent {
+        name: "biology-taxonomy",
+        frequency: 3.5,
+        type_pool: &[
+            (T::Species, 1.8),
+            (T::Family, 1.4),
+            (T::Classification, 1.2),
+            (T::Class, 1.2),
+            (T::Order, 1.0),
+            (T::Location, 0.8),
+            (T::Notes, 0.8),
+        ],
+    },
+    TableIntent {
+        name: "education-programs",
+        frequency: 3.5,
+        type_pool: &[
+            (T::Education, 1.4),
+            (T::Grades, 1.4),
+            (T::Requirement, 1.2),
+            (T::Affiliation, 1.0),
+            (T::Credit, 1.0),
+            (T::Language, 0.8),
+            (T::Duration, 0.8),
+            (T::Category, 0.8),
+            (T::Name, 1.0),
+        ],
+    },
+    TableIntent {
+        name: "transport-services",
+        frequency: 4.0,
+        type_pool: &[
+            (T::Service, 1.6),
+            (T::Operator, 1.2),
+            (T::Status, 1.2),
+            (T::Capacity, 1.0),
+            (T::Duration, 1.0),
+            (T::Location, 1.0),
+            (T::Day, 0.8),
+            (T::Range, 0.6),
+            (T::Code, 0.8),
+        ],
+    },
+    TableIntent {
+        name: "geography-features",
+        frequency: 4.0,
+        type_pool: &[
+            (T::Location, 1.8),
+            (T::Elevation, 1.4),
+            (T::Depth, 1.0),
+            (T::Area, 1.2),
+            (T::Country, 1.2),
+            (T::Region, 1.0),
+            (T::Continent, 0.7),
+            (T::Range, 0.8),
+            (T::Type, 1.0),
+        ],
+    },
+    TableIntent {
+        name: "movies-and-media",
+        frequency: 4.5,
+        type_pool: &[
+            (T::Director, 1.2),
+            (T::Creator, 1.0),
+            (T::Person, 1.0),
+            (T::Year, 1.6),
+            (T::Genre, 1.2),
+            (T::Duration, 1.2),
+            (T::Language, 1.0),
+            (T::Company, 0.8),
+            (T::Result, 0.6),
+            (T::Ranking, 0.7),
+        ],
+    },
+    TableIntent {
+        name: "museum-collections",
+        frequency: 2.5,
+        type_pool: &[
+            (T::Collection, 1.4),
+            (T::Creator, 1.0),
+            (T::Year, 1.2),
+            (T::Description, 1.4),
+            (T::Owner, 0.8),
+            (T::Location, 0.9),
+            (T::Category, 0.9),
+        ],
+    },
+    TableIntent {
+        name: "hardware-components",
+        frequency: 3.0,
+        type_pool: &[
+            (T::Component, 1.6),
+            (T::Manufacturer, 1.2),
+            (T::Code, 1.2),
+            (T::Weight, 0.9),
+            (T::Description, 1.3),
+            (T::Type, 1.1),
+            (T::Capacity, 0.7),
+            (T::Range, 0.6),
+        ],
+    },
+    TableIntent {
+        name: "organisation-directory",
+        frequency: 2.5,
+        type_pool: &[
+            (T::Organisation, 1.2),
+            (T::Affiliate, 1.0),
+            (T::Affiliation, 1.0),
+            (T::Address, 1.0),
+            (T::Industry, 0.9),
+            (T::Country, 0.9),
+            (T::Service, 0.7),
+            (T::Person, 0.8),
+        ],
+    },
+    TableIntent {
+        name: "demographics",
+        frequency: 3.0,
+        type_pool: &[
+            (T::Country, 1.4),
+            (T::Nationality, 1.1),
+            (T::Language, 1.1),
+            (T::Religion, 0.9),
+            (T::Continent, 0.8),
+            (T::Sex, 0.9),
+            (T::Age, 1.1),
+            (T::Origin, 0.9),
+        ],
+    },
+    TableIntent {
+        name: "generic-records",
+        frequency: 9.0,
+        type_pool: &[
+            (T::Name, 2.0),
+            (T::Type, 1.8),
+            (T::Description, 1.8),
+            (T::Year, 1.4),
+            (T::Category, 1.4),
+            (T::Status, 1.2),
+            (T::Code, 1.2),
+            (T::Notes, 1.0),
+            (T::Day, 0.8),
+            (T::Order, 0.6),
+            (T::Class, 1.0),
+        ],
+    },
+];
+
+/// Sample an intent index according to the catalogue frequencies.
+pub fn sample_intent(rng: &mut StdRng) -> &'static TableIntent {
+    let total: f64 = INTENTS.iter().map(|i| i.frequency).sum();
+    let mut target = rng.gen_range(0.0..total);
+    for intent in INTENTS {
+        if target < intent.frequency {
+            return intent;
+        }
+        target -= intent.frequency;
+    }
+    // Floating point edge; fall back to the last intent.
+    &INTENTS[INTENTS.len() - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn catalogue_is_nonempty_and_weights_positive() {
+        assert!(INTENTS.len() >= 15);
+        for intent in INTENTS {
+            assert!(intent.frequency > 0.0);
+            assert!(intent.type_pool.len() >= 5, "{} pool too small", intent.name);
+            assert!(intent.type_pool.iter().all(|(_, w)| *w > 0.0));
+        }
+    }
+
+    #[test]
+    fn every_semantic_type_is_reachable() {
+        let covered: HashSet<SemanticType> = INTENTS
+            .iter()
+            .flat_map(|i| i.type_pool.iter().map(|(t, _)| *t))
+            .collect();
+        for t in SemanticType::ALL {
+            assert!(covered.contains(&t), "type {t} unreachable from any intent");
+        }
+    }
+
+    #[test]
+    fn sample_types_returns_distinct_types() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for intent in INTENTS {
+            let types = intent.sample_types(4, &mut rng);
+            let set: HashSet<_> = types.iter().collect();
+            assert_eq!(set.len(), types.len(), "duplicate types from {}", intent.name);
+        }
+    }
+
+    #[test]
+    fn sample_types_caps_at_pool_size() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let intent = &INTENTS[0];
+        let types = intent.sample_types(1000, &mut rng);
+        assert_eq!(types.len(), intent.type_pool.len());
+    }
+
+    #[test]
+    fn sample_intent_respects_frequencies_roughly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut bio = 0usize;
+        let mut museum = 0usize;
+        for _ in 0..5000 {
+            let i = sample_intent(&mut rng);
+            if i.name == "person-biography" {
+                bio += 1;
+            }
+            if i.name == "museum-collections" {
+                museum += 1;
+            }
+        }
+        assert!(bio > museum, "frequent intent should be sampled more often");
+    }
+
+    #[test]
+    fn cooccurring_pairs_from_paper_share_an_intent() {
+        // Figure 6 highlights (city, state), (age, weight), (age, name),
+        // (code, description) as frequently co-occurring pairs.
+        let pairs = [
+            (T::City, T::State),
+            (T::Age, T::Weight),
+            (T::Age, T::Name),
+            (T::Code, T::Description),
+        ];
+        for (a, b) in pairs {
+            let ok = INTENTS.iter().any(|i| {
+                let types: HashSet<_> = i.type_pool.iter().map(|(t, _)| *t).collect();
+                types.contains(&a) && types.contains(&b)
+            });
+            assert!(ok, "pair ({a}, {b}) never co-occurs in any intent");
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Train/test splitting and k-fold cross-validation over tables.
+//!
+//! The paper performs 5-fold cross-validation at the *table* level: 80% of
+//! tables train the model, the held-out 20% are used for evaluation, and the
+//! process repeats for each fold (Section 4.1). Splitting by table rather
+//! than by column keeps all the columns of one table on the same side, which
+//! matters because Sato's prediction is table-wise.
+
+use crate::table::{Corpus, Table};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A single train/test partition of a corpus (tables are cloned so folds can
+/// be consumed independently).
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training tables.
+    pub train: Corpus,
+    /// Held-out evaluation tables.
+    pub test: Corpus,
+}
+
+/// Deterministically shuffle table indices for a seed.
+fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    idx
+}
+
+/// Split a corpus into a train and a test portion with the given test
+/// fraction (e.g. `0.2` reproduces the paper's 80/20 held-out evaluation).
+pub fn train_test_split(corpus: &Corpus, test_fraction: f64, seed: u64) -> Split {
+    assert!(
+        (0.0..1.0).contains(&test_fraction),
+        "test_fraction must be in [0, 1), got {test_fraction}"
+    );
+    let idx = shuffled_indices(corpus.len(), seed);
+    let test_size = ((corpus.len() as f64) * test_fraction).round() as usize;
+    let (test_idx, train_idx) = idx.split_at(test_size.min(corpus.len()));
+    Split {
+        train: gather(corpus, train_idx),
+        test: gather(corpus, test_idx),
+    }
+}
+
+/// Produce `k` cross-validation folds. Fold `i` uses partition `i` as the
+/// test set and the remaining partitions as training data. Every table
+/// appears in exactly one test set across the folds.
+pub fn k_fold(corpus: &Corpus, k: usize, seed: u64) -> Vec<Split> {
+    assert!(k >= 2, "k-fold requires k >= 2, got {k}");
+    assert!(
+        corpus.len() >= k,
+        "cannot build {k} folds from {} tables",
+        corpus.len()
+    );
+    let idx = shuffled_indices(corpus.len(), seed);
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, table_idx) in idx.into_iter().enumerate() {
+        folds[i % k].push(table_idx);
+    }
+    (0..k)
+        .map(|fold| {
+            let test_idx = &folds[fold];
+            let train_idx: Vec<usize> = folds
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != fold)
+                .flat_map(|(_, f)| f.iter().copied())
+                .collect();
+            Split {
+                train: gather(corpus, &train_idx),
+                test: gather(corpus, test_idx),
+            }
+        })
+        .collect()
+}
+
+fn gather(corpus: &Corpus, indices: &[usize]) -> Corpus {
+    Corpus::new(indices.iter().map(|&i| corpus.tables[i].clone()).collect())
+}
+
+/// Partition a corpus into two disjoint halves by table id parity; used to
+/// obtain the "held-out set of the WebTables corpus" the paper uses for the
+/// CRF pairwise-potential initialisation without touching the CV folds.
+pub fn holdout_by_parity(corpus: &Corpus) -> (Corpus, Corpus) {
+    let (even, odd): (Vec<Table>, Vec<Table>) = corpus
+        .tables
+        .iter()
+        .cloned()
+        .partition(|t| t.id % 2 == 0);
+    (Corpus::new(even), Corpus::new(odd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::default_corpus;
+    use std::collections::HashSet;
+
+    #[test]
+    fn train_test_split_sizes() {
+        let corpus = default_corpus(100, 1);
+        let split = train_test_split(&corpus, 0.2, 3);
+        assert_eq!(split.test.len(), 20);
+        assert_eq!(split.train.len(), 80);
+    }
+
+    #[test]
+    fn split_is_disjoint_and_covers_corpus() {
+        let corpus = default_corpus(50, 2);
+        let split = train_test_split(&corpus, 0.3, 5);
+        let train_ids: HashSet<u64> = split.train.iter().map(|t| t.id).collect();
+        let test_ids: HashSet<u64> = split.test.iter().map(|t| t.id).collect();
+        assert!(train_ids.is_disjoint(&test_ids));
+        assert_eq!(train_ids.len() + test_ids.len(), corpus.len());
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let corpus = default_corpus(40, 3);
+        let a = train_test_split(&corpus, 0.25, 9);
+        let b = train_test_split(&corpus, 0.25, 9);
+        let ids = |c: &Corpus| c.iter().map(|t| t.id).collect::<Vec<_>>();
+        assert_eq!(ids(&a.test), ids(&b.test));
+    }
+
+    #[test]
+    #[should_panic(expected = "test_fraction")]
+    fn invalid_fraction_panics() {
+        let corpus = default_corpus(10, 1);
+        train_test_split(&corpus, 1.5, 0);
+    }
+
+    #[test]
+    fn k_fold_covers_every_table_exactly_once() {
+        let corpus = default_corpus(53, 4);
+        let folds = k_fold(&corpus, 5, 11);
+        assert_eq!(folds.len(), 5);
+        let mut seen: Vec<u64> = Vec::new();
+        for fold in &folds {
+            assert_eq!(fold.train.len() + fold.test.len(), corpus.len());
+            seen.extend(fold.test.iter().map(|t| t.id));
+        }
+        seen.sort_unstable();
+        let mut expected: Vec<u64> = corpus.iter().map(|t| t.id).collect();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn k_fold_train_and_test_are_disjoint() {
+        let corpus = default_corpus(30, 5);
+        for fold in k_fold(&corpus, 3, 1) {
+            let train_ids: HashSet<u64> = fold.train.iter().map(|t| t.id).collect();
+            assert!(fold.test.iter().all(|t| !train_ids.contains(&t.id)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn k_fold_rejects_k1() {
+        let corpus = default_corpus(10, 1);
+        k_fold(&corpus, 1, 0);
+    }
+
+    #[test]
+    fn holdout_by_parity_is_disjoint() {
+        let corpus = default_corpus(21, 6);
+        let (even, odd) = holdout_by_parity(&corpus);
+        assert_eq!(even.len() + odd.len(), corpus.len());
+        assert!(even.iter().all(|t| t.id % 2 == 0));
+        assert!(odd.iter().all(|t| t.id % 2 == 1));
+    }
+}

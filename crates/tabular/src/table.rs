@@ -1,0 +1,295 @@
+//! Core table data model: columns of string cell values plus optional
+//! semantic-type labels, mirroring how the paper consumes WebTables.
+//!
+//! Headers are *not* part of the model used for prediction (the paper
+//! explicitly predicts from values only); labelled tables carry the
+//! ground-truth [`SemanticType`] per column, obtained in the real corpus by
+//! canonicalizing the original header.
+
+use crate::types::SemanticType;
+use serde::{Deserialize, Serialize};
+
+/// A single table column: an ordered list of cell values.
+///
+/// Cells are kept as strings (numeric cells are stored in their textual
+/// form), which is how the WebTables corpus and the Sherlock feature
+/// extractors treat them.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Column {
+    /// Cell values from top to bottom. Missing cells are empty strings.
+    pub values: Vec<String>,
+}
+
+impl Column {
+    /// Create a column from anything that yields string-like cells.
+    pub fn new<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Column {
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Number of cells (including empty ones).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the column has no cells at all.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of non-empty cells.
+    pub fn non_empty_count(&self) -> usize {
+        self.values.iter().filter(|v| !v.trim().is_empty()).count()
+    }
+
+    /// Iterate over the cell values.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.values.iter().map(String::as_str)
+    }
+}
+
+/// A relational table: an ordered sequence of columns, optionally labelled
+/// with ground-truth semantic types and carrying provenance metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Stable identifier (unique within a corpus).
+    pub id: u64,
+    /// The columns, left to right. The CRF treats this order as the chain.
+    pub columns: Vec<Column>,
+    /// Ground-truth semantic types, parallel to `columns`.
+    ///
+    /// Empty for unlabelled tables (e.g. tables loaded from CSV purely for
+    /// prediction).
+    pub labels: Vec<SemanticType>,
+    /// The latent intent the synthetic generator used (None for real tables).
+    ///
+    /// Models never look at this; it exists so experiments can verify that
+    /// the topic model recovers intent-like structure.
+    pub intent: Option<String>,
+}
+
+impl Table {
+    /// Build an unlabelled table (for prediction).
+    pub fn unlabelled(id: u64, columns: Vec<Column>) -> Self {
+        Table {
+            id,
+            columns,
+            labels: Vec::new(),
+            intent: None,
+        }
+    }
+
+    /// Build a labelled table. Panics if `labels.len() != columns.len()`.
+    pub fn labelled(id: u64, columns: Vec<Column>, labels: Vec<SemanticType>) -> Self {
+        assert_eq!(
+            columns.len(),
+            labels.len(),
+            "labels must be parallel to columns"
+        );
+        Table {
+            id,
+            columns,
+            labels,
+            intent: None,
+        }
+    }
+
+    /// Number of columns (`m` in the paper's notation).
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows (the length of the longest column).
+    pub fn num_rows(&self) -> usize {
+        self.columns.iter().map(Column::len).max().unwrap_or(0)
+    }
+
+    /// Whether ground-truth labels are available.
+    pub fn is_labelled(&self) -> bool {
+        !self.labels.is_empty() && self.labels.len() == self.columns.len()
+    }
+
+    /// A table is *multi-column* when it has at least two columns; singleton
+    /// tables are excluded from the paper's `D_mult` dataset because they
+    /// carry no table context.
+    pub fn is_multi_column(&self) -> bool {
+        self.columns.len() > 1
+    }
+
+    /// All cell values of the table flattened in column order.
+    ///
+    /// This is the paper's *global context* ("table values"): the document
+    /// handed to the LDA table-intent estimator.
+    pub fn all_values(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().flat_map(|c| c.iter())
+    }
+
+    /// Concatenate every cell into a single whitespace-separated "document"
+    /// string, the exact representation used to train/query the LDA model.
+    pub fn as_document(&self) -> String {
+        let mut doc = String::new();
+        for v in self.all_values() {
+            if !v.is_empty() {
+                if !doc.is_empty() {
+                    doc.push(' ');
+                }
+                doc.push_str(v);
+            }
+        }
+        doc
+    }
+}
+
+/// A collection of tables: the dataset `D` of the paper (or a fold of it).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Corpus {
+    /// The member tables.
+    pub tables: Vec<Table>,
+}
+
+impl Corpus {
+    /// Create a corpus from tables.
+    pub fn new(tables: Vec<Table>) -> Self {
+        Corpus { tables }
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when the corpus has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total number of labelled columns across all tables.
+    pub fn num_columns(&self) -> usize {
+        self.tables.iter().map(Table::num_columns).sum()
+    }
+
+    /// Restrict to multi-column tables: the paper's filtered dataset `D_mult`.
+    pub fn multi_column_only(&self) -> Corpus {
+        Corpus {
+            tables: self
+                .tables
+                .iter()
+                .filter(|t| t.is_multi_column())
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Per-type column counts (the data behind Figure 5).
+    pub fn type_counts(&self) -> Vec<(SemanticType, usize)> {
+        let mut counts = vec![0usize; crate::types::NUM_TYPES];
+        for table in &self.tables {
+            for label in &table.labels {
+                counts[label.index()] += 1;
+            }
+        }
+        let mut out: Vec<(SemanticType, usize)> = SemanticType::ALL
+            .iter()
+            .map(|t| (*t, counts[t.index()]))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.index().cmp(&b.0.index())));
+        out
+    }
+
+    /// Iterate over the tables.
+    pub fn iter(&self) -> impl Iterator<Item = &Table> {
+        self.tables.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        Table::labelled(
+            7,
+            vec![
+                Column::new(["Florence", "Warsaw", "London"]),
+                Column::new(["Italy", "Poland", "UK"]),
+            ],
+            vec![SemanticType::City, SemanticType::Country],
+        )
+    }
+
+    #[test]
+    fn column_counts_cells() {
+        let c = Column::new(["a", "", "  ", "b"]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.non_empty_count(), 2);
+        assert!(!c.is_empty());
+        assert!(Column::default().is_empty());
+    }
+
+    #[test]
+    fn table_dimensions() {
+        let t = sample_table();
+        assert_eq!(t.num_columns(), 2);
+        assert_eq!(t.num_rows(), 3);
+        assert!(t.is_labelled());
+        assert!(t.is_multi_column());
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn labelled_requires_parallel_labels() {
+        Table::labelled(0, vec![Column::new(["x"])], vec![]);
+    }
+
+    #[test]
+    fn document_flattens_in_column_order() {
+        let t = sample_table();
+        assert_eq!(
+            t.as_document(),
+            "Florence Warsaw London Italy Poland UK"
+        );
+        assert_eq!(t.all_values().count(), 6);
+    }
+
+    #[test]
+    fn unlabelled_table_is_not_labelled() {
+        let t = Table::unlabelled(1, vec![Column::new(["a"])]);
+        assert!(!t.is_labelled());
+        assert!(!t.is_multi_column());
+    }
+
+    #[test]
+    fn corpus_multi_column_filter() {
+        let corpus = Corpus::new(vec![
+            sample_table(),
+            Table::labelled(8, vec![Column::new(["42"])], vec![SemanticType::Age]),
+        ]);
+        assert_eq!(corpus.len(), 2);
+        assert_eq!(corpus.num_columns(), 3);
+        let mult = corpus.multi_column_only();
+        assert_eq!(mult.len(), 1);
+        assert!(mult.tables[0].is_multi_column());
+    }
+
+    #[test]
+    fn type_counts_are_sorted_descending() {
+        let corpus = Corpus::new(vec![sample_table(), sample_table()]);
+        let counts = corpus.type_counts();
+        assert_eq!(counts.len(), crate::types::NUM_TYPES);
+        assert_eq!(counts[0].1, 2); // city and country both occur twice
+        assert!(counts.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = sample_table();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,424 @@
+//! The registry of the 78 semantic types used throughout the Sato paper.
+//!
+//! The paper (Section 4.1) restricts itself to 78 semantic types that
+//! originate from the T2Dv2 gold standard and survive the canonicalization
+//! process described in the evaluation. The concrete list is taken from the
+//! type axis of Figure 5 of the paper.
+//!
+//! Each type is represented by a dense integer id (`SemanticType as usize`)
+//! so that models can use it directly as a class index, and by its canonical
+//! camel-case name (e.g. `birthPlace`) used for matching column headers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Number of semantic types supported by the classifier (the paper's `|T|`).
+pub const NUM_TYPES: usize = 78;
+
+/// A semantic column type, e.g. `city`, `birthPlace` or `sales`.
+///
+/// The discriminant values are stable and densely packed in `0..NUM_TYPES`,
+/// which makes `SemanticType` directly usable as a class index for the
+/// neural network and the CRF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+#[allow(missing_docs)] // the canonical names below document every variant
+pub enum SemanticType {
+    Name = 0,
+    Description,
+    Team,
+    Type,
+    Age,
+    Location,
+    Year,
+    City,
+    Rank,
+    Status,
+    State,
+    Category,
+    Weight,
+    Code,
+    Club,
+    Artist,
+    Result,
+    Position,
+    Country,
+    Notes,
+    Class,
+    Company,
+    Album,
+    Symbol,
+    Address,
+    Duration,
+    Format,
+    County,
+    Day,
+    Gender,
+    Industry,
+    Language,
+    Sex,
+    Product,
+    Jockey,
+    Region,
+    Area,
+    Service,
+    TeamName,
+    Order,
+    Isbn,
+    FileSize,
+    Grades,
+    Publisher,
+    Plays,
+    Origin,
+    Elevation,
+    Affiliation,
+    Component,
+    Owner,
+    Genre,
+    Manufacturer,
+    Brand,
+    Family,
+    Credit,
+    Depth,
+    Classification,
+    Collection,
+    Species,
+    Command,
+    Nationality,
+    Currency,
+    Range,
+    Affiliate,
+    BirthDate,
+    Ranking,
+    Capacity,
+    BirthPlace,
+    Person,
+    Creator,
+    Operator,
+    Religion,
+    Education,
+    Requirement,
+    Director,
+    Sales,
+    Continent,
+    Organisation,
+}
+
+impl SemanticType {
+    /// All 78 semantic types in id order (the order of Figure 5 of the paper,
+    /// which is descending frequency in the WebTables sample).
+    pub const ALL: [SemanticType; NUM_TYPES] = [
+        SemanticType::Name,
+        SemanticType::Description,
+        SemanticType::Team,
+        SemanticType::Type,
+        SemanticType::Age,
+        SemanticType::Location,
+        SemanticType::Year,
+        SemanticType::City,
+        SemanticType::Rank,
+        SemanticType::Status,
+        SemanticType::State,
+        SemanticType::Category,
+        SemanticType::Weight,
+        SemanticType::Code,
+        SemanticType::Club,
+        SemanticType::Artist,
+        SemanticType::Result,
+        SemanticType::Position,
+        SemanticType::Country,
+        SemanticType::Notes,
+        SemanticType::Class,
+        SemanticType::Company,
+        SemanticType::Album,
+        SemanticType::Symbol,
+        SemanticType::Address,
+        SemanticType::Duration,
+        SemanticType::Format,
+        SemanticType::County,
+        SemanticType::Day,
+        SemanticType::Gender,
+        SemanticType::Industry,
+        SemanticType::Language,
+        SemanticType::Sex,
+        SemanticType::Product,
+        SemanticType::Jockey,
+        SemanticType::Region,
+        SemanticType::Area,
+        SemanticType::Service,
+        SemanticType::TeamName,
+        SemanticType::Order,
+        SemanticType::Isbn,
+        SemanticType::FileSize,
+        SemanticType::Grades,
+        SemanticType::Publisher,
+        SemanticType::Plays,
+        SemanticType::Origin,
+        SemanticType::Elevation,
+        SemanticType::Affiliation,
+        SemanticType::Component,
+        SemanticType::Owner,
+        SemanticType::Genre,
+        SemanticType::Manufacturer,
+        SemanticType::Brand,
+        SemanticType::Family,
+        SemanticType::Credit,
+        SemanticType::Depth,
+        SemanticType::Classification,
+        SemanticType::Collection,
+        SemanticType::Species,
+        SemanticType::Command,
+        SemanticType::Nationality,
+        SemanticType::Currency,
+        SemanticType::Range,
+        SemanticType::Affiliate,
+        SemanticType::BirthDate,
+        SemanticType::Ranking,
+        SemanticType::Capacity,
+        SemanticType::BirthPlace,
+        SemanticType::Person,
+        SemanticType::Creator,
+        SemanticType::Operator,
+        SemanticType::Religion,
+        SemanticType::Education,
+        SemanticType::Requirement,
+        SemanticType::Director,
+        SemanticType::Sales,
+        SemanticType::Continent,
+        SemanticType::Organisation,
+    ];
+
+    /// Dense class index in `0..NUM_TYPES`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`SemanticType::index`]. Returns `None` when `idx >= NUM_TYPES`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Option<SemanticType> {
+        Self::ALL.get(idx).copied()
+    }
+
+    /// The canonical camel-case name used by the paper (and by the
+    /// canonicalized column headers), e.g. `"birthPlace"` or `"fileSize"`.
+    pub fn canonical_name(self) -> &'static str {
+        match self {
+            SemanticType::Name => "name",
+            SemanticType::Description => "description",
+            SemanticType::Team => "team",
+            SemanticType::Type => "type",
+            SemanticType::Age => "age",
+            SemanticType::Location => "location",
+            SemanticType::Year => "year",
+            SemanticType::City => "city",
+            SemanticType::Rank => "rank",
+            SemanticType::Status => "status",
+            SemanticType::State => "state",
+            SemanticType::Category => "category",
+            SemanticType::Weight => "weight",
+            SemanticType::Code => "code",
+            SemanticType::Club => "club",
+            SemanticType::Artist => "artist",
+            SemanticType::Result => "result",
+            SemanticType::Position => "position",
+            SemanticType::Country => "country",
+            SemanticType::Notes => "notes",
+            SemanticType::Class => "class",
+            SemanticType::Company => "company",
+            SemanticType::Album => "album",
+            SemanticType::Symbol => "symbol",
+            SemanticType::Address => "address",
+            SemanticType::Duration => "duration",
+            SemanticType::Format => "format",
+            SemanticType::County => "county",
+            SemanticType::Day => "day",
+            SemanticType::Gender => "gender",
+            SemanticType::Industry => "industry",
+            SemanticType::Language => "language",
+            SemanticType::Sex => "sex",
+            SemanticType::Product => "product",
+            SemanticType::Jockey => "jockey",
+            SemanticType::Region => "region",
+            SemanticType::Area => "area",
+            SemanticType::Service => "service",
+            SemanticType::TeamName => "teamName",
+            SemanticType::Order => "order",
+            SemanticType::Isbn => "isbn",
+            SemanticType::FileSize => "fileSize",
+            SemanticType::Grades => "grades",
+            SemanticType::Publisher => "publisher",
+            SemanticType::Plays => "plays",
+            SemanticType::Origin => "origin",
+            SemanticType::Elevation => "elevation",
+            SemanticType::Affiliation => "affiliation",
+            SemanticType::Component => "component",
+            SemanticType::Owner => "owner",
+            SemanticType::Genre => "genre",
+            SemanticType::Manufacturer => "manufacturer",
+            SemanticType::Brand => "brand",
+            SemanticType::Family => "family",
+            SemanticType::Credit => "credit",
+            SemanticType::Depth => "depth",
+            SemanticType::Classification => "classification",
+            SemanticType::Collection => "collection",
+            SemanticType::Species => "species",
+            SemanticType::Command => "command",
+            SemanticType::Nationality => "nationality",
+            SemanticType::Currency => "currency",
+            SemanticType::Range => "range",
+            SemanticType::Affiliate => "affiliate",
+            SemanticType::BirthDate => "birthDate",
+            SemanticType::Ranking => "ranking",
+            SemanticType::Capacity => "capacity",
+            SemanticType::BirthPlace => "birthPlace",
+            SemanticType::Person => "person",
+            SemanticType::Creator => "creator",
+            SemanticType::Operator => "operator",
+            SemanticType::Religion => "religion",
+            SemanticType::Education => "education",
+            SemanticType::Requirement => "requirement",
+            SemanticType::Director => "director",
+            SemanticType::Sales => "sales",
+            SemanticType::Continent => "continent",
+            SemanticType::Organisation => "organisation",
+        }
+    }
+
+    /// Look up a semantic type from its canonical name.
+    pub fn from_canonical_name(name: &str) -> Option<SemanticType> {
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|t| t.canonical_name() == name)
+    }
+
+    /// Whether the values of this type are predominantly numeric.
+    ///
+    /// Used by value generators and by the statistics feature extractor tests;
+    /// mirrors the paper's observation (Section 5.7) that numerical columns
+    /// such as `duration`, `sales`, `age`, `weight`, `code` are particularly
+    /// ambiguous for single-column models.
+    pub fn is_numeric(self) -> bool {
+        matches!(
+            self,
+            SemanticType::Age
+                | SemanticType::Year
+                | SemanticType::Rank
+                | SemanticType::Weight
+                | SemanticType::Duration
+                | SemanticType::FileSize
+                | SemanticType::Plays
+                | SemanticType::Elevation
+                | SemanticType::Depth
+                | SemanticType::Sales
+                | SemanticType::Ranking
+                | SemanticType::Capacity
+                | SemanticType::Order
+                | SemanticType::Credit
+                | SemanticType::Area
+                | SemanticType::Isbn
+        )
+    }
+}
+
+impl fmt::Display for SemanticType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.canonical_name())
+    }
+}
+
+/// Error returned when parsing an unknown semantic type name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownTypeError(pub String);
+
+impl fmt::Display for UnknownTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown semantic type: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownTypeError {}
+
+impl FromStr for SemanticType {
+    type Err = UnknownTypeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        SemanticType::from_canonical_name(s).ok_or_else(|| UnknownTypeError(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn there_are_exactly_78_types() {
+        assert_eq!(SemanticType::ALL.len(), NUM_TYPES);
+        assert_eq!(NUM_TYPES, 78);
+    }
+
+    #[test]
+    fn indices_are_dense_and_stable() {
+        for (i, t) in SemanticType::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+            assert_eq!(SemanticType::from_index(i), Some(*t));
+        }
+        assert_eq!(SemanticType::from_index(NUM_TYPES), None);
+    }
+
+    #[test]
+    fn canonical_names_are_unique() {
+        let names: HashSet<&str> = SemanticType::ALL.iter().map(|t| t.canonical_name()).collect();
+        assert_eq!(names.len(), NUM_TYPES);
+    }
+
+    #[test]
+    fn canonical_name_round_trips() {
+        for t in SemanticType::ALL {
+            assert_eq!(SemanticType::from_canonical_name(t.canonical_name()), Some(t));
+            assert_eq!(t.canonical_name().parse::<SemanticType>().unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn from_str_rejects_unknown_names() {
+        assert!("population".parse::<SemanticType>().is_err());
+        assert!("".parse::<SemanticType>().is_err());
+    }
+
+    #[test]
+    fn display_matches_canonical_name() {
+        assert_eq!(SemanticType::BirthPlace.to_string(), "birthPlace");
+        assert_eq!(SemanticType::FileSize.to_string(), "fileSize");
+        assert_eq!(SemanticType::Organisation.to_string(), "organisation");
+    }
+
+    #[test]
+    fn figure5_head_types_have_small_indices() {
+        // Figure 5 orders types by descending frequency; the head of the
+        // long-tail distribution must come first so the corpus generator can
+        // reuse the index as a frequency rank.
+        assert_eq!(SemanticType::Name.index(), 0);
+        assert!(SemanticType::Description.index() < SemanticType::Sales.index());
+        assert!(SemanticType::City.index() < SemanticType::BirthPlace.index());
+    }
+
+    #[test]
+    fn numeric_flag_covers_expected_types() {
+        assert!(SemanticType::Age.is_numeric());
+        assert!(SemanticType::Sales.is_numeric());
+        assert!(!SemanticType::City.is_numeric());
+        assert!(!SemanticType::Name.is_numeric());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = SemanticType::BirthPlace;
+        let json = serde_json::to_string(&t).unwrap();
+        let back: SemanticType = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,664 @@
+//! Per-type cell value generators and the shared vocabularies behind them.
+//!
+//! The real Sato system learns from the VizNet/WebTables corpus; this module
+//! is the substitute substrate (see DESIGN.md §2): a deterministic, seedable
+//! generator that produces realistic cell values for each of the 78 semantic
+//! types. Two properties of the real data are deliberately preserved because
+//! the paper's results depend on them:
+//!
+//! 1. **Cross-type value ambiguity.** Confusable types share vocabulary
+//!    pools — `city`, `birthPlace` and `location` all draw city names;
+//!    `name`, `person`, `artist`, `director`, `jockey`, `creator` all draw
+//!    person names; many numeric types overlap in range. A single-column
+//!    model therefore cannot fully separate them, exactly as in Figure 1 of
+//!    the paper.
+//! 2. **Realistic surface forms.** Character distributions, lengths and the
+//!    mixture of numeric/textual cells differ across types, so the Sherlock
+//!    feature groups still carry useful signal.
+
+use crate::types::SemanticType;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Shared vocabulary pools. Exposed publicly so the feature extractors, the
+/// topic model tests and the examples can build in-distribution tables.
+pub mod vocab {
+    /// City names (shared by `city`, `birthPlace`, `location`, `address`).
+    pub const CITIES: &[&str] = &[
+        "Florence", "Warsaw", "London", "Braunschweig", "Paris", "Berlin", "Madrid", "Rome",
+        "Vienna", "Prague", "Lisbon", "Dublin", "Amsterdam", "Brussels", "Copenhagen", "Oslo",
+        "Stockholm", "Helsinki", "Athens", "Budapest", "Zurich", "Geneva", "Munich", "Hamburg",
+        "Milan", "Naples", "Turin", "Porto", "Seville", "Valencia", "Krakow", "Gdansk",
+        "Chicago", "Boston", "Denver", "Austin", "Portland", "Seattle", "Toronto", "Montreal",
+        "Kyoto", "Osaka", "Nagoya", "Shanghai", "Mumbai", "Nairobi", "Lagos", "Lima",
+    ];
+
+    /// Country names (shared by `country`, `origin`, `nationality` partially).
+    pub const COUNTRIES: &[&str] = &[
+        "Italy", "Poland", "United Kingdom", "Germany", "France", "Spain", "Austria", "Czechia",
+        "Portugal", "Ireland", "Netherlands", "Belgium", "Denmark", "Norway", "Sweden", "Finland",
+        "Greece", "Hungary", "Switzerland", "Japan", "China", "India", "Kenya", "Nigeria",
+        "Peru", "Brazil", "Canada", "United States", "Mexico", "Australia", "New Zealand",
+        "Argentina", "Chile", "Egypt", "Morocco", "Turkey", "Ukraine", "Romania",
+    ];
+
+    /// Nationality adjectives (shared by `nationality` and `origin`).
+    pub const NATIONALITIES: &[&str] = &[
+        "Italian", "Polish", "British", "German", "French", "Spanish", "Austrian", "Czech",
+        "Portuguese", "Irish", "Dutch", "Belgian", "Danish", "Norwegian", "Swedish", "Finnish",
+        "Greek", "Hungarian", "Swiss", "Japanese", "Chinese", "Indian", "Kenyan", "Nigerian",
+        "Peruvian", "Brazilian", "Canadian", "American", "Mexican", "Australian",
+    ];
+
+    /// Continents.
+    pub const CONTINENTS: &[&str] = &[
+        "Europe", "Asia", "Africa", "North America", "South America", "Oceania", "Antarctica",
+    ];
+
+    /// Given names (shared by every person-like type).
+    pub const FIRST_NAMES: &[&str] = &[
+        "Ada", "Alan", "Grace", "Marie", "Nikola", "Isaac", "Albert", "Rosalind", "Charles",
+        "Dorothy", "Leonhard", "Emmy", "Niels", "Lise", "Richard", "Barbara", "James", "Katherine",
+        "Sofia", "Carlos", "Elena", "Marco", "Hannah", "Victor", "Amelia", "Oscar", "Lucia",
+        "Hugo", "Clara", "Felix", "Nora", "Ivan", "Maja", "Leo", "Ines", "Tomas",
+    ];
+
+    /// Family names (shared by every person-like type).
+    pub const LAST_NAMES: &[&str] = &[
+        "Lovelace", "Turing", "Hopper", "Curie", "Tesla", "Newton", "Einstein", "Franklin",
+        "Darwin", "Hodgkin", "Euler", "Noether", "Bohr", "Meitner", "Feynman", "McClintock",
+        "Maxwell", "Johnson", "Kowalska", "Garcia", "Rossi", "Novak", "Schmidt", "Dubois",
+        "Silva", "Tanaka", "Okafor", "Mwangi", "Larsen", "Virtanen", "Papadopoulos", "Nagy",
+    ];
+
+    /// Company-ish organisation names (shared by `company`, `manufacturer`,
+    /// `brand`, `publisher`, `affiliation`, `organisation`, `operator`).
+    pub const ORGANISATIONS: &[&str] = &[
+        "Acme Corp", "Globex", "Initech", "Umbrella Industries", "Stark Labs", "Wayne Enterprises",
+        "Northwind Traders", "Contoso", "Fabrikam", "Tailspin Toys", "Wingtip Press", "Lakeshore Media",
+        "Redwood Systems", "Bluepeak Energy", "Ironclad Motors", "Sunrise Foods", "Vertex Pharma",
+        "Atlas Logistics", "Orion Aerospace", "Cascade Software", "Pinnacle Bank", "Meridian Telecom",
+        "Harbor Shipping", "Summit Retail", "Quantum Devices", "Helios Solar", "Nimbus Cloudworks",
+        "Granite Construction", "Aurora Studios", "Beacon Insurance",
+    ];
+
+    /// Sports team names (shared by `team`, `teamName`, `club`).
+    pub const TEAMS: &[&str] = &[
+        "Rovers", "United", "Wanderers", "Athletic", "City", "Dynamo", "Sporting", "Olympic",
+        "Falcons", "Tigers", "Sharks", "Eagles", "Wolves", "Bears", "Lions", "Hawks",
+        "Mariners", "Pioneers", "Rangers", "Royals", "Saints", "Titans", "Comets", "Chargers",
+    ];
+
+    /// Town prefixes used to compose team/club names.
+    pub const TEAM_PREFIXES: &[&str] = &[
+        "North", "South", "East", "West", "Lake", "River", "Hill", "Port", "New", "Old",
+        "Green", "Red", "Silver", "Golden", "Iron", "Stone",
+    ];
+
+    /// Album-like two/three word titles (`album`, `collection`, `product` partially).
+    pub const TITLE_WORDS: &[&str] = &[
+        "Midnight", "Echo", "Horizon", "Velvet", "Neon", "Silent", "Golden", "Electric",
+        "Crimson", "Winter", "Summer", "Shadow", "Light", "River", "Stone", "Glass",
+        "Paper", "Wild", "Blue", "Scarlet", "Hidden", "Broken", "Rising", "Falling",
+    ];
+
+    /// Music genres (`genre`).
+    pub const GENRES: &[&str] = &[
+        "Rock", "Jazz", "Classical", "Hip Hop", "Electronic", "Folk", "Blues", "Reggae",
+        "Country", "Metal", "Pop", "Ambient", "Soul", "Funk", "Opera", "Punk",
+    ];
+
+    /// Languages (`language`).
+    pub const LANGUAGES: &[&str] = &[
+        "English", "Polish", "Italian", "German", "French", "Spanish", "Portuguese", "Dutch",
+        "Swedish", "Finnish", "Greek", "Hungarian", "Japanese", "Mandarin", "Hindi", "Swahili",
+        "Arabic", "Russian", "Korean", "Turkish",
+    ];
+
+    /// Religions (`religion`).
+    pub const RELIGIONS: &[&str] = &[
+        "Christianity", "Islam", "Hinduism", "Buddhism", "Judaism", "Sikhism", "Shinto",
+        "Taoism", "Jainism", "None",
+    ];
+
+    /// Species common names (`species`).
+    pub const SPECIES: &[&str] = &[
+        "Red Fox", "Gray Wolf", "Brown Bear", "Snow Leopard", "Bald Eagle", "Barn Owl",
+        "Atlantic Salmon", "Monarch Butterfly", "Green Sea Turtle", "African Elephant",
+        "Bengal Tiger", "Blue Whale", "Emperor Penguin", "Honey Bee", "Garden Snail",
+        "Fire Salamander",
+    ];
+
+    /// Biological families (`family` in the taxonomic sense, also surnames above).
+    pub const TAXON_FAMILIES: &[&str] = &[
+        "Canidae", "Felidae", "Ursidae", "Accipitridae", "Strigidae", "Salmonidae",
+        "Nymphalidae", "Cheloniidae", "Elephantidae", "Balaenopteridae", "Apidae", "Helicidae",
+    ];
+
+    /// Education levels (`education`).
+    pub const EDUCATION_LEVELS: &[&str] = &[
+        "High School Diploma", "Bachelor of Science", "Bachelor of Arts", "Master of Science",
+        "Master of Arts", "PhD", "Associate Degree", "Vocational Certificate", "MBA",
+    ];
+
+    /// Industries (`industry`).
+    pub const INDUSTRIES: &[&str] = &[
+        "Automotive", "Banking", "Telecommunications", "Healthcare", "Retail", "Energy",
+        "Aerospace", "Agriculture", "Construction", "Software", "Pharmaceuticals", "Logistics",
+        "Hospitality", "Insurance", "Publishing", "Mining",
+    ];
+
+    /// Services (`service`).
+    pub const SERVICES: &[&str] = &[
+        "Express Delivery", "Night Bus", "Car Rental", "Cloud Hosting", "Broadband", "Catering",
+        "House Cleaning", "Tax Advisory", "Translation", "Equipment Repair", "Ferry", "Shuttle",
+    ];
+
+    /// Products (`product`).
+    pub const PRODUCTS: &[&str] = &[
+        "Laptop Pro 14", "Espresso Maker X2", "Trail Running Shoes", "Noise Cancelling Headphones",
+        "Electric Kettle", "Mountain Bike 29", "Smart Thermostat", "Gaming Mouse", "Office Chair",
+        "Air Purifier", "Robot Vacuum", "Standing Desk", "Water Bottle 750ml", "Solar Charger",
+    ];
+
+    /// Mechanical / electronic components (`component`).
+    pub const COMPONENTS: &[&str] = &[
+        "Resistor", "Capacitor", "Gearbox", "Piston", "Crankshaft", "Voltage Regulator",
+        "Heat Sink", "Bearing", "Camshaft", "Microcontroller", "Relay", "Fuel Pump", "Inverter",
+        "Transducer", "Actuator", "Flywheel",
+    ];
+
+    /// Museum/library collections (`collection`).
+    pub const COLLECTIONS: &[&str] = &[
+        "Renaissance Paintings", "Ancient Coins", "Modern Sculpture", "Rare Manuscripts",
+        "Impressionist Works", "Medieval Armor", "Natural History Specimens", "Folk Textiles",
+        "Photography Archive", "Decorative Arts",
+    ];
+
+    /// Currencies (`currency`).
+    pub const CURRENCIES: &[&str] = &[
+        "USD", "EUR", "GBP", "JPY", "PLN", "CHF", "SEK", "NOK", "DKK", "CAD", "AUD", "INR",
+        "BRL", "CNY", "KES", "MXN",
+    ];
+
+    /// Shell-like commands (`command`).
+    pub const COMMANDS: &[&str] = &[
+        "ls -la", "git status", "make build", "cargo test", "docker run", "kubectl get pods",
+        "rm -rf tmp", "cp src dst", "grep -r TODO", "tar -xzf data.tar.gz", "ping 10.0.0.1",
+        "ssh admin@host", "chmod +x run.sh", "curl -s api/v1/health",
+    ];
+
+    /// File formats (`format`).
+    pub const FORMATS: &[&str] = &[
+        "PDF", "CSV", "JSON", "XML", "MP3", "MP4", "PNG", "JPEG", "DOCX", "XLSX", "TXT", "WAV",
+        "FLAC", "EPUB", "ZIP", "Paperback", "Hardcover", "Vinyl", "DVD", "Blu-ray",
+    ];
+
+    /// Week days (`day`).
+    pub const DAYS: &[&str] = &[
+        "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday",
+    ];
+
+    /// Genders (`gender`, `sex`).
+    pub const GENDERS: &[&str] = &["Male", "Female", "M", "F", "Other"];
+
+    /// Status values (`status`).
+    pub const STATUSES: &[&str] = &[
+        "Active", "Inactive", "Pending", "Completed", "Cancelled", "On Hold", "Approved",
+        "Rejected", "Open", "Closed", "Draft", "Archived",
+    ];
+
+    /// Match / experiment results (`result`).
+    pub const RESULTS: &[&str] = &[
+        "Win", "Loss", "Draw", "W", "L", "D", "3-1", "2-2", "0-1", "Pass", "Fail", "DNF",
+    ];
+
+    /// Generic categories (`category`, `class`, `type`, `classification`).
+    pub const CATEGORIES: &[&str] = &[
+        "Standard", "Premium", "Economy", "Deluxe", "Basic", "Advanced", "Junior", "Senior",
+        "Amateur", "Professional", "Heavyweight", "Lightweight", "Compact", "Full-size",
+        "Residential", "Commercial", "Public", "Private", "Indoor", "Outdoor",
+    ];
+
+    /// Player positions (`position`).
+    pub const POSITIONS: &[&str] = &[
+        "Goalkeeper", "Defender", "Midfielder", "Forward", "Striker", "Pitcher", "Catcher",
+        "Point Guard", "Center", "Wing", "Fullback", "Prop", "Scrum-half", "Libero",
+    ];
+
+    /// Letter grades (`grades`).
+    pub const GRADES: &[&str] = &["A+", "A", "A-", "B+", "B", "B-", "C+", "C", "D", "F"];
+
+    /// Requirements (`requirement`).
+    pub const REQUIREMENTS: &[&str] = &[
+        "Valid passport", "Two years experience", "Safety certification", "Background check",
+        "Driver license", "First aid training", "Security clearance", "Portfolio review",
+        "Language proficiency", "Minimum age 18",
+    ];
+
+    /// Religion-neutral street names for `address`.
+    pub const STREETS: &[&str] = &[
+        "Main St", "Oak Ave", "River Rd", "Church Ln", "Station Rd", "High St", "Park Blvd",
+        "Mill Lane", "Bridge St", "Market Sq", "King St", "Queen Ave", "Cedar Ct", "Elm Dr",
+    ];
+
+    /// US states (`state`).
+    pub const STATES: &[&str] = &[
+        "California", "Texas", "New York", "Florida", "Ohio", "Illinois", "Oregon", "Washington",
+        "Colorado", "Georgia", "Arizona", "Michigan", "Virginia", "Massachusetts", "CA", "TX",
+        "NY", "FL", "OH", "IL",
+    ];
+
+    /// Counties (`county`).
+    pub const COUNTIES: &[&str] = &[
+        "Kent", "Essex", "Surrey", "Yorkshire", "Cork", "Galway", "Dane County", "Cook County",
+        "Orange County", "King County", "Devon", "Norfolk", "Suffolk", "Cumbria",
+    ];
+
+    /// Regions (`region`).
+    pub const REGIONS: &[&str] = &[
+        "Tuscany", "Bavaria", "Catalonia", "Provence", "Andalusia", "Silesia", "Lombardy",
+        "Scandinavia", "Midwest", "Pacific Northwest", "New England", "Outback", "Patagonia",
+        "Lapland",
+    ];
+
+    /// Religion of the art: description sentence fragments (`description`, `notes`).
+    pub const DESCRIPTION_PHRASES: &[&str] = &[
+        "limited edition release", "updated quarterly", "includes free shipping",
+        "award winning design", "out of print", "subject to availability", "best seller in 2019",
+        "requires assembly", "hand crafted in small batches", "discontinued model",
+        "available in three colors", "new improved formula", "officially licensed",
+        "restored original", "second revised edition", "field recording",
+    ];
+
+    /// Occupation-ish affiliations for persons (`affiliation`, `affiliate`).
+    pub const AFFILIATIONS: &[&str] = &[
+        "University of Bologna", "Royal Society", "National Observatory", "Institute of Physics",
+        "Academy of Sciences", "Conservatory of Music", "Polytechnic Institute", "Medical College",
+        "School of Economics", "Astronomical Union", "Historical Society", "Chamber of Commerce",
+    ];
+
+    /// Owner-ish mixed names (person or org) for `owner`, `operator`, `creator`.
+    pub const STOCK_SYMBOLS: &[&str] = &[
+        "ACME", "GLBX", "INTC", "UMBR", "STRK", "WAYN", "NWND", "CNTS", "FBRK", "TLSP",
+        "WING", "LKSM", "RDWD", "BLPK", "IRNM", "SNRS",
+    ];
+}
+
+/// Deterministic cell-value generator for the 78 semantic types.
+///
+/// The generator is intentionally stateless apart from the caller-provided
+/// RNG, so corpora are fully reproducible from a seed.
+#[derive(Debug, Clone, Default)]
+pub struct ValueGenerator;
+
+impl ValueGenerator {
+    /// Create a new generator.
+    pub fn new() -> Self {
+        ValueGenerator
+    }
+
+    /// Generate a single cell value for `ty`.
+    pub fn generate(&self, ty: SemanticType, rng: &mut StdRng) -> String {
+        use vocab::*;
+        let pick = |pool: &[&str], rng: &mut StdRng| -> String {
+            pool[rng.gen_range(0..pool.len())].to_string()
+        };
+        let person = |rng: &mut StdRng| -> String {
+            format!(
+                "{} {}",
+                FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
+                LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())]
+            )
+        };
+        let team = |rng: &mut StdRng| -> String {
+            format!(
+                "{} {}",
+                TEAM_PREFIXES[rng.gen_range(0..TEAM_PREFIXES.len())],
+                TEAMS[rng.gen_range(0..TEAMS.len())]
+            )
+        };
+        let title = |rng: &mut StdRng| -> String {
+            format!(
+                "{} {}",
+                TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())],
+                TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())]
+            )
+        };
+        let org = |rng: &mut StdRng| pick(ORGANISATIONS, rng);
+
+        match ty {
+            // Person-name pool: deliberately shared across many types.
+            SemanticType::Name | SemanticType::Person | SemanticType::Jockey => person(rng),
+            SemanticType::Artist | SemanticType::Director | SemanticType::Creator => person(rng),
+            SemanticType::Owner | SemanticType::Affiliate => {
+                if rng.gen_bool(0.6) {
+                    person(rng)
+                } else {
+                    pick(AFFILIATIONS, rng)
+                }
+            }
+            SemanticType::Operator => {
+                if rng.gen_bool(0.5) {
+                    person(rng)
+                } else {
+                    org(rng)
+                }
+            }
+
+            // City pool shared by location-like types (the Figure 1 ambiguity).
+            SemanticType::City | SemanticType::BirthPlace => pick(CITIES, rng),
+            SemanticType::Location => {
+                if rng.gen_bool(0.7) {
+                    pick(CITIES, rng)
+                } else {
+                    format!("{}, {}", pick(CITIES, rng), pick(COUNTRIES, rng))
+                }
+            }
+            SemanticType::Address => format!(
+                "{} {}, {}",
+                rng.gen_range(1..999),
+                pick(STREETS, rng),
+                pick(CITIES, rng)
+            ),
+            SemanticType::County => pick(COUNTIES, rng),
+            SemanticType::Region => pick(REGIONS, rng),
+            SemanticType::State => pick(STATES, rng),
+            SemanticType::Country => pick(COUNTRIES, rng),
+            SemanticType::Continent => pick(CONTINENTS, rng),
+            SemanticType::Nationality => pick(NATIONALITIES, rng),
+            SemanticType::Origin => {
+                if rng.gen_bool(0.5) {
+                    pick(COUNTRIES, rng)
+                } else {
+                    pick(NATIONALITIES, rng)
+                }
+            }
+
+            // Organisation-like pool.
+            SemanticType::Company | SemanticType::Manufacturer | SemanticType::Organisation => {
+                org(rng)
+            }
+            SemanticType::Brand | SemanticType::Publisher => org(rng),
+            SemanticType::Affiliation => pick(AFFILIATIONS, rng),
+
+            // Team pool.
+            SemanticType::Team | SemanticType::TeamName | SemanticType::Club => team(rng),
+
+            // Titles / media.
+            SemanticType::Album => title(rng),
+            SemanticType::Collection => pick(COLLECTIONS, rng),
+            SemanticType::Genre => pick(GENRES, rng),
+            SemanticType::Product => pick(PRODUCTS, rng),
+            SemanticType::Component => pick(COMPONENTS, rng),
+            SemanticType::Service => pick(SERVICES, rng),
+
+            // Categorical short-vocabulary types.
+            SemanticType::Type | SemanticType::Category | SemanticType::Class
+            | SemanticType::Classification => pick(CATEGORIES, rng),
+            SemanticType::Status => pick(STATUSES, rng),
+            SemanticType::Result => pick(RESULTS, rng),
+            SemanticType::Position => pick(POSITIONS, rng),
+            SemanticType::Format => pick(FORMATS, rng),
+            SemanticType::Day => pick(DAYS, rng),
+            SemanticType::Gender | SemanticType::Sex => pick(GENDERS, rng),
+            SemanticType::Language => pick(LANGUAGES, rng),
+            SemanticType::Religion => pick(RELIGIONS, rng),
+            SemanticType::Species => pick(SPECIES, rng),
+            SemanticType::Family => {
+                if rng.gen_bool(0.6) {
+                    pick(TAXON_FAMILIES, rng)
+                } else {
+                    LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())].to_string()
+                }
+            }
+            SemanticType::Education => pick(EDUCATION_LEVELS, rng),
+            SemanticType::Industry => pick(INDUSTRIES, rng),
+            SemanticType::Grades => pick(GRADES, rng),
+            SemanticType::Requirement => pick(REQUIREMENTS, rng),
+            SemanticType::Currency => pick(CURRENCIES, rng),
+            SemanticType::Command => pick(COMMANDS, rng),
+
+            // Free-text types.
+            SemanticType::Description | SemanticType::Notes => {
+                let a = pick(DESCRIPTION_PHRASES, rng);
+                if rng.gen_bool(0.4) {
+                    let b = pick(DESCRIPTION_PHRASES, rng);
+                    format!("{a}, {b}")
+                } else {
+                    a
+                }
+            }
+            SemanticType::Credit => {
+                if rng.gen_bool(0.5) {
+                    format!("Photo by {}", person(rng))
+                } else {
+                    rng.gen_range(1..6).to_string()
+                }
+            }
+
+            // Codes and symbols (shared short alphanumeric shapes).
+            SemanticType::Code => {
+                if rng.gen_bool(0.5) {
+                    format!("{}{:03}", pick(STOCK_SYMBOLS, rng), rng.gen_range(0..999))
+                } else {
+                    format!("{:04}", rng.gen_range(0..9999))
+                }
+            }
+            SemanticType::Symbol => pick(STOCK_SYMBOLS, rng),
+            SemanticType::Isbn => format!(
+                "978-{}-{:03}-{:05}-{}",
+                rng.gen_range(0..10),
+                rng.gen_range(0..1000),
+                rng.gen_range(0..100000),
+                rng.gen_range(0..10)
+            ),
+
+            // Dates and times.
+            SemanticType::Year => rng.gen_range(1850..2021).to_string(),
+            SemanticType::BirthDate => format!(
+                "{:04}-{:02}-{:02}",
+                rng.gen_range(1850..2005),
+                rng.gen_range(1..13),
+                rng.gen_range(1..29)
+            ),
+            SemanticType::Duration => {
+                if rng.gen_bool(0.6) {
+                    format!("{}:{:02}", rng.gen_range(1..10), rng.gen_range(0..60))
+                } else {
+                    format!("{} min", rng.gen_range(2..240))
+                }
+            }
+
+            // Numeric types with overlapping ranges (hard for single-column).
+            SemanticType::Age => rng.gen_range(16..90).to_string(),
+            SemanticType::Weight => {
+                if rng.gen_bool(0.5) {
+                    rng.gen_range(48..130).to_string()
+                } else {
+                    format!("{} kg", rng.gen_range(48..130))
+                }
+            }
+            SemanticType::Rank => rng.gen_range(1..50).to_string(),
+            SemanticType::Ranking => rng.gen_range(1..120).to_string(),
+            SemanticType::Order => rng.gen_range(1..30).to_string(),
+            SemanticType::Plays => rng.gen_range(0..5000).to_string(),
+            SemanticType::Sales => {
+                let v = rng.gen_range(1_000..5_000_000u64);
+                group_thousands(v)
+            }
+            SemanticType::Capacity => {
+                let v = rng.gen_range(500..90_000u64);
+                group_thousands(v)
+            }
+            SemanticType::Elevation => {
+                if rng.gen_bool(0.5) {
+                    format!("{} m", rng.gen_range(1..4900))
+                } else {
+                    rng.gen_range(1..4900).to_string()
+                }
+            }
+            SemanticType::Depth => {
+                if rng.gen_bool(0.5) {
+                    format!("{} m", rng.gen_range(1..1100))
+                } else {
+                    rng.gen_range(1..1100).to_string()
+                }
+            }
+            SemanticType::Area => {
+                if rng.gen_bool(0.5) {
+                    format!("{} km2", rng.gen_range(10..90_000))
+                } else {
+                    rng.gen_range(10..90_000).to_string()
+                }
+            }
+            SemanticType::FileSize => {
+                let units = ["KB", "MB", "GB"];
+                format!(
+                    "{:.1} {}",
+                    rng.gen_range(1.0..900.0),
+                    units[rng.gen_range(0..units.len())]
+                )
+            }
+            SemanticType::Range => format!(
+                "{}-{}",
+                rng.gen_range(1..50),
+                rng.gen_range(50..200)
+            ),
+        }
+    }
+
+    /// Generate `n` cell values for a column of type `ty`.
+    ///
+    /// `missing_rate` is the probability of an empty ("dirty") cell, which the
+    /// real WebTables corpus exhibits and which the Sherlock feature
+    /// extractors must tolerate.
+    pub fn generate_column(
+        &self,
+        ty: SemanticType,
+        n: usize,
+        missing_rate: f64,
+        rng: &mut StdRng,
+    ) -> Vec<String> {
+        (0..n)
+            .map(|_| {
+                if missing_rate > 0.0 && rng.gen_bool(missing_rate) {
+                    String::new()
+                } else {
+                    self.generate(ty, rng)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Format an integer with thousands separators (e.g. `1_777_972` → `"1,777,972"`).
+fn group_thousands(mut v: u64) -> String {
+    if v == 0 {
+        return "0".to_string();
+    }
+    let mut groups = Vec::new();
+    while v > 0 {
+        groups.push((v % 1000) as u16);
+        v /= 1000;
+    }
+    let mut out = String::new();
+    for (i, g) in groups.iter().rev().enumerate() {
+        if i == 0 {
+            out.push_str(&g.to_string());
+        } else {
+            out.push_str(&format!(",{:03}", g));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn every_type_generates_nonempty_values() {
+        let gen = ValueGenerator::new();
+        let mut r = rng(1);
+        for ty in SemanticType::ALL {
+            for _ in 0..20 {
+                let v = gen.generate(ty, &mut r);
+                assert!(!v.is_empty(), "type {ty} generated an empty value");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let gen = ValueGenerator::new();
+        let mut a = rng(42);
+        let mut b = rng(42);
+        for ty in SemanticType::ALL {
+            assert_eq!(gen.generate(ty, &mut a), gen.generate(ty, &mut b));
+        }
+    }
+
+    #[test]
+    fn ambiguous_types_share_vocabulary() {
+        // City and birthPlace must draw from the same pool so that a
+        // single-column model cannot trivially separate them (Figure 1).
+        let gen = ValueGenerator::new();
+        let mut r = rng(7);
+        for _ in 0..50 {
+            let v = gen.generate(SemanticType::BirthPlace, &mut r);
+            assert!(vocab::CITIES.contains(&v.as_str()));
+        }
+    }
+
+    #[test]
+    fn numeric_types_parse_as_numbers() {
+        let gen = ValueGenerator::new();
+        let mut r = rng(3);
+        for _ in 0..50 {
+            let v = gen.generate(SemanticType::Age, &mut r);
+            let age: u32 = v.parse().expect("age should be a bare integer");
+            assert!((16..90).contains(&age));
+        }
+    }
+
+    #[test]
+    fn missing_rate_produces_empty_cells() {
+        let gen = ValueGenerator::new();
+        let mut r = rng(5);
+        let col = gen.generate_column(SemanticType::City, 500, 0.3, &mut r);
+        let missing = col.iter().filter(|v| v.is_empty()).count();
+        assert!(missing > 80 && missing < 250, "missing count {missing}");
+    }
+
+    #[test]
+    fn zero_missing_rate_produces_no_empty_cells() {
+        let gen = ValueGenerator::new();
+        let mut r = rng(5);
+        let col = gen.generate_column(SemanticType::Sales, 100, 0.0, &mut r);
+        assert!(col.iter().all(|v| !v.is_empty()));
+    }
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(group_thousands(0), "0");
+        assert_eq!(group_thousands(999), "999");
+        assert_eq!(group_thousands(1_000), "1,000");
+        assert_eq!(group_thousands(1_777_972), "1,777,972");
+        assert_eq!(group_thousands(380_948), "380,948");
+    }
+
+    #[test]
+    fn isbn_has_expected_shape() {
+        let gen = ValueGenerator::new();
+        let mut r = rng(11);
+        let v = gen.generate(SemanticType::Isbn, &mut r);
+        assert!(v.starts_with("978-"));
+        assert_eq!(v.split('-').count(), 5);
+    }
+}

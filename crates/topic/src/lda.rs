@@ -1,0 +1,359 @@
+//! Latent Dirichlet Allocation trained with collapsed Gibbs sampling.
+//!
+//! This replaces the gensim LDA model the paper pre-trains on 10K tables
+//! (Section 4.2). Documents are tables (all cell values concatenated), the
+//! number of topics is configurable (the paper uses 400; the scaled-down
+//! experiments default to fewer), and inference for unseen tables runs a few
+//! Gibbs sweeps against the frozen topic–word counts.
+
+use crate::vocab::Vocabulary;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the LDA model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LdaConfig {
+    /// Number of latent topics (the paper's table-intent dimensions).
+    pub num_topics: usize,
+    /// Dirichlet prior on the document–topic distribution.
+    pub alpha: f64,
+    /// Dirichlet prior on the topic–word distribution.
+    pub beta: f64,
+    /// Gibbs sweeps over the training corpus.
+    pub train_iterations: usize,
+    /// Gibbs sweeps when inferring the topic vector of an unseen document.
+    pub infer_iterations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LdaConfig {
+    fn default() -> Self {
+        LdaConfig {
+            num_topics: 64,
+            alpha: 0.1,
+            beta: 0.01,
+            train_iterations: 60,
+            infer_iterations: 20,
+            seed: 13,
+        }
+    }
+}
+
+impl LdaConfig {
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        LdaConfig {
+            num_topics: 8,
+            train_iterations: 30,
+            infer_iterations: 15,
+            ..LdaConfig::default()
+        }
+    }
+}
+
+/// A trained LDA model: frozen topic–word counts plus the vocabulary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LdaModel {
+    config: LdaConfig,
+    vocab: Vocabulary,
+    /// `topic_word[k * V + w]`: number of tokens of word `w` assigned to `k`.
+    topic_word: Vec<u32>,
+    /// `topic_totals[k]`: total tokens assigned to topic `k`.
+    topic_totals: Vec<u32>,
+}
+
+impl LdaModel {
+    /// Train an LDA model on the given documents (one string per table).
+    pub fn train(documents: &[String], vocab: Vocabulary, config: LdaConfig) -> Self {
+        assert!(config.num_topics >= 2, "need at least 2 topics");
+        let k = config.num_topics;
+        let v = vocab.len().max(1);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Encode documents.
+        let docs: Vec<Vec<usize>> = documents.iter().map(|d| vocab.encode(d)).collect();
+
+        let mut topic_word = vec![0u32; k * v];
+        let mut topic_totals = vec![0u32; k];
+        let mut doc_topic: Vec<Vec<u32>> = docs.iter().map(|_| vec![0u32; k]).collect();
+        let mut assignments: Vec<Vec<usize>> = docs
+            .iter()
+            .map(|doc| doc.iter().map(|_| rng.gen_range(0..k)).collect())
+            .collect();
+
+        // Initialise counts from the random assignment.
+        for (d, doc) in docs.iter().enumerate() {
+            for (i, &w) in doc.iter().enumerate() {
+                let z = assignments[d][i];
+                topic_word[z * v + w] += 1;
+                topic_totals[z] += 1;
+                doc_topic[d][z] += 1;
+            }
+        }
+
+        let alpha = config.alpha;
+        let beta = config.beta;
+        let v_beta = beta * v as f64;
+        let mut weights = vec![0.0f64; k];
+
+        for _ in 0..config.train_iterations {
+            for (d, doc) in docs.iter().enumerate() {
+                for (i, &w) in doc.iter().enumerate() {
+                    let old = assignments[d][i];
+                    // Remove the token from the counts.
+                    topic_word[old * v + w] -= 1;
+                    topic_totals[old] -= 1;
+                    doc_topic[d][old] -= 1;
+
+                    // Full conditional P(z = k | rest).
+                    let mut total = 0.0;
+                    for (t, wt) in weights.iter_mut().enumerate() {
+                        let phi = (topic_word[t * v + w] as f64 + beta)
+                            / (topic_totals[t] as f64 + v_beta);
+                        let theta = doc_topic[d][t] as f64 + alpha;
+                        *wt = phi * theta;
+                        total += *wt;
+                    }
+                    let new = sample_discrete(&weights, total, &mut rng);
+
+                    assignments[d][i] = new;
+                    topic_word[new * v + w] += 1;
+                    topic_totals[new] += 1;
+                    doc_topic[d][new] += 1;
+                }
+            }
+        }
+
+        LdaModel {
+            config,
+            vocab,
+            topic_word,
+            topic_totals,
+        }
+    }
+
+    /// Convenience: build the vocabulary and train in one call.
+    pub fn fit(documents: &[String], min_count: usize, config: LdaConfig) -> Self {
+        let vocab = Vocabulary::build(documents.iter().map(String::as_str), min_count);
+        Self::train(documents, vocab, config)
+    }
+
+    /// Number of topics.
+    pub fn num_topics(&self) -> usize {
+        self.config.num_topics
+    }
+
+    /// The vocabulary the model was trained with.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The configuration the model was trained with.
+    pub fn config(&self) -> &LdaConfig {
+        &self.config
+    }
+
+    /// Topic–word probability `phi[k][w]`.
+    pub fn phi(&self, topic: usize, word: usize) -> f64 {
+        let v = self.vocab.len().max(1);
+        (self.topic_word[topic * v + word] as f64 + self.config.beta)
+            / (self.topic_totals[topic] as f64 + self.config.beta * v as f64)
+    }
+
+    /// The `top_n` most probable words of a topic (for interpretation, as in
+    /// Table 3 of the paper).
+    pub fn top_words(&self, topic: usize, top_n: usize) -> Vec<(String, f64)> {
+        let mut scored: Vec<(String, f64)> = (0..self.vocab.len())
+            .map(|w| (self.vocab.token(w).unwrap().to_string(), self.phi(topic, w)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(top_n);
+        scored
+    }
+
+    /// Infer the topic distribution ("table topic vector") of an unseen
+    /// document by Gibbs sampling against the frozen topic–word counts.
+    ///
+    /// The result is a probability vector of length `num_topics`; documents
+    /// with no known tokens return the uniform distribution.
+    pub fn infer(&self, document: &str) -> Vec<f32> {
+        let tokens = self.vocab.encode(document);
+        self.infer_tokens(&tokens, self.config.seed ^ 0x9e3779b97f4a7c15)
+    }
+
+    /// Deterministic inference with an explicit seed (used by property tests).
+    pub fn infer_with_seed(&self, document: &str, seed: u64) -> Vec<f32> {
+        let tokens = self.vocab.encode(document);
+        self.infer_tokens(&tokens, seed)
+    }
+
+    fn infer_tokens(&self, tokens: &[usize], seed: u64) -> Vec<f32> {
+        let k = self.config.num_topics;
+        if tokens.is_empty() {
+            return vec![1.0 / k as f32; k];
+        }
+        let v = self.vocab.len().max(1);
+        let alpha = self.config.alpha;
+        let beta = self.config.beta;
+        let v_beta = beta * v as f64;
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let mut doc_topic = vec![0u32; k];
+        let mut assignments: Vec<usize> = tokens.iter().map(|_| rng.gen_range(0..k)).collect();
+        for &z in &assignments {
+            doc_topic[z] += 1;
+        }
+        let mut weights = vec![0.0f64; k];
+        let mut accum = vec![0.0f64; k];
+        let burn_in = self.config.infer_iterations / 2;
+
+        for iter in 0..self.config.infer_iterations {
+            for (i, &w) in tokens.iter().enumerate() {
+                let old = assignments[i];
+                doc_topic[old] -= 1;
+                let mut total = 0.0;
+                for (t, wt) in weights.iter_mut().enumerate() {
+                    let phi = (self.topic_word[t * v + w] as f64 + beta)
+                        / (self.topic_totals[t] as f64 + v_beta);
+                    let theta = doc_topic[t] as f64 + alpha;
+                    *wt = phi * theta;
+                    total += *wt;
+                }
+                let new = sample_discrete(&weights, total, &mut rng);
+                assignments[i] = new;
+                doc_topic[new] += 1;
+            }
+            if iter >= burn_in {
+                let denom = tokens.len() as f64 + alpha * k as f64;
+                for t in 0..k {
+                    accum[t] += (doc_topic[t] as f64 + alpha) / denom;
+                }
+            }
+        }
+        let samples = (self.config.infer_iterations - burn_in).max(1) as f64;
+        accum.iter().map(|&x| (x / samples) as f32).collect()
+    }
+}
+
+/// Sample an index proportionally to `weights` (whose sum is `total`).
+fn sample_discrete(weights: &[f64], total: f64, rng: &mut StdRng) -> usize {
+    let mut target = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two clearly separated "themes" so a tiny LDA can recover structure.
+    fn themed_documents() -> Vec<String> {
+        let mut docs = Vec::new();
+        for i in 0..30 {
+            if i % 2 == 0 {
+                docs.push("rock jazz blues album artist guitar song melody".to_string());
+            } else {
+                docs.push("warsaw london paris city country europe capital river".to_string());
+            }
+        }
+        docs
+    }
+
+    #[test]
+    fn training_produces_normalised_topics() {
+        let model = LdaModel::fit(&themed_documents(), 1, LdaConfig::tiny());
+        for k in 0..model.num_topics() {
+            let total: f64 = (0..model.vocabulary().len()).map(|w| model.phi(k, w)).sum();
+            assert!((total - 1.0).abs() < 1e-6, "topic {k} sums to {total}");
+        }
+    }
+
+    #[test]
+    fn inference_returns_probability_vector() {
+        let model = LdaModel::fit(&themed_documents(), 1, LdaConfig::tiny());
+        let theta = model.infer("rock jazz album");
+        assert_eq!(theta.len(), model.num_topics());
+        let sum: f32 = theta.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "sum={sum}");
+        assert!(theta.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn unknown_document_gets_uniform_distribution() {
+        let model = LdaModel::fit(&themed_documents(), 1, LdaConfig::tiny());
+        let theta = model.infer("zzzz qqqq completely unknown");
+        let k = model.num_topics() as f32;
+        assert!(theta.iter().all(|&x| (x - 1.0 / k).abs() < 1e-6));
+    }
+
+    #[test]
+    fn themed_documents_get_different_topic_vectors() {
+        let model = LdaModel::fit(&themed_documents(), 1, LdaConfig::tiny());
+        let music = model.infer("rock jazz blues artist album");
+        let cities = model.infer("warsaw london paris city country");
+        // Cosine distance between the two topic vectors should be noticeably
+        // below 1 (they concentrate on different topics).
+        let dot: f32 = music.iter().zip(&cities).map(|(a, b)| a * b).sum();
+        let na: f32 = music.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = cities.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let cos = dot / (na * nb);
+        assert!(cos < 0.9, "topic vectors should differ, cosine={cos}");
+    }
+
+    #[test]
+    fn same_document_similar_topics_across_inference_seeds() {
+        let model = LdaModel::fit(&themed_documents(), 1, LdaConfig::tiny());
+        let a = model.infer_with_seed("rock jazz blues artist album guitar", 1);
+        let b = model.infer_with_seed("rock jazz blues artist album guitar", 2);
+        let l1: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(l1 < 0.8, "inference unstable across seeds: L1={l1}");
+    }
+
+    #[test]
+    fn inference_is_deterministic_for_fixed_seed() {
+        let model = LdaModel::fit(&themed_documents(), 1, LdaConfig::tiny());
+        assert_eq!(model.infer("rock jazz"), model.infer("rock jazz"));
+    }
+
+    #[test]
+    fn top_words_reflect_topic_content() {
+        let model = LdaModel::fit(&themed_documents(), 1, LdaConfig::tiny());
+        // Find the topic most associated with "warsaw" and check that its top
+        // words contain other city-theme words.
+        let w = model.vocabulary().id("warsaw").unwrap();
+        let best_topic = (0..model.num_topics())
+            .max_by(|&a, &b| model.phi(a, w).partial_cmp(&model.phi(b, w)).unwrap())
+            .unwrap();
+        let top: Vec<String> = model
+            .top_words(best_topic, 8)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        assert!(top.iter().any(|t| t == "city" || t == "london" || t == "europe"),
+            "top words of the city topic were {top:?}");
+    }
+
+    #[test]
+    fn training_is_deterministic_for_a_seed() {
+        let a = LdaModel::fit(&themed_documents(), 1, LdaConfig::tiny());
+        let b = LdaModel::fit(&themed_documents(), 1, LdaConfig::tiny());
+        assert_eq!(a.topic_word, b.topic_word);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 topics")]
+    fn rejects_single_topic() {
+        let cfg = LdaConfig {
+            num_topics: 1,
+            ..LdaConfig::tiny()
+        };
+        LdaModel::fit(&themed_documents(), 1, cfg);
+    }
+}

@@ -1,0 +1,137 @@
+//! Vocabulary construction for the table-as-document topic model.
+//!
+//! Section 4.2 of the paper: *"Since LDA is an unsupervised model, we only
+//! need the vocabulary (i.e., set of all cell values) of the tables without
+//! any headers or semantic annotation. We convert numerical values into
+//! strings and then concatenate all values in the table sequentially to form
+//! a 'document' for each table."*
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A token-to-id mapping with document-frequency based pruning.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    token_to_id: HashMap<String, usize>,
+    id_to_token: Vec<String>,
+}
+
+/// Tokenize a table "document": lower-cased alphanumeric runs. Numeric cells
+/// become numeric tokens, exactly as the paper converts numbers to strings.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+impl Vocabulary {
+    /// Build a vocabulary from an iterator of documents, keeping tokens that
+    /// appear at least `min_count` times in total.
+    pub fn build<'a>(documents: impl Iterator<Item = &'a str>, min_count: usize) -> Self {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for doc in documents {
+            for token in tokenize(doc) {
+                *counts.entry(token).or_insert(0) += 1;
+            }
+        }
+        let mut kept: Vec<(String, usize)> = counts
+            .into_iter()
+            .filter(|(_, c)| *c >= min_count)
+            .collect();
+        // Sort for determinism (HashMap iteration order is randomised).
+        kept.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        let mut vocab = Vocabulary::default();
+        for (token, _) in kept {
+            let id = vocab.id_to_token.len();
+            vocab.token_to_id.insert(token.clone(), id);
+            vocab.id_to_token.push(token);
+        }
+        vocab
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.is_empty()
+    }
+
+    /// Look up a token id.
+    pub fn id(&self, token: &str) -> Option<usize> {
+        self.token_to_id.get(token).copied()
+    }
+
+    /// Look up a token by id.
+    pub fn token(&self, id: usize) -> Option<&str> {
+        self.id_to_token.get(id).map(String::as_str)
+    }
+
+    /// Encode a document into known token ids (unknown tokens are dropped).
+    pub fn encode(&self, text: &str) -> Vec<usize> {
+        tokenize(text)
+            .into_iter()
+            .filter_map(|t| self.id(&t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_lowercases_and_splits() {
+        assert_eq!(tokenize("Warsaw, 1,777,972"), vec!["warsaw", "1", "777", "972"]);
+        assert!(tokenize("--").is_empty());
+    }
+
+    #[test]
+    fn build_respects_min_count() {
+        let docs = ["rock rock jazz", "rock blues"];
+        let vocab = Vocabulary::build(docs.iter().copied(), 2);
+        assert!(vocab.id("rock").is_some());
+        assert!(vocab.id("jazz").is_none());
+        assert!(vocab.id("blues").is_none());
+        assert_eq!(vocab.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_round_trip() {
+        let docs = ["a b c", "a b", "a"];
+        let vocab = Vocabulary::build(docs.iter().copied(), 1);
+        assert_eq!(vocab.len(), 3);
+        for id in 0..vocab.len() {
+            let tok = vocab.token(id).unwrap();
+            assert_eq!(vocab.id(tok), Some(id));
+        }
+        // Most frequent token gets id 0.
+        assert_eq!(vocab.token(0), Some("a"));
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let docs = ["x y z y", "z z q r s"];
+        let a = Vocabulary::build(docs.iter().copied(), 1);
+        let b = Vocabulary::build(docs.iter().copied(), 1);
+        assert_eq!(a.id_to_token, b.id_to_token);
+    }
+
+    #[test]
+    fn encode_drops_unknown_tokens() {
+        let vocab = Vocabulary::build(["warsaw london"].iter().copied(), 1);
+        let ids = vocab.encode("Warsaw unknown London");
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn empty_vocabulary() {
+        let vocab = Vocabulary::build(std::iter::empty(), 1);
+        assert!(vocab.is_empty());
+        assert!(vocab.encode("anything").is_empty());
+    }
+}

@@ -1,0 +1,1 @@
+//! Integration test crate for the Sato workspace (tests live in tests/).

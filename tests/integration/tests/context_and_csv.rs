@@ -1,0 +1,100 @@
+//! Integration tests for the context-dependent behaviour the paper motivates
+//! (Figure 1) and for the CSV annotation workflow used by the examples.
+
+use sato::{ColumnwisePredictor, SatoConfig, SatoModel, SatoVariant, StructuredLayer};
+use sato_tabular::corpus::{default_corpus, figure1_tables};
+use sato_tabular::csv::{table_from_csv, table_to_csv};
+use sato_tabular::table::Table;
+use sato_tabular::types::{SemanticType, NUM_TYPES};
+
+#[test]
+fn base_model_gives_identical_scores_to_identical_columns_regardless_of_context() {
+    // The single-column model's defining limitation: the same values always
+    // produce the same probability vector, no matter the table.
+    let corpus = default_corpus(60, 201);
+    let mut base = SatoModel::train(&corpus, SatoConfig::fast(), SatoVariant::Base);
+    let (table_a, table_b) = figure1_tables();
+    let proba_a = base.predict_proba(&table_a);
+    let proba_b = base.predict_proba(&table_b);
+    let shared_a = proba_a.last().unwrap();
+    let shared_b = &proba_b[0];
+    for (x, y) in shared_a.iter().zip(shared_b) {
+        assert!((x - y).abs() < 1e-5, "Base scores differ for identical columns");
+    }
+}
+
+#[test]
+fn topic_aware_model_scores_depend_on_table_context() {
+    // Sato's topic vector differs between the biography table and the city
+    // table, so the shared column's scores must differ.
+    let corpus = default_corpus(100, 202);
+    let mut sato = SatoModel::train(&corpus, SatoConfig::fast(), SatoVariant::SatoNoStruct);
+    let (table_a, table_b) = figure1_tables();
+    let proba_a = sato.predict_proba(&table_a);
+    let proba_b = sato.predict_proba(&table_b);
+    let shared_a = proba_a.last().unwrap();
+    let shared_b = &proba_b[0];
+    let l1: f32 = shared_a
+        .iter()
+        .zip(shared_b)
+        .map(|(x, y)| (x - y).abs())
+        .sum();
+    assert!(
+        l1 > 1e-4,
+        "topic-aware scores identical across contexts (L1 diff {l1})"
+    );
+}
+
+#[test]
+fn structured_layer_with_confident_gold_unaries_reproduces_gold_labels() {
+    struct GoldPredictor;
+    impl ColumnwisePredictor for GoldPredictor {
+        fn predict_proba(&mut self, table: &Table) -> Vec<Vec<f32>> {
+            table
+                .labels
+                .iter()
+                .map(|l| {
+                    let mut row = vec![1e-4f32; NUM_TYPES];
+                    row[l.index()] = 1.0;
+                    let s: f32 = row.iter().sum();
+                    row.iter_mut().for_each(|x| *x /= s);
+                    row
+                })
+                .collect()
+        }
+    }
+    let corpus = default_corpus(40, 203);
+    let config = SatoConfig::fast();
+    let layer = StructuredLayer::fit(&mut GoldPredictor, &corpus, &config);
+    for table in corpus.iter().filter(|t| t.is_multi_column()).take(10) {
+        assert_eq!(layer.predict(&mut GoldPredictor, table), table.labels);
+    }
+}
+
+#[test]
+fn csv_round_trip_and_annotation_workflow() {
+    // Serialize a labelled synthetic table to CSV, reload it without the
+    // header, and annotate it with a trained model: shapes must line up and
+    // the reload must preserve the cell values exactly.
+    let corpus = default_corpus(60, 204);
+    let source = corpus
+        .iter()
+        .find(|t| t.is_multi_column())
+        .expect("multi-column table");
+    let csv = table_to_csv(source);
+    let relabelled = table_from_csv(source.id, &csv, true);
+    assert_eq!(relabelled.labels, source.labels);
+    assert_eq!(relabelled.columns, source.columns);
+
+    let headerless = {
+        let body = csv.lines().skip(1).collect::<Vec<_>>().join("\n");
+        table_from_csv(source.id, &body, false)
+    };
+    assert!(!headerless.is_labelled());
+    assert_eq!(headerless.num_columns(), source.num_columns());
+
+    let mut model = SatoModel::train(&corpus, SatoConfig::fast(), SatoVariant::Full);
+    let types = model.predict(&headerless);
+    assert_eq!(types.len(), source.num_columns());
+    assert!(types.iter().all(|t| SemanticType::ALL.contains(t)));
+}

@@ -1,0 +1,110 @@
+//! Property-based integration tests spanning the substrate crates: corpus
+//! generation, feature extraction, the topic model and the CRF must uphold
+//! their invariants on arbitrary (seeded) inputs, not just the fixed
+//! fixtures used elsewhere.
+
+use proptest::prelude::*;
+use sato_crf::LinearChainCrf;
+use sato_features::{FeatureConfig, FeatureExtractor};
+use sato_tabular::corpus::{CorpusConfig, CorpusGenerator};
+use sato_tabular::types::{SemanticType, NUM_TYPES};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The corpus generator is a pure function of its configuration.
+    #[test]
+    fn corpus_generation_is_deterministic(seed in 0u64..1000, tables in 5usize..40) {
+        let config = CorpusConfig { num_tables: tables, seed, ..CorpusConfig::tiny() };
+        let a = CorpusGenerator::new(config.clone()).generate();
+        let b = CorpusGenerator::new(config).generate();
+        prop_assert_eq!(a.tables, b.tables);
+    }
+
+    /// Every generated table is internally consistent and within the
+    /// configured shape bounds.
+    #[test]
+    fn generated_tables_are_well_formed(seed in 0u64..500) {
+        let config = CorpusConfig { num_tables: 20, seed, ..CorpusConfig::tiny() };
+        let corpus = CorpusGenerator::new(config.clone()).generate();
+        for table in corpus.iter() {
+            prop_assert!(table.is_labelled());
+            prop_assert!(table.num_columns() >= 1);
+            prop_assert!(table.num_columns() <= config.max_columns);
+            prop_assert!(table.num_rows() >= config.min_rows);
+            prop_assert!(table.num_rows() <= config.max_rows);
+            for col in &table.columns {
+                prop_assert_eq!(col.len(), table.num_rows());
+            }
+        }
+    }
+
+    /// Feature extraction never produces NaN/Inf and always matches the
+    /// declared dimensionality, for every semantic type's value generator.
+    #[test]
+    fn features_are_finite_for_every_type(seed in 0u64..200, type_idx in 0usize..NUM_TYPES) {
+        use rand::SeedableRng;
+        let ty = SemanticType::from_index(type_idx).unwrap();
+        let gen = sato_tabular::values::ValueGenerator::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let col = sato_tabular::table::Column::new(gen.generate_column(ty, 15, 0.1, &mut rng));
+        let extractor = FeatureExtractor::new(FeatureConfig::small());
+        let features = extractor.extract_column(&col);
+        prop_assert_eq!(features.total_dim(), extractor.total_dim());
+        prop_assert!(features.concatenated().iter().all(|x| x.is_finite()));
+    }
+
+    /// Viterbi decoding over the full 78-type state space returns valid type
+    /// indices and scores at least as well as the per-column argmax path.
+    #[test]
+    fn viterbi_dominates_argmax_path_on_full_state_space(
+        seed in 0u64..200,
+        columns in 2usize..5,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let unary: Vec<Vec<f64>> = (0..columns)
+            .map(|_| (0..NUM_TYPES).map(|_| rng.gen_range(-4.0..0.0)).collect())
+            .collect();
+        let pairwise: Vec<f64> = (0..NUM_TYPES * NUM_TYPES)
+            .map(|_| rng.gen_range(-0.5..0.5))
+            .collect();
+        let crf = LinearChainCrf::with_pairwise(NUM_TYPES, pairwise);
+        let map = crf.viterbi(&unary);
+        prop_assert_eq!(map.len(), columns);
+        prop_assert!(map.iter().all(|&s| s < NUM_TYPES));
+        let argmax_path: Vec<usize> = unary
+            .iter()
+            .map(|u| {
+                u.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap()
+            })
+            .collect();
+        prop_assert!(crf.score(&unary, &map) >= crf.score(&unary, &argmax_path) - 1e-9);
+    }
+
+    /// Header canonicalization always maps a type's canonical name (in
+    /// various casings) back to the same type.
+    #[test]
+    fn canonicalization_round_trips_type_names(type_idx in 0usize..NUM_TYPES) {
+        let ty = SemanticType::from_index(type_idx).unwrap();
+        let name = ty.canonical_name();
+        prop_assert_eq!(sato_tabular::canonical::header_to_type(name), Some(ty));
+        // An upper-cased, space-separated rendering ("BIRTH PLACE") must also
+        // canonicalize back to the same type.
+        let mut spaced = String::new();
+        for c in name.chars() {
+            if c.is_uppercase() {
+                spaced.push(' ');
+            }
+            spaced.push(c);
+        }
+        prop_assert_eq!(
+            sato_tabular::canonical::header_to_type(&spaced.to_uppercase()),
+            Some(ty)
+        );
+    }
+}
