@@ -22,9 +22,11 @@ fn bench_feature_extraction(c: &mut Criterion) {
         ("city_column", &table.columns[0]),
         ("numeric_column", &corpus.tables[1].columns[0]),
     ] {
-        group.bench_with_input(BenchmarkId::new("extract_column", name), column, |b, col| {
-            b.iter(|| extractor.extract_column(std::hint::black_box(col)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("extract_column", name),
+            column,
+            |b, col| b.iter(|| extractor.extract_column(std::hint::black_box(col))),
+        );
     }
     group.finish();
 }

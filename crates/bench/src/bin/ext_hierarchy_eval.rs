@@ -48,13 +48,21 @@ fn main() {
             println!("\nper-category exact accuracy of the full Sato model:");
             let mut per_cat = TextTable::new(&["category", "columns", "accuracy"]);
             for (cat, n, acc) in HierarchicalEvaluation::per_category_accuracy(&gold, &pred) {
-                per_cat.add_row(vec![cat.name().to_string(), n.to_string(), format!("{acc:.3}")]);
+                per_cat.add_row(vec![
+                    cat.name().to_string(),
+                    n.to_string(),
+                    format!("{acc:.3}"),
+                ]);
             }
             println!("{}", per_cat.render());
         }
     }
     println!("{}", table.render());
-    println!("Expected shape: category accuracy is well above exact accuracy for every model (most");
-    println!("errors are near misses inside the gold category), and the gap narrows for Sato because");
+    println!(
+        "Expected shape: category accuracy is well above exact accuracy for every model (most"
+    );
+    println!(
+        "errors are near misses inside the gold category), and the gap narrows for Sato because"
+    );
     println!("table context resolves exactly those within-category ambiguities (city vs birthPlace, ...).");
 }

@@ -83,7 +83,10 @@ fn main() {
         "mean between/within separation",
     ]);
     for variant in [SatoVariant::SatoNoStruct, SatoVariant::Base] {
-        eprintln!("[fig10] training {} and projecting embeddings ...", variant.name());
+        eprintln!(
+            "[fig10] training {} and projecting embeddings ...",
+            variant.name()
+        );
         let mut model = SatoModel::train(&split.train, config.clone(), variant);
         let (embeddings, labels) = collect_embeddings(&mut model, &split.test);
         if embeddings.len() < 8 {

@@ -31,14 +31,24 @@ fn main() {
     // Compact heat map: one row per type, one column per type, log counts
     // rounded to one decimal.
     let header: Vec<String> = std::iter::once("type".to_string())
-        .chain(FIGURE6_TYPES.iter().map(|t| t.canonical_name().chars().take(5).collect()))
+        .chain(
+            FIGURE6_TYPES
+                .iter()
+                .map(|t| t.canonical_name().chars().take(5).collect()),
+        )
         .collect();
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut heat = TextTable::new(&header_refs);
     let sub = matrix.submatrix_log(FIGURE6_TYPES);
     for (i, ty) in FIGURE6_TYPES.iter().enumerate() {
         let mut row = vec![ty.canonical_name().to_string()];
-        row.extend(sub[i].iter().map(|v| if *v == 0.0 { ".".to_string() } else { format!("{v:.1}") }));
+        row.extend(sub[i].iter().map(|v| {
+            if *v == 0.0 {
+                ".".to_string()
+            } else {
+                format!("{v:.1}")
+            }
+        }));
         heat.add_row(row);
     }
     println!("{}", heat.render());

@@ -75,8 +75,16 @@ fn main() {
     let no_struct = cross_validate(&corpus, opts.folds, &config, SatoVariant::SatoNoStruct);
     let base = cross_validate(&corpus, opts.folds, &config, SatoVariant::Base);
 
-    compare("(a) Sato vs Sato_noTopic (topic on top of structured prediction)", &full, &no_topic);
-    compare("(b) Sato_noStruct vs Base (topic on top of single-column prediction)", &no_struct, &base);
+    compare(
+        "(a) Sato vs Sato_noTopic (topic on top of structured prediction)",
+        &full,
+        &no_topic,
+    );
+    compare(
+        "(b) Sato_noStruct vs Base (topic on top of single-column prediction)",
+        &no_struct,
+        &base,
+    );
 
     println!("paper reference: topic-aware prediction improved 59/78 types in (a) and 64/78 types in (b),");
     println!("with the largest gains on rare types (affiliate, director, person, ranking, sales).");

@@ -68,10 +68,20 @@ fn main() {
     let no_topic = cross_validate(&corpus, opts.folds, &config, SatoVariant::SatoNoTopic);
     let base = cross_validate(&corpus, opts.folds, &config, SatoVariant::Base);
 
-    compare("(a) Sato vs Sato_noStruct (CRF on top of topic-aware prediction)", &full, &no_struct);
-    compare("(b) Sato_noTopic vs Base (CRF on top of single-column prediction)", &no_topic, &base);
+    compare(
+        "(a) Sato vs Sato_noStruct (CRF on top of topic-aware prediction)",
+        &full,
+        &no_struct,
+    );
+    compare(
+        "(b) Sato_noTopic vs Base (CRF on top of single-column prediction)",
+        &no_topic,
+        &base,
+    );
 
-    println!("\npaper reference: structured prediction improved 59 types in (a) and 50 types in (b);");
+    println!(
+        "\npaper reference: structured prediction improved 59 types in (a) and 50 types in (b);"
+    );
     println!("its per-type gains are smaller than the topic module's but it degrades fewer types,");
     println!("because modelling neighbouring columns 'salvages' overly aggressive predictions.");
 }

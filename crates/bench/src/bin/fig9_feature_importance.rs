@@ -22,9 +22,13 @@ fn main() {
     let split = train_test_split(&corpus, 0.25, opts.seed);
 
     for variant in table1_variants() {
-        eprintln!("[fig9] training {} and permuting feature groups ...", variant.name());
+        eprintln!(
+            "[fig9] training {} and permuting feature groups ...",
+            variant.name()
+        );
         let mut model = SatoModel::train(&split.train, config.clone(), variant);
-        let report = permutation_importance(&mut model, &split.test, opts.trials, opts.seed ^ 0x919);
+        let report =
+            permutation_importance(&mut model, &split.test, opts.trials, opts.seed ^ 0x919);
 
         println!(
             "\n{} (baseline macro F1 {:.3}, weighted F1 {:.3})",
@@ -55,7 +59,11 @@ fn main() {
         println!("{}", table.render());
     }
 
-    println!("paper reference: Word and Char dominate for Base and Sato_noTopic; once the table topic");
-    println!("is available (Sato_noStruct, Sato) the Topic group has comparable or greater importance,");
+    println!(
+        "paper reference: Word and Char dominate for Base and Sato_noTopic; once the table topic"
+    );
+    println!(
+        "is available (Sato_noStruct, Sato) the Topic group has comparable or greater importance,"
+    );
     println!("especially for the macro-average F1 (i.e. for the rare types).");
 }

@@ -58,7 +58,9 @@ fn main() {
         ]);
     }
     println!("\n{}", table.render());
-    println!("paper reference: BERT reaches weighted F1 0.866 vs Sherlock's 0.852, while multi-column");
+    println!(
+        "paper reference: BERT reaches weighted F1 0.866 vs Sherlock's 0.852, while multi-column"
+    );
     println!("Sato still outperforms both by a large margin.");
     println!("Expected shape: the featurisation-free model lands in the same range as Sherlock; Sato stays clearly ahead of both.");
 }

@@ -29,7 +29,10 @@ fn main() {
         .iter()
         .map(|&variant| {
             eprintln!("[table1] cross-validating {} ...", variant.name());
-            (variant, cross_validate(&corpus, opts.folds, &config, variant))
+            (
+                variant,
+                cross_validate(&corpus, opts.folds, &config, variant),
+            )
         })
         .collect();
 

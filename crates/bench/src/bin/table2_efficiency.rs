@@ -32,7 +32,12 @@ fn main() {
         let mut crf_times = Vec::new();
         let mut predict_times = Vec::new();
         for trial in 0..opts.trials {
-            eprintln!("[table2] {} trial {}/{}", variant.name(), trial + 1, opts.trials);
+            eprintln!(
+                "[table2] {} trial {}/{}",
+                variant.name(),
+                trial + 1,
+                opts.trials
+            );
             let mut cfg = config.clone();
             cfg.seed = opts.seed ^ (trial as u64);
             let mut model = SatoModel::train(&split.train, cfg, variant);

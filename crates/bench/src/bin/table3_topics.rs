@@ -12,19 +12,64 @@ use sato_topic::{analyze_topics, TableIntentEstimator};
 /// interpretations are manual; this hint plays the same role in the report).
 fn interpret(types: &[(SemanticType, f64)]) -> &'static str {
     use SemanticType as T;
-    let has = |candidates: &[SemanticType]| {
-        types.iter().filter(|(t, _)| candidates.contains(t)).count()
-    };
-    let person = has(&[T::Name, T::Person, T::BirthPlace, T::BirthDate, T::Nationality, T::Sex,
-        T::Age, T::Education, T::Religion, T::Affiliate]);
-    let business = has(&[T::Company, T::Code, T::Symbol, T::Industry, T::Sales, T::Currency,
-        T::Brand, T::Manufacturer, T::Product]);
-    let geo = has(&[T::City, T::Country, T::State, T::County, T::Region, T::Location,
-        T::Continent, T::Elevation, T::Area]);
-    let sports = has(&[T::Team, T::TeamName, T::Club, T::Position, T::Rank, T::Result, T::Jockey,
-        T::Weight, T::Plays]);
-    let media = has(&[T::Artist, T::Album, T::Genre, T::Duration, T::Publisher, T::Isbn,
-        T::Creator, T::Director, T::Collection]);
+    let has =
+        |candidates: &[SemanticType]| types.iter().filter(|(t, _)| candidates.contains(t)).count();
+    let person = has(&[
+        T::Name,
+        T::Person,
+        T::BirthPlace,
+        T::BirthDate,
+        T::Nationality,
+        T::Sex,
+        T::Age,
+        T::Education,
+        T::Religion,
+        T::Affiliate,
+    ]);
+    let business = has(&[
+        T::Company,
+        T::Code,
+        T::Symbol,
+        T::Industry,
+        T::Sales,
+        T::Currency,
+        T::Brand,
+        T::Manufacturer,
+        T::Product,
+    ]);
+    let geo = has(&[
+        T::City,
+        T::Country,
+        T::State,
+        T::County,
+        T::Region,
+        T::Location,
+        T::Continent,
+        T::Elevation,
+        T::Area,
+    ]);
+    let sports = has(&[
+        T::Team,
+        T::TeamName,
+        T::Club,
+        T::Position,
+        T::Rank,
+        T::Result,
+        T::Jockey,
+        T::Weight,
+        T::Plays,
+    ]);
+    let media = has(&[
+        T::Artist,
+        T::Album,
+        T::Genre,
+        T::Duration,
+        T::Publisher,
+        T::Isbn,
+        T::Creator,
+        T::Director,
+        T::Collection,
+    ]);
     let best = [
         (person, "person"),
         (business, "business"),
@@ -52,11 +97,19 @@ fn main() {
 
     let corpus = opts.corpus();
     let config = opts.sato_config();
-    eprintln!("[table3] training LDA table-intent estimator ({} topics) ...", config.lda.num_topics);
+    eprintln!(
+        "[table3] training LDA table-intent estimator ({} topics) ...",
+        config.lda.num_topics
+    );
     let estimator = TableIntentEstimator::fit(&corpus, config.lda.clone());
     let analysis = analyze_topics(&estimator, &corpus, 5);
 
-    let mut table = TextTable::new(&["topic", "saliency", "top-5 semantic types", "interpretation"]);
+    let mut table = TextTable::new(&[
+        "topic",
+        "saliency",
+        "top-5 semantic types",
+        "interpretation",
+    ]);
     for summary in analysis.topics_by_saliency.iter().take(5) {
         let types: Vec<String> = summary
             .top_types
@@ -71,7 +124,9 @@ fn main() {
         ]);
     }
     println!("\n{}", table.render());
-    println!("paper reference: topic #192 (origin, nationality, country, continent, sex) -> person;");
+    println!(
+        "paper reference: topic #192 (origin, nationality, country, continent, sex) -> person;"
+    );
     println!("topic #99 (affiliate, class, person, notes, language) -> person; topic #264 (code,");
     println!("description, creator, company, symbol) -> business.");
     println!("Expected shape: the most salient topics align with coherent table themes (person / business / geography / ...).");

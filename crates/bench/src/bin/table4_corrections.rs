@@ -117,7 +117,11 @@ fn main() {
     );
 
     println!("\npaper reference: e.g. table #4575 (symbol, company, isbn, sales) — Base predicted");
-    println!("(symbol, name, isbn, duration) and the CRF corrected company/sales via the co-occurring");
-    println!("symbol/isbn columns. Expected shape: the CRF repairs columns whose values are ambiguous");
+    println!(
+        "(symbol, name, isbn, duration) and the CRF corrected company/sales via the co-occurring"
+    );
+    println!(
+        "symbol/isbn columns. Expected shape: the CRF repairs columns whose values are ambiguous"
+    );
     println!("in isolation but whose neighbours disambiguate them.");
 }

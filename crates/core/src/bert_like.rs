@@ -158,13 +158,21 @@ impl BertLikeModel {
 
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut net = Sequential::new()
-            .push(Dense::new(self.config.encoding_dim, self.config.hidden_dim, &mut rng))
+            .push(Dense::new(
+                self.config.encoding_dim,
+                self.config.hidden_dim,
+                &mut rng,
+            ))
             .push(ReLU::new())
             .push(Dropout::new(
                 self.config.dropout,
                 StdRng::seed_from_u64(self.config.seed ^ 1),
             ))
-            .push(Dense::new(self.config.hidden_dim, self.config.hidden_dim, &mut rng))
+            .push(Dense::new(
+                self.config.hidden_dim,
+                self.config.hidden_dim,
+                &mut rng,
+            ))
             .push(ReLU::new())
             .push(Dense::new(self.config.hidden_dim, NUM_TYPES, &mut rng));
 
@@ -228,7 +236,9 @@ mod tests {
         assert_eq!(a, b);
         let norm: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
         assert!((norm - 1.0).abs() < 1e-4);
-        assert!(encode_column(&Column::new([""]), 64).iter().all(|&x| x == 0.0));
+        assert!(encode_column(&Column::new([""]), 64)
+            .iter()
+            .all(|&x| x == 0.0));
     }
 
     #[test]
@@ -244,7 +254,11 @@ mod tests {
         let mut total = 0usize;
         for table in corpus.iter().take(20) {
             let preds = model.predict_types(table);
-            correct += preds.iter().zip(&table.labels).filter(|(a, b)| a == b).count();
+            correct += preds
+                .iter()
+                .zip(&table.labels)
+                .filter(|(a, b)| a == b)
+                .count();
             total += table.labels.len();
         }
         assert!(correct as f32 / total as f32 > 0.2);

@@ -321,7 +321,10 @@ mod tests {
             total += table.labels.len();
         }
         let acc = correct as f32 / total as f32;
-        assert!(acc > 0.3, "training accuracy {acc} barely above chance (1/78)");
+        assert!(
+            acc > 0.3,
+            "training accuracy {acc} barely above chance (1/78)"
+        );
     }
 
     #[test]
@@ -330,7 +333,9 @@ mod tests {
         let table = &corpus.tables[1];
         let emb = model.column_embeddings(table);
         assert_eq!(emb.len(), table.num_columns());
-        assert!(emb.iter().all(|e| e.len() == SatoConfig::fast().network.hidden_dim));
+        assert!(emb
+            .iter()
+            .all(|e| e.len() == SatoConfig::fast().network.hidden_dim));
     }
 
     #[test]

@@ -118,9 +118,12 @@ impl SatoConfig {
         SatoConfig {
             features: FeatureConfig::small(),
             lda: LdaConfig {
-                num_topics: 16,
-                train_iterations: 25,
-                infer_iterations: 12,
+                // Needs enough topics to separate the corpus's table
+                // intents; fewer makes the topic signal noise that *hurts*
+                // the topic-aware variants.
+                num_topics: 32,
+                train_iterations: 60,
+                infer_iterations: 25,
                 ..LdaConfig::default()
             },
             network: NetworkConfig {
@@ -180,7 +183,10 @@ mod tests {
 
     #[test]
     fn builders_update_fields() {
-        let cfg = SatoConfig::fast().with_seed(7).with_topics(5).with_epochs(3);
+        let cfg = SatoConfig::fast()
+            .with_seed(7)
+            .with_topics(5)
+            .with_epochs(3);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.lda.num_topics, 5);
         assert_eq!(cfg.network.epochs, 3);

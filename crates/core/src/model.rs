@@ -188,8 +188,12 @@ mod tests {
     #[test]
     fn variant_flags_match_the_paper() {
         assert!(!SatoVariant::Base.uses_topic() && !SatoVariant::Base.uses_structure());
-        assert!(SatoVariant::SatoNoStruct.uses_topic() && !SatoVariant::SatoNoStruct.uses_structure());
-        assert!(!SatoVariant::SatoNoTopic.uses_topic() && SatoVariant::SatoNoTopic.uses_structure());
+        assert!(
+            SatoVariant::SatoNoStruct.uses_topic() && !SatoVariant::SatoNoStruct.uses_structure()
+        );
+        assert!(
+            !SatoVariant::SatoNoTopic.uses_topic() && SatoVariant::SatoNoTopic.uses_structure()
+        );
         assert!(SatoVariant::Full.uses_topic() && SatoVariant::Full.uses_structure());
         assert_eq!(SatoVariant::Full.name(), "Sato");
         assert_eq!(SatoVariant::ALL.len(), 4);

@@ -125,7 +125,10 @@ mod tests {
 
     impl FakePredictor {
         fn uniform_with_peaks(peaks: &[(usize, f32)]) -> Vec<f32> {
-            let mut row = vec![(1.0 - peaks.iter().map(|(_, p)| p).sum::<f32>()) / NUM_TYPES as f32; NUM_TYPES];
+            let mut row = vec![
+                (1.0 - peaks.iter().map(|(_, p)| p).sum::<f32>()) / NUM_TYPES as f32;
+                NUM_TYPES
+            ];
             for &(idx, p) in peaks {
                 row[idx] += p;
             }

@@ -167,12 +167,10 @@ impl LinearChainCrf {
                 let mut e = vec![0.0f64; k * k];
                 for a in 0..k {
                     for b in 0..k {
-                        e[a * k + b] = (alpha[i][a]
-                            + self.pair(a, b)
-                            + unary[i + 1][b]
-                            + beta[i + 1][b]
-                            - log_z)
-                            .exp();
+                        e[a * k + b] =
+                            (alpha[i][a] + self.pair(a, b) + unary[i + 1][b] + beta[i + 1][b]
+                                - log_z)
+                                .exp();
                     }
                 }
                 e
@@ -352,7 +350,11 @@ mod tests {
         // With zero pairwise potentials the chain is a product of independent
         // softmaxes, so Viterbi must equal per-position argmax.
         let crf = LinearChainCrf::new(3);
-        let unary = vec![vec![3.0, 0.0, 1.0], vec![0.0, 0.1, 2.0], vec![1.0, 5.0, 0.0]];
+        let unary = vec![
+            vec![3.0, 0.0, 1.0],
+            vec![0.0, 0.1, 2.0],
+            vec![1.0, 5.0, 0.0],
+        ];
         assert_eq!(crf.viterbi(&unary), vec![0, 2, 1]);
     }
 

@@ -146,37 +146,28 @@ mod tests {
     use rand::Rng;
 
     /// Build a synthetic task where labels alternate between coupled pairs
-    /// (0 follows 1, 2 follows 3) but the unary scores are ambiguous between
-    /// the coupled label and a distractor.
+    /// (0 follows 1, 2 follows 3) and the unary scores are occasionally
+    /// wrong: at a quarter of the positions a random distractor label
+    /// out-scores the gold one. Position-independent prediction gets those
+    /// positions wrong; the chain context (alternation never crosses a
+    /// base pair) is what recovers them — the Table 4 "corrections" story.
     fn synthetic_examples(n: usize, seed: u64) -> Vec<CrfExample> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut out = Vec::new();
         for _ in 0..n {
             let len = rng.gen_range(2..5);
-            let mut labels = Vec::with_capacity(len);
-            let mut unary = Vec::with_capacity(len);
-            for i in 0..len {
-                // Gold sequence alternates 0,1,0,1,... or 2,3,2,3,...
-                let base = if rng.gen_bool(0.5) { 0 } else { 2 };
-                let label = base + (i % 2);
-                labels.push(label);
-                // Unary is ambiguous: gold label and a random distractor get
-                // nearly the same score.
-                let mut u = vec![0.0f64; 4];
-                u[label] = 1.0;
-                let distractor = (label + 2) % 4;
-                u[distractor] = 0.9;
-                unary.push(u);
-            }
-            // Re-derive labels so both halves of an example agree on a base.
-            let base = labels[0] & !1;
+            // Gold sequence alternates 0,1,0,1,... or 2,3,2,3,...
+            let base = if rng.gen_bool(0.5) { 0 } else { 2 };
             let labels: Vec<usize> = (0..len).map(|i| base + (i % 2)).collect();
             let unary: Vec<Vec<f64>> = labels
                 .iter()
                 .map(|&l| {
                     let mut u = vec![0.0f64; 4];
                     u[l] = 1.0;
-                    u[(l + 2) % 4] = 0.9;
+                    if rng.gen_bool(0.25) {
+                        let distractor = (l + rng.gen_range(1..4)) % 4;
+                        u[distractor] = 1.2;
+                    }
                     u
                 })
                 .collect();
@@ -249,7 +240,11 @@ mod tests {
             unary: vec![vec![0.0, 1.0]],
             labels: vec![1],
         }];
-        let (crf, history) = train_crf(LinearChainCrf::new(2), &examples, &CrfTrainConfig::default());
+        let (crf, history) = train_crf(
+            LinearChainCrf::new(2),
+            &examples,
+            &CrfTrainConfig::default(),
+        );
         // No usable (length >= 2) sequences: parameters stay zero.
         assert!(crf.pairwise().iter().all(|&p| p == 0.0));
         assert!(history.is_empty());

@@ -243,9 +243,8 @@ mod tests {
         let p1 = [T::City, T::Country];
         let g2 = [T::Age];
         let p2 = [T::Weight];
-        let eval = Evaluation::from_tables(
-            vec![(&g1[..], &p1[..]), (&g2[..], &p2[..])].into_iter(),
-        );
+        let eval =
+            Evaluation::from_tables(vec![(&g1[..], &p1[..]), (&g2[..], &p2[..])].into_iter());
         assert_eq!(eval.total, 3);
         assert!((eval.accuracy - 2.0 / 3.0).abs() < 1e-12);
     }

@@ -176,13 +176,25 @@ pub fn tsne_2d(data: &[Vec<f32>], config: &TsneConfig) -> Vec<Point2> {
             }
             if diff > 0.0 {
                 beta_min = beta;
-                beta = if beta_max.is_infinite() { beta * 2.0 } else { (beta + beta_max) / 2.0 };
+                beta = if beta_max.is_infinite() {
+                    beta * 2.0
+                } else {
+                    (beta + beta_max) / 2.0
+                };
             } else {
                 beta_max = beta;
-                beta = if beta_min.is_infinite() { beta / 2.0 } else { (beta + beta_min) / 2.0 };
+                beta = if beta_min.is_infinite() {
+                    beta / 2.0
+                } else {
+                    (beta + beta_min) / 2.0
+                };
             }
         }
-        let sum: f64 = (0..n).filter(|&j| j != i).map(|j| p[i * n + j]).sum::<f64>().max(1e-300);
+        let sum: f64 = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| p[i * n + j])
+            .sum::<f64>()
+            .max(1e-300);
         for j in 0..n {
             if i != j {
                 p[i * n + j] /= sum;
@@ -220,7 +232,11 @@ pub fn tsne_2d(data: &[Vec<f32>], config: &TsneConfig) -> Vec<Point2> {
         }
         let q_sum = q_sum.max(1e-300);
         // Early exaggeration.
-        let exaggeration = if iter < config.iterations / 4 { 4.0 } else { 1.0 };
+        let exaggeration = if iter < config.iterations / 4 {
+            4.0
+        } else {
+            1.0
+        };
         let momentum = if iter < 50 { 0.5 } else { 0.8 };
 
         for i in 0..n {
@@ -286,9 +302,7 @@ mod tests {
         let mut data = Vec::new();
         for i in 0..40 {
             let offset = if i < 20 { 0.0 } else { 5.0 };
-            let row: Vec<f32> = (0..10)
-                .map(|_| offset + rng.gen_range(-0.5..0.5))
-                .collect();
+            let row: Vec<f32> = (0..10).map(|_| offset + rng.gen_range(-0.5..0.5)).collect();
             data.push(row);
         }
         (data, 20)
@@ -343,7 +357,10 @@ mod tests {
     fn projections_are_deterministic() {
         let (data, _) = blobs();
         assert_eq!(pca_2d(&data, 7), pca_2d(&data, 7));
-        let cfg = TsneConfig { iterations: 50, ..TsneConfig::default() };
+        let cfg = TsneConfig {
+            iterations: 50,
+            ..TsneConfig::default()
+        };
         assert_eq!(tsne_2d(&data, &cfg), tsne_2d(&data, &cfg));
     }
 }

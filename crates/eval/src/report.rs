@@ -94,7 +94,9 @@ pub fn ascii_bar(value: f64, max: f64, width: usize) -> String {
     if max <= 0.0 {
         return String::new();
     }
-    let filled = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    let filled = ((value / max) * width as f64)
+        .round()
+        .clamp(0.0, width as f64) as usize;
     "#".repeat(filled)
 }
 
@@ -125,7 +127,10 @@ mod tests {
         assert!(s.starts_with("0.735 ±0.022 (14.5%↑)") || s.starts_with("0.735 ±0.022 (14.4%↑)"));
         let down = fmt_mean_ci_with_improvement((0.5, 0.01), 0.6);
         assert!(down.contains("↓"));
-        assert_eq!(fmt_mean_ci_with_improvement((0.5, 0.01), 0.0), "0.500 ±0.010");
+        assert_eq!(
+            fmt_mean_ci_with_improvement((0.5, 0.01), 0.0),
+            "0.500 ±0.010"
+        );
     }
 
     #[test]

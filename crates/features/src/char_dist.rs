@@ -14,9 +14,9 @@ use sato_tabular::table::Column;
 
 /// The characters whose per-cell distributions are summarised.
 pub const CHARSET: &[char] = &[
-    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
-    's', 't', 'u', 'v', 'w', 'x', 'y', 'z', '0', '1', '2', '3', '4', '5', '6', '7', '8', '9',
-    ' ', '.', ',', '-', '_', '/', ':', '(', ')', '&', '\'', '"', '%', '$', '#', '@', '+',
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r', 's',
+    't', 'u', 'v', 'w', 'x', 'y', 'z', '0', '1', '2', '3', '4', '5', '6', '7', '8', '9', ' ', '.',
+    ',', '-', '_', '/', ':', '(', ')', '&', '\'', '"', '%', '$', '#', '@', '+',
 ];
 
 /// Number of aggregate statistics kept per character.

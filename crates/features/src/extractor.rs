@@ -111,8 +111,9 @@ impl ColumnFeatures {
 
     /// Concatenate all groups in [`FeatureGroup::ALL`] order.
     pub fn concatenated(&self) -> Vec<f32> {
-        let mut out =
-            Vec::with_capacity(self.char.len() + self.word.len() + self.para.len() + self.stat.len());
+        let mut out = Vec::with_capacity(
+            self.char.len() + self.word.len() + self.para.len() + self.stat.len(),
+        );
         out.extend_from_slice(&self.char);
         out.extend_from_slice(&self.word);
         out.extend_from_slice(&self.para);
@@ -170,7 +171,11 @@ impl FeatureExtractor {
 
     /// Extract the features of every column of a table.
     pub fn extract_table(&self, table: &Table) -> Vec<ColumnFeatures> {
-        table.columns.iter().map(|c| self.extract_column(c)).collect()
+        table
+            .columns
+            .iter()
+            .map(|c| self.extract_column(c))
+            .collect()
     }
 }
 

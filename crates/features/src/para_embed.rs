@@ -32,6 +32,11 @@ pub fn para_features(column: &Column, dim: usize) -> Vec<f32> {
     if term_freq.is_empty() {
         return out;
     }
+    // Accumulate in sorted token order: f32 addition is not associative, so
+    // HashMap iteration order would leak into the features (and break
+    // bit-for-bit reproducibility of trained models).
+    let mut term_freq: Vec<(String, usize)> = term_freq.into_iter().collect();
+    term_freq.sort_unstable();
     for (token, tf) in term_freq {
         let h = fnv1a(token.as_bytes(), PARA_EMBED_SEED);
         let bucket = (h % dim as u64) as usize;

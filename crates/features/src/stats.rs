@@ -65,7 +65,10 @@ pub fn stat_features(column: &Column) -> Vec<f32> {
     let frac = |pred: &dyn Fn(&str) -> bool| {
         non_empty.iter().filter(|v| pred(v)).count() as f32 / n as f32
     };
-    out[13] = frac(&|v| v.chars().all(|c| c.is_ascii_digit() || c == '.' || c == ',' || c == '-'));
+    out[13] = frac(&|v| {
+        v.chars()
+            .all(|c| c.is_ascii_digit() || c == '.' || c == ',' || c == '-')
+    });
     out[14] = frac(&|v| v.chars().any(|c| c.is_ascii_digit()));
     out[15] = frac(&|v| v.chars().all(|c| c.is_alphabetic() || c.is_whitespace()));
     out[16] = frac(&|v| v.chars().any(|c| c.is_uppercase()));
@@ -73,10 +76,7 @@ pub fn stat_features(column: &Column) -> Vec<f32> {
     out[18] = frac(&|v| v.contains(|c: char| !c.is_alphanumeric() && !c.is_whitespace()));
 
     // Numeric value statistics (over parseable cells).
-    let numeric: Vec<f32> = non_empty
-        .iter()
-        .filter_map(|v| parse_numeric(v))
-        .collect();
+    let numeric: Vec<f32> = non_empty.iter().filter_map(|v| parse_numeric(v)).collect();
     out[19] = numeric.len() as f32 / n as f32; // fraction numeric-parseable
     if !numeric.is_empty() {
         let (num_mean, num_std, num_min, num_max) = moments(&numeric);
@@ -85,8 +85,8 @@ pub fn stat_features(column: &Column) -> Vec<f32> {
         out[22] = num_min;
         out[23] = num_max;
         out[24] = numeric.iter().filter(|&&x| x < 0.0).count() as f32 / numeric.len() as f32;
-        out[25] = numeric.iter().filter(|&&x| x.fract() != 0.0).count() as f32
-            / numeric.len() as f32;
+        out[25] =
+            numeric.iter().filter(|&&x| x.fract() != 0.0).count() as f32 / numeric.len() as f32;
     }
     // Mean digit fraction per cell.
     out[26] = non_empty

@@ -53,6 +53,9 @@ mod tests {
     fn initialisation_is_deterministic_per_seed() {
         let mut a = StdRng::seed_from_u64(7);
         let mut b = StdRng::seed_from_u64(7);
-        assert_eq!(xavier_uniform(10, 10, &mut a), xavier_uniform(10, 10, &mut b));
+        assert_eq!(
+            xavier_uniform(10, 10, &mut a),
+            xavier_uniform(10, 10, &mut b)
+        );
     }
 }

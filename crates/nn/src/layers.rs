@@ -112,7 +112,9 @@ impl Layer for Dense {
             .as_ref()
             .expect("backward called before forward(training=true)");
         // dW = xᵀ g ; db = Σ rows of g ; dx = g Wᵀ
-        self.weight.grad.add_scaled(&input.t_matmul(grad_output), 1.0);
+        self.weight
+            .grad
+            .add_scaled(&input.t_matmul(grad_output), 1.0);
         self.bias.grad.add_scaled(&grad_output.sum_rows(), 1.0);
         grad_output.matmul_t(&self.weight.value)
     }
@@ -179,7 +181,10 @@ pub struct Dropout {
 impl Dropout {
     /// Create a dropout layer with drop probability `p` in `[0, 1)`.
     pub fn new(p: f32, rng: StdRng) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0,1)"
+        );
         Dropout { p, rng, mask: None }
     }
 }
@@ -477,7 +482,11 @@ mod tests {
         assert_eq!(eval, x);
         let train = d.forward(&x, true);
         let zeros = train.data().iter().filter(|&&v| v == 0.0).count();
-        let scaled = train.data().iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
+        let scaled = train
+            .data()
+            .iter()
+            .filter(|&&v| (v - 2.0).abs() < 1e-6)
+            .count();
         assert_eq!(zeros + scaled, 200);
         assert!(zeros > 50 && zeros < 150, "zeros={zeros}");
         // Expected value is preserved approximately.

@@ -149,9 +149,9 @@ mod tests {
             lp.data_mut()[i] += eps;
             let mut lm = logits.clone();
             lm.data_mut()[i] -= eps;
-            let num =
-                (softmax_cross_entropy(&lp, &targets).loss - softmax_cross_entropy(&lm, &targets).loss)
-                    / (2.0 * eps);
+            let num = (softmax_cross_entropy(&lp, &targets).loss
+                - softmax_cross_entropy(&lm, &targets).loss)
+                / (2.0 * eps);
             let ana = out.grad_logits.data()[i];
             assert!((num - ana).abs() < 1e-3, "idx {i}: {num} vs {ana}");
         }

@@ -136,7 +136,8 @@ impl Matrix {
     /// `self @ other` — standard matrix product.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} x {:?}",
             self.shape(),
             other.shape()
@@ -161,7 +162,8 @@ impl Matrix {
     /// `selfᵀ @ other` without materialising the transpose.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
-            self.rows, other.rows,
+            self.rows,
+            other.rows,
             "t_matmul shape mismatch: {:?}ᵀ x {:?}",
             self.shape(),
             other.shape()
@@ -186,7 +188,8 @@ impl Matrix {
     /// `self @ otherᵀ` without materialising the transpose.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, other.cols,
+            self.cols,
+            other.cols,
             "matmul_t shape mismatch: {:?} x {:?}ᵀ",
             self.shape(),
             other.shape()
@@ -296,17 +299,13 @@ impl Matrix {
     pub fn hconcat(parts: &[&Matrix]) -> Matrix {
         assert!(!parts.is_empty(), "hconcat of nothing");
         let rows = parts[0].rows;
-        assert!(
-            parts.iter().all(|p| p.rows == rows),
-            "hconcat row mismatch"
-        );
+        assert!(parts.iter().all(|p| p.rows == rows), "hconcat row mismatch");
         let cols: usize = parts.iter().map(|p| p.cols).sum();
         let mut out = Matrix::zeros(rows, cols);
         for r in 0..rows {
             let mut offset = 0;
             for p in parts {
-                out.data[r * cols + offset..r * cols + offset + p.cols]
-                    .copy_from_slice(p.row(r));
+                out.data[r * cols + offset..r * cols + offset + p.cols].copy_from_slice(p.row(r));
                 offset += p.cols;
             }
         }

@@ -97,7 +97,10 @@ impl MultiInputNetwork {
     /// Build from branch subnetworks (one per input group, identity branches
     /// allowed) and a primary network.
     pub fn new(branches: Vec<Sequential>, primary: Sequential) -> Self {
-        assert!(!branches.is_empty(), "at least one input branch is required");
+        assert!(
+            !branches.is_empty(),
+            "at least one input branch is required"
+        );
         MultiInputNetwork {
             branches,
             primary,
@@ -238,7 +241,10 @@ mod tests {
             first_loss.get_or_insert(out.loss);
             last_loss = out.loss;
         }
-        assert!(last_loss < first_loss.unwrap() * 0.2, "loss did not drop: {last_loss}");
+        assert!(
+            last_loss < first_loss.unwrap() * 0.2,
+            "loss did not drop: {last_loss}"
+        );
         let logits = net.forward(&x, false);
         let preds = crate::loss::argmax_rows(&logits);
         assert_eq!(preds, vec![0, 1, 1, 0]);
@@ -248,7 +254,9 @@ mod tests {
     fn multi_input_network_concatenates_branches() {
         let mut r = rng();
         let branches = vec![
-            Sequential::new().push(Dense::new(3, 2, &mut r)).push(ReLU::new()),
+            Sequential::new()
+                .push(Dense::new(3, 2, &mut r))
+                .push(ReLU::new()),
             Sequential::new(), // identity branch, like the Stat features
         ];
         let primary = Sequential::new().push(Dense::new(2 + 2, 5, &mut r));
@@ -283,8 +291,12 @@ mod tests {
         // input group, verifying gradients flow through the concatenation.
         let mut r = rng();
         let branches = vec![
-            Sequential::new().push(Dense::new(2, 4, &mut r)).push(ReLU::new()),
-            Sequential::new().push(Dense::new(1, 4, &mut r)).push(ReLU::new()),
+            Sequential::new()
+                .push(Dense::new(2, 4, &mut r))
+                .push(ReLU::new()),
+            Sequential::new()
+                .push(Dense::new(1, 4, &mut r))
+                .push(ReLU::new()),
         ];
         let primary = Sequential::new().push(Dense::new(8, 2, &mut r));
         let mut net = MultiInputNetwork::new(branches, primary);

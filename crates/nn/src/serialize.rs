@@ -39,7 +39,10 @@ impl std::fmt::Display for LoadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LoadError::CountMismatch { expected, found } => {
-                write!(f, "state dict has {found} tensors but network has {expected} parameters")
+                write!(
+                    f,
+                    "state dict has {found} tensors but network has {expected} parameters"
+                )
             }
             LoadError::ShapeMismatch {
                 index,

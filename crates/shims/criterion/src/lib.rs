@@ -1,0 +1,186 @@
+//! Offline, API-compatible stand-in for the subset of Criterion this
+//! workspace's benches use: `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of Criterion's statistical engine it runs a short calibrated
+//! timing loop per benchmark and prints mean ns/iter — enough to compare
+//! hot paths across commits without any registry dependency.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under Criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a displayed parameter only.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { id: name.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { id: name }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    iters_hint: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first calibrating an iteration count so one sample
+    /// lasts roughly a millisecond. Matches Criterion's `()` return type;
+    /// the harness reads the timing back through `iters_hint`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: one timed run, then scale.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(1);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        self.iters_hint = iters;
+
+        for _ in 0..iters {
+            black_box(routine());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples to take per benchmark (Criterion API parity).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let samples = self.samples.min(10);
+        let mut best = Duration::MAX;
+        for _ in 0..samples {
+            best = best.min(one_sample(&mut f));
+        }
+        println!(
+            "bench {}/{}: ~{:?}/iter (best of {})",
+            self.name, id, best, samples
+        );
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id.id, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (Criterion API parity; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+/// Runs the benchmark closure once and returns the per-iteration mean.
+fn one_sample<F: FnMut(&mut Bencher)>(f: &mut F) -> Duration {
+    let mut bencher = Bencher { iters_hint: 1 };
+    let start = Instant::now();
+    f(&mut bencher);
+    // The closure calls `Bencher::iter`, which runs a calibration pass plus
+    // `iters_hint` timed iterations; divide wall time by the total count.
+    start.elapsed() / (bencher.iters_hint.max(1) + 1) as u32
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name, f);
+        self
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running each group unless invoked by `cargo test`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` may execute harness-less bench binaries with
+            // `--test`; benches only run under `cargo bench` (`--bench`).
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

@@ -135,7 +135,10 @@ mod tests {
 
     #[test]
     fn header_lookup_matches_registry() {
-        assert_eq!(header_to_type("Birth Place"), Some(SemanticType::BirthPlace));
+        assert_eq!(
+            header_to_type("Birth Place"),
+            Some(SemanticType::BirthPlace)
+        );
         assert_eq!(header_to_type("CITY"), Some(SemanticType::City));
         assert_eq!(header_to_type("population"), None);
     }

@@ -224,13 +224,14 @@ mod tests {
         assert!(!top.is_empty());
         assert!(top.windows(2).all(|w| w[0].2 >= w[1].2));
         // The paper's flagship pair must be near the top of our corpus too.
-        let city_state_rank = top
-            .iter()
-            .position(|(a, b, _)| {
-                (*a == SemanticType::City && *b == SemanticType::State)
-                    || (*a == SemanticType::State && *b == SemanticType::City)
-            });
-        assert!(city_state_rank.is_some(), "city/state not in top-15: {top:?}");
+        let city_state_rank = top.iter().position(|(a, b, _)| {
+            (*a == SemanticType::City && *b == SemanticType::State)
+                || (*a == SemanticType::State && *b == SemanticType::City)
+        });
+        assert!(
+            city_state_rank.is_some(),
+            "city/state not in top-15: {top:?}"
+        );
     }
 
     #[test]

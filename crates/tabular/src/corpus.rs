@@ -189,7 +189,12 @@ pub fn figure1_tables() -> (Table, Table) {
     let table_a = Table::labelled(
         1_000_001,
         vec![
-            Column::new(["Galileo Galilei", "Marie Curie", "Michael Faraday", "Carl Gauss"]),
+            Column::new([
+                "Galileo Galilei",
+                "Marie Curie",
+                "Michael Faraday",
+                "Carl Gauss",
+            ]),
             Column::new(["1564-02-15", "1867-11-07", "1791-09-22", "1777-04-30"]),
             Column::new(["Astronomy", "Physics", "Chemistry", "Mathematics"]),
             Column::new(shared_cities),
@@ -251,7 +256,10 @@ mod tests {
     fn singleton_fraction_is_respected_roughly() {
         let corpus = default_corpus(1000, 3);
         let singletons = corpus.iter().filter(|t| !t.is_multi_column()).count();
-        assert!(singletons > 300 && singletons < 500, "singletons={singletons}");
+        assert!(
+            singletons > 300 && singletons < 500,
+            "singletons={singletons}"
+        );
         let mult = corpus.multi_column_only();
         assert!(mult.iter().all(|t| t.is_multi_column()));
     }

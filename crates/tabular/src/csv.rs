@@ -89,7 +89,10 @@ pub fn table_from_csv(id: u64, text: &str, has_header: bool) -> Table {
             col.push(row.get(c).cloned().unwrap_or_default());
         }
     }
-    let columns: Vec<Column> = columns.into_iter().map(|values| Column { values }).collect();
+    let columns: Vec<Column> = columns
+        .into_iter()
+        .map(|values| Column { values })
+        .collect();
 
     // If a header is present, try to recover ground-truth labels through
     // canonicalization; only attach them if *every* header maps to a known
@@ -108,7 +111,13 @@ pub fn table_from_csv(id: u64, text: &str, has_header: bool) -> Table {
 pub fn table_to_csv(table: &Table) -> String {
     let mut rows: Vec<Vec<String>> = Vec::new();
     if table.is_labelled() {
-        rows.push(table.labels.iter().map(|t| t.canonical_name().to_string()).collect());
+        rows.push(
+            table
+                .labels
+                .iter()
+                .map(|t| t.canonical_name().to_string())
+                .collect(),
+        );
     }
     let n_rows = table.num_rows();
     for r in 0..n_rows {

@@ -70,26 +70,73 @@ pub fn category_of(ty: SemanticType) -> TypeCategory {
     use TypeCategory as C;
     match ty {
         // Location-like.
-        T::Location | T::City | T::State | T::Country | T::County | T::Region | T::Continent
-        | T::BirthPlace | T::Origin | T::Nationality => C::Location,
+        T::Location
+        | T::City
+        | T::State
+        | T::Country
+        | T::County
+        | T::Region
+        | T::Continent
+        | T::BirthPlace
+        | T::Origin
+        | T::Nationality => C::Location,
         // Person-like.
-        T::Name | T::Person | T::Artist | T::Jockey | T::Creator | T::Director | T::Owner
-        | T::Operator | T::Affiliate | T::Sex | T::Gender | T::Religion | T::Education
+        T::Name
+        | T::Person
+        | T::Artist
+        | T::Jockey
+        | T::Creator
+        | T::Director
+        | T::Owner
+        | T::Operator
+        | T::Affiliate
+        | T::Sex
+        | T::Gender
+        | T::Religion
+        | T::Education
         | T::Family => C::Person,
         // Organisation-like.
-        T::Company | T::Manufacturer | T::Brand | T::Publisher | T::Affiliation
-        | T::Organisation | T::Team | T::TeamName | T::Club | T::Industry => C::Organisation,
+        T::Company
+        | T::Manufacturer
+        | T::Brand
+        | T::Publisher
+        | T::Affiliation
+        | T::Organisation
+        | T::Team
+        | T::TeamName
+        | T::Club
+        | T::Industry => C::Organisation,
         // Quantities and measurements.
-        T::Age | T::Weight | T::Rank | T::Ranking | T::Sales | T::Capacity | T::Elevation
-        | T::Depth | T::Area | T::FileSize | T::Plays | T::Order | T::Credit | T::Range
+        T::Age
+        | T::Weight
+        | T::Rank
+        | T::Ranking
+        | T::Sales
+        | T::Capacity
+        | T::Elevation
+        | T::Depth
+        | T::Area
+        | T::FileSize
+        | T::Plays
+        | T::Order
+        | T::Credit
+        | T::Range
         | T::Currency => C::Quantity,
         // Temporal.
         T::Year | T::BirthDate | T::Duration | T::Day => C::Temporal,
         // Categorical short vocabularies.
-        T::Type | T::Category | T::Class | T::Classification | T::Status | T::Result
-        | T::Position | T::Format | T::Language | T::Grades | T::Service | T::Species => {
-            C::Categorical
-        }
+        T::Type
+        | T::Category
+        | T::Class
+        | T::Classification
+        | T::Status
+        | T::Result
+        | T::Position
+        | T::Format
+        | T::Language
+        | T::Grades
+        | T::Service
+        | T::Species => C::Categorical,
         // Identifiers.
         T::Code | T::Symbol | T::Isbn | T::Command => C::Identifier,
         // Free text.
@@ -134,7 +181,10 @@ mod tests {
         assert_eq!(category_of(SemanticType::Country), TypeCategory::Location);
         assert_eq!(category_of(SemanticType::City), TypeCategory::Location);
         assert_eq!(category_of(SemanticType::Club), TypeCategory::Organisation);
-        assert_eq!(category_of(SemanticType::Company), TypeCategory::Organisation);
+        assert_eq!(
+            category_of(SemanticType::Company),
+            TypeCategory::Organisation
+        );
     }
 
     #[test]

@@ -85,11 +85,8 @@ fn gather(corpus: &Corpus, indices: &[usize]) -> Corpus {
 /// obtain the "held-out set of the WebTables corpus" the paper uses for the
 /// CRF pairwise-potential initialisation without touching the CV folds.
 pub fn holdout_by_parity(corpus: &Corpus) -> (Corpus, Corpus) {
-    let (even, odd): (Vec<Table>, Vec<Table>) = corpus
-        .tables
-        .iter()
-        .cloned()
-        .partition(|t| t.id % 2 == 0);
+    let (even, odd): (Vec<Table>, Vec<Table>) =
+        corpus.tables.iter().cloned().partition(|t| t.id % 2 == 0);
     (Corpus::new(even), Corpus::new(odd))
 }
 

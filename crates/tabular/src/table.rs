@@ -249,10 +249,7 @@ mod tests {
     #[test]
     fn document_flattens_in_column_order() {
         let t = sample_table();
-        assert_eq!(
-            t.as_document(),
-            "Florence Warsaw London Italy Poland UK"
-        );
+        assert_eq!(t.as_document(), "Florence Warsaw London Italy Poland UK");
         assert_eq!(t.all_values().count(), 6);
     }
 

@@ -371,14 +371,20 @@ mod tests {
 
     #[test]
     fn canonical_names_are_unique() {
-        let names: HashSet<&str> = SemanticType::ALL.iter().map(|t| t.canonical_name()).collect();
+        let names: HashSet<&str> = SemanticType::ALL
+            .iter()
+            .map(|t| t.canonical_name())
+            .collect();
         assert_eq!(names.len(), NUM_TYPES);
     }
 
     #[test]
     fn canonical_name_round_trips() {
         for t in SemanticType::ALL {
-            assert_eq!(SemanticType::from_canonical_name(t.canonical_name()), Some(t));
+            assert_eq!(
+                SemanticType::from_canonical_name(t.canonical_name()),
+                Some(t)
+            );
             assert_eq!(t.canonical_name().parse::<SemanticType>().unwrap(), t);
         }
     }

@@ -25,178 +25,547 @@ use rand::Rng;
 pub mod vocab {
     /// City names (shared by `city`, `birthPlace`, `location`, `address`).
     pub const CITIES: &[&str] = &[
-        "Florence", "Warsaw", "London", "Braunschweig", "Paris", "Berlin", "Madrid", "Rome",
-        "Vienna", "Prague", "Lisbon", "Dublin", "Amsterdam", "Brussels", "Copenhagen", "Oslo",
-        "Stockholm", "Helsinki", "Athens", "Budapest", "Zurich", "Geneva", "Munich", "Hamburg",
-        "Milan", "Naples", "Turin", "Porto", "Seville", "Valencia", "Krakow", "Gdansk",
-        "Chicago", "Boston", "Denver", "Austin", "Portland", "Seattle", "Toronto", "Montreal",
-        "Kyoto", "Osaka", "Nagoya", "Shanghai", "Mumbai", "Nairobi", "Lagos", "Lima",
+        "Florence",
+        "Warsaw",
+        "London",
+        "Braunschweig",
+        "Paris",
+        "Berlin",
+        "Madrid",
+        "Rome",
+        "Vienna",
+        "Prague",
+        "Lisbon",
+        "Dublin",
+        "Amsterdam",
+        "Brussels",
+        "Copenhagen",
+        "Oslo",
+        "Stockholm",
+        "Helsinki",
+        "Athens",
+        "Budapest",
+        "Zurich",
+        "Geneva",
+        "Munich",
+        "Hamburg",
+        "Milan",
+        "Naples",
+        "Turin",
+        "Porto",
+        "Seville",
+        "Valencia",
+        "Krakow",
+        "Gdansk",
+        "Chicago",
+        "Boston",
+        "Denver",
+        "Austin",
+        "Portland",
+        "Seattle",
+        "Toronto",
+        "Montreal",
+        "Kyoto",
+        "Osaka",
+        "Nagoya",
+        "Shanghai",
+        "Mumbai",
+        "Nairobi",
+        "Lagos",
+        "Lima",
     ];
 
     /// Country names (shared by `country`, `origin`, `nationality` partially).
     pub const COUNTRIES: &[&str] = &[
-        "Italy", "Poland", "United Kingdom", "Germany", "France", "Spain", "Austria", "Czechia",
-        "Portugal", "Ireland", "Netherlands", "Belgium", "Denmark", "Norway", "Sweden", "Finland",
-        "Greece", "Hungary", "Switzerland", "Japan", "China", "India", "Kenya", "Nigeria",
-        "Peru", "Brazil", "Canada", "United States", "Mexico", "Australia", "New Zealand",
-        "Argentina", "Chile", "Egypt", "Morocco", "Turkey", "Ukraine", "Romania",
+        "Italy",
+        "Poland",
+        "United Kingdom",
+        "Germany",
+        "France",
+        "Spain",
+        "Austria",
+        "Czechia",
+        "Portugal",
+        "Ireland",
+        "Netherlands",
+        "Belgium",
+        "Denmark",
+        "Norway",
+        "Sweden",
+        "Finland",
+        "Greece",
+        "Hungary",
+        "Switzerland",
+        "Japan",
+        "China",
+        "India",
+        "Kenya",
+        "Nigeria",
+        "Peru",
+        "Brazil",
+        "Canada",
+        "United States",
+        "Mexico",
+        "Australia",
+        "New Zealand",
+        "Argentina",
+        "Chile",
+        "Egypt",
+        "Morocco",
+        "Turkey",
+        "Ukraine",
+        "Romania",
     ];
 
     /// Nationality adjectives (shared by `nationality` and `origin`).
     pub const NATIONALITIES: &[&str] = &[
-        "Italian", "Polish", "British", "German", "French", "Spanish", "Austrian", "Czech",
-        "Portuguese", "Irish", "Dutch", "Belgian", "Danish", "Norwegian", "Swedish", "Finnish",
-        "Greek", "Hungarian", "Swiss", "Japanese", "Chinese", "Indian", "Kenyan", "Nigerian",
-        "Peruvian", "Brazilian", "Canadian", "American", "Mexican", "Australian",
+        "Italian",
+        "Polish",
+        "British",
+        "German",
+        "French",
+        "Spanish",
+        "Austrian",
+        "Czech",
+        "Portuguese",
+        "Irish",
+        "Dutch",
+        "Belgian",
+        "Danish",
+        "Norwegian",
+        "Swedish",
+        "Finnish",
+        "Greek",
+        "Hungarian",
+        "Swiss",
+        "Japanese",
+        "Chinese",
+        "Indian",
+        "Kenyan",
+        "Nigerian",
+        "Peruvian",
+        "Brazilian",
+        "Canadian",
+        "American",
+        "Mexican",
+        "Australian",
     ];
 
     /// Continents.
     pub const CONTINENTS: &[&str] = &[
-        "Europe", "Asia", "Africa", "North America", "South America", "Oceania", "Antarctica",
+        "Europe",
+        "Asia",
+        "Africa",
+        "North America",
+        "South America",
+        "Oceania",
+        "Antarctica",
     ];
 
     /// Given names (shared by every person-like type).
     pub const FIRST_NAMES: &[&str] = &[
-        "Ada", "Alan", "Grace", "Marie", "Nikola", "Isaac", "Albert", "Rosalind", "Charles",
-        "Dorothy", "Leonhard", "Emmy", "Niels", "Lise", "Richard", "Barbara", "James", "Katherine",
-        "Sofia", "Carlos", "Elena", "Marco", "Hannah", "Victor", "Amelia", "Oscar", "Lucia",
-        "Hugo", "Clara", "Felix", "Nora", "Ivan", "Maja", "Leo", "Ines", "Tomas",
+        "Ada",
+        "Alan",
+        "Grace",
+        "Marie",
+        "Nikola",
+        "Isaac",
+        "Albert",
+        "Rosalind",
+        "Charles",
+        "Dorothy",
+        "Leonhard",
+        "Emmy",
+        "Niels",
+        "Lise",
+        "Richard",
+        "Barbara",
+        "James",
+        "Katherine",
+        "Sofia",
+        "Carlos",
+        "Elena",
+        "Marco",
+        "Hannah",
+        "Victor",
+        "Amelia",
+        "Oscar",
+        "Lucia",
+        "Hugo",
+        "Clara",
+        "Felix",
+        "Nora",
+        "Ivan",
+        "Maja",
+        "Leo",
+        "Ines",
+        "Tomas",
     ];
 
     /// Family names (shared by every person-like type).
     pub const LAST_NAMES: &[&str] = &[
-        "Lovelace", "Turing", "Hopper", "Curie", "Tesla", "Newton", "Einstein", "Franklin",
-        "Darwin", "Hodgkin", "Euler", "Noether", "Bohr", "Meitner", "Feynman", "McClintock",
-        "Maxwell", "Johnson", "Kowalska", "Garcia", "Rossi", "Novak", "Schmidt", "Dubois",
-        "Silva", "Tanaka", "Okafor", "Mwangi", "Larsen", "Virtanen", "Papadopoulos", "Nagy",
+        "Lovelace",
+        "Turing",
+        "Hopper",
+        "Curie",
+        "Tesla",
+        "Newton",
+        "Einstein",
+        "Franklin",
+        "Darwin",
+        "Hodgkin",
+        "Euler",
+        "Noether",
+        "Bohr",
+        "Meitner",
+        "Feynman",
+        "McClintock",
+        "Maxwell",
+        "Johnson",
+        "Kowalska",
+        "Garcia",
+        "Rossi",
+        "Novak",
+        "Schmidt",
+        "Dubois",
+        "Silva",
+        "Tanaka",
+        "Okafor",
+        "Mwangi",
+        "Larsen",
+        "Virtanen",
+        "Papadopoulos",
+        "Nagy",
     ];
 
     /// Company-ish organisation names (shared by `company`, `manufacturer`,
     /// `brand`, `publisher`, `affiliation`, `organisation`, `operator`).
     pub const ORGANISATIONS: &[&str] = &[
-        "Acme Corp", "Globex", "Initech", "Umbrella Industries", "Stark Labs", "Wayne Enterprises",
-        "Northwind Traders", "Contoso", "Fabrikam", "Tailspin Toys", "Wingtip Press", "Lakeshore Media",
-        "Redwood Systems", "Bluepeak Energy", "Ironclad Motors", "Sunrise Foods", "Vertex Pharma",
-        "Atlas Logistics", "Orion Aerospace", "Cascade Software", "Pinnacle Bank", "Meridian Telecom",
-        "Harbor Shipping", "Summit Retail", "Quantum Devices", "Helios Solar", "Nimbus Cloudworks",
-        "Granite Construction", "Aurora Studios", "Beacon Insurance",
+        "Acme Corp",
+        "Globex",
+        "Initech",
+        "Umbrella Industries",
+        "Stark Labs",
+        "Wayne Enterprises",
+        "Northwind Traders",
+        "Contoso",
+        "Fabrikam",
+        "Tailspin Toys",
+        "Wingtip Press",
+        "Lakeshore Media",
+        "Redwood Systems",
+        "Bluepeak Energy",
+        "Ironclad Motors",
+        "Sunrise Foods",
+        "Vertex Pharma",
+        "Atlas Logistics",
+        "Orion Aerospace",
+        "Cascade Software",
+        "Pinnacle Bank",
+        "Meridian Telecom",
+        "Harbor Shipping",
+        "Summit Retail",
+        "Quantum Devices",
+        "Helios Solar",
+        "Nimbus Cloudworks",
+        "Granite Construction",
+        "Aurora Studios",
+        "Beacon Insurance",
     ];
 
     /// Sports team names (shared by `team`, `teamName`, `club`).
     pub const TEAMS: &[&str] = &[
-        "Rovers", "United", "Wanderers", "Athletic", "City", "Dynamo", "Sporting", "Olympic",
-        "Falcons", "Tigers", "Sharks", "Eagles", "Wolves", "Bears", "Lions", "Hawks",
-        "Mariners", "Pioneers", "Rangers", "Royals", "Saints", "Titans", "Comets", "Chargers",
+        "Rovers",
+        "United",
+        "Wanderers",
+        "Athletic",
+        "City",
+        "Dynamo",
+        "Sporting",
+        "Olympic",
+        "Falcons",
+        "Tigers",
+        "Sharks",
+        "Eagles",
+        "Wolves",
+        "Bears",
+        "Lions",
+        "Hawks",
+        "Mariners",
+        "Pioneers",
+        "Rangers",
+        "Royals",
+        "Saints",
+        "Titans",
+        "Comets",
+        "Chargers",
     ];
 
     /// Town prefixes used to compose team/club names.
     pub const TEAM_PREFIXES: &[&str] = &[
-        "North", "South", "East", "West", "Lake", "River", "Hill", "Port", "New", "Old",
-        "Green", "Red", "Silver", "Golden", "Iron", "Stone",
+        "North", "South", "East", "West", "Lake", "River", "Hill", "Port", "New", "Old", "Green",
+        "Red", "Silver", "Golden", "Iron", "Stone",
     ];
 
     /// Album-like two/three word titles (`album`, `collection`, `product` partially).
     pub const TITLE_WORDS: &[&str] = &[
-        "Midnight", "Echo", "Horizon", "Velvet", "Neon", "Silent", "Golden", "Electric",
-        "Crimson", "Winter", "Summer", "Shadow", "Light", "River", "Stone", "Glass",
-        "Paper", "Wild", "Blue", "Scarlet", "Hidden", "Broken", "Rising", "Falling",
+        "Midnight", "Echo", "Horizon", "Velvet", "Neon", "Silent", "Golden", "Electric", "Crimson",
+        "Winter", "Summer", "Shadow", "Light", "River", "Stone", "Glass", "Paper", "Wild", "Blue",
+        "Scarlet", "Hidden", "Broken", "Rising", "Falling",
     ];
 
     /// Music genres (`genre`).
     pub const GENRES: &[&str] = &[
-        "Rock", "Jazz", "Classical", "Hip Hop", "Electronic", "Folk", "Blues", "Reggae",
-        "Country", "Metal", "Pop", "Ambient", "Soul", "Funk", "Opera", "Punk",
+        "Rock",
+        "Jazz",
+        "Classical",
+        "Hip Hop",
+        "Electronic",
+        "Folk",
+        "Blues",
+        "Reggae",
+        "Country",
+        "Metal",
+        "Pop",
+        "Ambient",
+        "Soul",
+        "Funk",
+        "Opera",
+        "Punk",
     ];
 
     /// Languages (`language`).
     pub const LANGUAGES: &[&str] = &[
-        "English", "Polish", "Italian", "German", "French", "Spanish", "Portuguese", "Dutch",
-        "Swedish", "Finnish", "Greek", "Hungarian", "Japanese", "Mandarin", "Hindi", "Swahili",
-        "Arabic", "Russian", "Korean", "Turkish",
+        "English",
+        "Polish",
+        "Italian",
+        "German",
+        "French",
+        "Spanish",
+        "Portuguese",
+        "Dutch",
+        "Swedish",
+        "Finnish",
+        "Greek",
+        "Hungarian",
+        "Japanese",
+        "Mandarin",
+        "Hindi",
+        "Swahili",
+        "Arabic",
+        "Russian",
+        "Korean",
+        "Turkish",
     ];
 
     /// Religions (`religion`).
     pub const RELIGIONS: &[&str] = &[
-        "Christianity", "Islam", "Hinduism", "Buddhism", "Judaism", "Sikhism", "Shinto",
-        "Taoism", "Jainism", "None",
+        "Christianity",
+        "Islam",
+        "Hinduism",
+        "Buddhism",
+        "Judaism",
+        "Sikhism",
+        "Shinto",
+        "Taoism",
+        "Jainism",
+        "None",
     ];
 
     /// Species common names (`species`).
     pub const SPECIES: &[&str] = &[
-        "Red Fox", "Gray Wolf", "Brown Bear", "Snow Leopard", "Bald Eagle", "Barn Owl",
-        "Atlantic Salmon", "Monarch Butterfly", "Green Sea Turtle", "African Elephant",
-        "Bengal Tiger", "Blue Whale", "Emperor Penguin", "Honey Bee", "Garden Snail",
+        "Red Fox",
+        "Gray Wolf",
+        "Brown Bear",
+        "Snow Leopard",
+        "Bald Eagle",
+        "Barn Owl",
+        "Atlantic Salmon",
+        "Monarch Butterfly",
+        "Green Sea Turtle",
+        "African Elephant",
+        "Bengal Tiger",
+        "Blue Whale",
+        "Emperor Penguin",
+        "Honey Bee",
+        "Garden Snail",
         "Fire Salamander",
     ];
 
     /// Biological families (`family` in the taxonomic sense, also surnames above).
     pub const TAXON_FAMILIES: &[&str] = &[
-        "Canidae", "Felidae", "Ursidae", "Accipitridae", "Strigidae", "Salmonidae",
-        "Nymphalidae", "Cheloniidae", "Elephantidae", "Balaenopteridae", "Apidae", "Helicidae",
+        "Canidae",
+        "Felidae",
+        "Ursidae",
+        "Accipitridae",
+        "Strigidae",
+        "Salmonidae",
+        "Nymphalidae",
+        "Cheloniidae",
+        "Elephantidae",
+        "Balaenopteridae",
+        "Apidae",
+        "Helicidae",
     ];
 
     /// Education levels (`education`).
     pub const EDUCATION_LEVELS: &[&str] = &[
-        "High School Diploma", "Bachelor of Science", "Bachelor of Arts", "Master of Science",
-        "Master of Arts", "PhD", "Associate Degree", "Vocational Certificate", "MBA",
+        "High School Diploma",
+        "Bachelor of Science",
+        "Bachelor of Arts",
+        "Master of Science",
+        "Master of Arts",
+        "PhD",
+        "Associate Degree",
+        "Vocational Certificate",
+        "MBA",
     ];
 
     /// Industries (`industry`).
     pub const INDUSTRIES: &[&str] = &[
-        "Automotive", "Banking", "Telecommunications", "Healthcare", "Retail", "Energy",
-        "Aerospace", "Agriculture", "Construction", "Software", "Pharmaceuticals", "Logistics",
-        "Hospitality", "Insurance", "Publishing", "Mining",
+        "Automotive",
+        "Banking",
+        "Telecommunications",
+        "Healthcare",
+        "Retail",
+        "Energy",
+        "Aerospace",
+        "Agriculture",
+        "Construction",
+        "Software",
+        "Pharmaceuticals",
+        "Logistics",
+        "Hospitality",
+        "Insurance",
+        "Publishing",
+        "Mining",
     ];
 
     /// Services (`service`).
     pub const SERVICES: &[&str] = &[
-        "Express Delivery", "Night Bus", "Car Rental", "Cloud Hosting", "Broadband", "Catering",
-        "House Cleaning", "Tax Advisory", "Translation", "Equipment Repair", "Ferry", "Shuttle",
+        "Express Delivery",
+        "Night Bus",
+        "Car Rental",
+        "Cloud Hosting",
+        "Broadband",
+        "Catering",
+        "House Cleaning",
+        "Tax Advisory",
+        "Translation",
+        "Equipment Repair",
+        "Ferry",
+        "Shuttle",
     ];
 
     /// Products (`product`).
     pub const PRODUCTS: &[&str] = &[
-        "Laptop Pro 14", "Espresso Maker X2", "Trail Running Shoes", "Noise Cancelling Headphones",
-        "Electric Kettle", "Mountain Bike 29", "Smart Thermostat", "Gaming Mouse", "Office Chair",
-        "Air Purifier", "Robot Vacuum", "Standing Desk", "Water Bottle 750ml", "Solar Charger",
+        "Laptop Pro 14",
+        "Espresso Maker X2",
+        "Trail Running Shoes",
+        "Noise Cancelling Headphones",
+        "Electric Kettle",
+        "Mountain Bike 29",
+        "Smart Thermostat",
+        "Gaming Mouse",
+        "Office Chair",
+        "Air Purifier",
+        "Robot Vacuum",
+        "Standing Desk",
+        "Water Bottle 750ml",
+        "Solar Charger",
     ];
 
     /// Mechanical / electronic components (`component`).
     pub const COMPONENTS: &[&str] = &[
-        "Resistor", "Capacitor", "Gearbox", "Piston", "Crankshaft", "Voltage Regulator",
-        "Heat Sink", "Bearing", "Camshaft", "Microcontroller", "Relay", "Fuel Pump", "Inverter",
-        "Transducer", "Actuator", "Flywheel",
+        "Resistor",
+        "Capacitor",
+        "Gearbox",
+        "Piston",
+        "Crankshaft",
+        "Voltage Regulator",
+        "Heat Sink",
+        "Bearing",
+        "Camshaft",
+        "Microcontroller",
+        "Relay",
+        "Fuel Pump",
+        "Inverter",
+        "Transducer",
+        "Actuator",
+        "Flywheel",
     ];
 
     /// Museum/library collections (`collection`).
     pub const COLLECTIONS: &[&str] = &[
-        "Renaissance Paintings", "Ancient Coins", "Modern Sculpture", "Rare Manuscripts",
-        "Impressionist Works", "Medieval Armor", "Natural History Specimens", "Folk Textiles",
-        "Photography Archive", "Decorative Arts",
+        "Renaissance Paintings",
+        "Ancient Coins",
+        "Modern Sculpture",
+        "Rare Manuscripts",
+        "Impressionist Works",
+        "Medieval Armor",
+        "Natural History Specimens",
+        "Folk Textiles",
+        "Photography Archive",
+        "Decorative Arts",
     ];
 
     /// Currencies (`currency`).
     pub const CURRENCIES: &[&str] = &[
-        "USD", "EUR", "GBP", "JPY", "PLN", "CHF", "SEK", "NOK", "DKK", "CAD", "AUD", "INR",
-        "BRL", "CNY", "KES", "MXN",
+        "USD", "EUR", "GBP", "JPY", "PLN", "CHF", "SEK", "NOK", "DKK", "CAD", "AUD", "INR", "BRL",
+        "CNY", "KES", "MXN",
     ];
 
     /// Shell-like commands (`command`).
     pub const COMMANDS: &[&str] = &[
-        "ls -la", "git status", "make build", "cargo test", "docker run", "kubectl get pods",
-        "rm -rf tmp", "cp src dst", "grep -r TODO", "tar -xzf data.tar.gz", "ping 10.0.0.1",
-        "ssh admin@host", "chmod +x run.sh", "curl -s api/v1/health",
+        "ls -la",
+        "git status",
+        "make build",
+        "cargo test",
+        "docker run",
+        "kubectl get pods",
+        "rm -rf tmp",
+        "cp src dst",
+        "grep -r TODO",
+        "tar -xzf data.tar.gz",
+        "ping 10.0.0.1",
+        "ssh admin@host",
+        "chmod +x run.sh",
+        "curl -s api/v1/health",
     ];
 
     /// File formats (`format`).
     pub const FORMATS: &[&str] = &[
-        "PDF", "CSV", "JSON", "XML", "MP3", "MP4", "PNG", "JPEG", "DOCX", "XLSX", "TXT", "WAV",
-        "FLAC", "EPUB", "ZIP", "Paperback", "Hardcover", "Vinyl", "DVD", "Blu-ray",
+        "PDF",
+        "CSV",
+        "JSON",
+        "XML",
+        "MP3",
+        "MP4",
+        "PNG",
+        "JPEG",
+        "DOCX",
+        "XLSX",
+        "TXT",
+        "WAV",
+        "FLAC",
+        "EPUB",
+        "ZIP",
+        "Paperback",
+        "Hardcover",
+        "Vinyl",
+        "DVD",
+        "Blu-ray",
     ];
 
     /// Week days (`day`).
     pub const DAYS: &[&str] = &[
-        "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday",
+        "Monday",
+        "Tuesday",
+        "Wednesday",
+        "Thursday",
+        "Friday",
+        "Saturday",
+        "Sunday",
     ];
 
     /// Genders (`gender`, `sex`).
@@ -204,8 +573,18 @@ pub mod vocab {
 
     /// Status values (`status`).
     pub const STATUSES: &[&str] = &[
-        "Active", "Inactive", "Pending", "Completed", "Cancelled", "On Hold", "Approved",
-        "Rejected", "Open", "Closed", "Draft", "Archived",
+        "Active",
+        "Inactive",
+        "Pending",
+        "Completed",
+        "Cancelled",
+        "On Hold",
+        "Approved",
+        "Rejected",
+        "Open",
+        "Closed",
+        "Draft",
+        "Archived",
     ];
 
     /// Match / experiment results (`result`).
@@ -215,15 +594,44 @@ pub mod vocab {
 
     /// Generic categories (`category`, `class`, `type`, `classification`).
     pub const CATEGORIES: &[&str] = &[
-        "Standard", "Premium", "Economy", "Deluxe", "Basic", "Advanced", "Junior", "Senior",
-        "Amateur", "Professional", "Heavyweight", "Lightweight", "Compact", "Full-size",
-        "Residential", "Commercial", "Public", "Private", "Indoor", "Outdoor",
+        "Standard",
+        "Premium",
+        "Economy",
+        "Deluxe",
+        "Basic",
+        "Advanced",
+        "Junior",
+        "Senior",
+        "Amateur",
+        "Professional",
+        "Heavyweight",
+        "Lightweight",
+        "Compact",
+        "Full-size",
+        "Residential",
+        "Commercial",
+        "Public",
+        "Private",
+        "Indoor",
+        "Outdoor",
     ];
 
     /// Player positions (`position`).
     pub const POSITIONS: &[&str] = &[
-        "Goalkeeper", "Defender", "Midfielder", "Forward", "Striker", "Pitcher", "Catcher",
-        "Point Guard", "Center", "Wing", "Fullback", "Prop", "Scrum-half", "Libero",
+        "Goalkeeper",
+        "Defender",
+        "Midfielder",
+        "Forward",
+        "Striker",
+        "Pitcher",
+        "Catcher",
+        "Point Guard",
+        "Center",
+        "Wing",
+        "Fullback",
+        "Prop",
+        "Scrum-half",
+        "Libero",
     ];
 
     /// Letter grades (`grades`).
@@ -231,57 +639,136 @@ pub mod vocab {
 
     /// Requirements (`requirement`).
     pub const REQUIREMENTS: &[&str] = &[
-        "Valid passport", "Two years experience", "Safety certification", "Background check",
-        "Driver license", "First aid training", "Security clearance", "Portfolio review",
-        "Language proficiency", "Minimum age 18",
+        "Valid passport",
+        "Two years experience",
+        "Safety certification",
+        "Background check",
+        "Driver license",
+        "First aid training",
+        "Security clearance",
+        "Portfolio review",
+        "Language proficiency",
+        "Minimum age 18",
     ];
 
     /// Religion-neutral street names for `address`.
     pub const STREETS: &[&str] = &[
-        "Main St", "Oak Ave", "River Rd", "Church Ln", "Station Rd", "High St", "Park Blvd",
-        "Mill Lane", "Bridge St", "Market Sq", "King St", "Queen Ave", "Cedar Ct", "Elm Dr",
+        "Main St",
+        "Oak Ave",
+        "River Rd",
+        "Church Ln",
+        "Station Rd",
+        "High St",
+        "Park Blvd",
+        "Mill Lane",
+        "Bridge St",
+        "Market Sq",
+        "King St",
+        "Queen Ave",
+        "Cedar Ct",
+        "Elm Dr",
     ];
 
     /// US states (`state`).
     pub const STATES: &[&str] = &[
-        "California", "Texas", "New York", "Florida", "Ohio", "Illinois", "Oregon", "Washington",
-        "Colorado", "Georgia", "Arizona", "Michigan", "Virginia", "Massachusetts", "CA", "TX",
-        "NY", "FL", "OH", "IL",
+        "California",
+        "Texas",
+        "New York",
+        "Florida",
+        "Ohio",
+        "Illinois",
+        "Oregon",
+        "Washington",
+        "Colorado",
+        "Georgia",
+        "Arizona",
+        "Michigan",
+        "Virginia",
+        "Massachusetts",
+        "CA",
+        "TX",
+        "NY",
+        "FL",
+        "OH",
+        "IL",
     ];
 
     /// Counties (`county`).
     pub const COUNTIES: &[&str] = &[
-        "Kent", "Essex", "Surrey", "Yorkshire", "Cork", "Galway", "Dane County", "Cook County",
-        "Orange County", "King County", "Devon", "Norfolk", "Suffolk", "Cumbria",
+        "Kent",
+        "Essex",
+        "Surrey",
+        "Yorkshire",
+        "Cork",
+        "Galway",
+        "Dane County",
+        "Cook County",
+        "Orange County",
+        "King County",
+        "Devon",
+        "Norfolk",
+        "Suffolk",
+        "Cumbria",
     ];
 
     /// Regions (`region`).
     pub const REGIONS: &[&str] = &[
-        "Tuscany", "Bavaria", "Catalonia", "Provence", "Andalusia", "Silesia", "Lombardy",
-        "Scandinavia", "Midwest", "Pacific Northwest", "New England", "Outback", "Patagonia",
+        "Tuscany",
+        "Bavaria",
+        "Catalonia",
+        "Provence",
+        "Andalusia",
+        "Silesia",
+        "Lombardy",
+        "Scandinavia",
+        "Midwest",
+        "Pacific Northwest",
+        "New England",
+        "Outback",
+        "Patagonia",
         "Lapland",
     ];
 
     /// Religion of the art: description sentence fragments (`description`, `notes`).
     pub const DESCRIPTION_PHRASES: &[&str] = &[
-        "limited edition release", "updated quarterly", "includes free shipping",
-        "award winning design", "out of print", "subject to availability", "best seller in 2019",
-        "requires assembly", "hand crafted in small batches", "discontinued model",
-        "available in three colors", "new improved formula", "officially licensed",
-        "restored original", "second revised edition", "field recording",
+        "limited edition release",
+        "updated quarterly",
+        "includes free shipping",
+        "award winning design",
+        "out of print",
+        "subject to availability",
+        "best seller in 2019",
+        "requires assembly",
+        "hand crafted in small batches",
+        "discontinued model",
+        "available in three colors",
+        "new improved formula",
+        "officially licensed",
+        "restored original",
+        "second revised edition",
+        "field recording",
     ];
 
     /// Occupation-ish affiliations for persons (`affiliation`, `affiliate`).
     pub const AFFILIATIONS: &[&str] = &[
-        "University of Bologna", "Royal Society", "National Observatory", "Institute of Physics",
-        "Academy of Sciences", "Conservatory of Music", "Polytechnic Institute", "Medical College",
-        "School of Economics", "Astronomical Union", "Historical Society", "Chamber of Commerce",
+        "University of Bologna",
+        "Royal Society",
+        "National Observatory",
+        "Institute of Physics",
+        "Academy of Sciences",
+        "Conservatory of Music",
+        "Polytechnic Institute",
+        "Medical College",
+        "School of Economics",
+        "Astronomical Union",
+        "Historical Society",
+        "Chamber of Commerce",
     ];
 
     /// Owner-ish mixed names (person or org) for `owner`, `operator`, `creator`.
     pub const STOCK_SYMBOLS: &[&str] = &[
-        "ACME", "GLBX", "INTC", "UMBR", "STRK", "WAYN", "NWND", "CNTS", "FBRK", "TLSP",
-        "WING", "LKSM", "RDWD", "BLPK", "IRNM", "SNRS",
+        "ACME", "GLBX", "INTC", "UMBR", "STRK", "WAYN", "NWND", "CNTS", "FBRK", "TLSP", "WING",
+        "LKSM", "RDWD", "BLPK", "IRNM", "SNRS",
     ];
 }
 
@@ -394,7 +881,9 @@ impl ValueGenerator {
             SemanticType::Service => pick(SERVICES, rng),
 
             // Categorical short-vocabulary types.
-            SemanticType::Type | SemanticType::Category | SemanticType::Class
+            SemanticType::Type
+            | SemanticType::Category
+            | SemanticType::Class
             | SemanticType::Classification => pick(CATEGORIES, rng),
             SemanticType::Status => pick(STATUSES, rng),
             SemanticType::Result => pick(RESULTS, rng),
@@ -520,11 +1009,7 @@ impl ValueGenerator {
                     units[rng.gen_range(0..units.len())]
                 )
             }
-            SemanticType::Range => format!(
-                "{}-{}",
-                rng.gen_range(1..50),
-                rng.gen_range(50..200)
-            ),
+            SemanticType::Range => format!("{}-{}", rng.gen_range(1..50), rng.gen_range(50..200)),
         }
     }
 

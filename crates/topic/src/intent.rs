@@ -90,6 +90,9 @@ mod tests {
         let ta = est.estimate(&a);
         let tb = est.estimate(&b);
         let l1: f32 = ta.iter().zip(&tb).map(|(x, y)| (x - y).abs()).sum();
-        assert!(l1 > 1e-3, "biography and city tables got identical topic vectors");
+        assert!(
+            l1 > 1e-3,
+            "biography and city tables got identical topic vectors"
+        );
     }
 }

@@ -336,8 +336,11 @@ mod tests {
             .into_iter()
             .map(|(t, _)| t)
             .collect();
-        assert!(top.iter().any(|t| t == "city" || t == "london" || t == "europe"),
-            "top words of the city topic were {top:?}");
+        assert!(
+            top.iter()
+                .any(|t| t == "city" || t == "london" || t == "europe"),
+            "top words of the city topic were {top:?}"
+        );
     }
 
     #[test]

@@ -94,8 +94,11 @@ pub fn analyze_topics(
             }
         })
         .collect();
-    topics_by_saliency
-        .sort_by(|a, b| b.saliency.partial_cmp(&a.saliency).unwrap_or(std::cmp::Ordering::Equal));
+    topics_by_saliency.sort_by(|a, b| {
+        b.saliency
+            .partial_cmp(&a.saliency)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     TopicTypeAnalysis {
         type_topic,
@@ -153,7 +156,10 @@ mod tests {
             let s: f64 = row.iter().sum();
             if s > 0.0 {
                 observed += 1;
-                assert!((s - 1.0).abs() < 0.05, "type topic distribution sums to {s}");
+                assert!(
+                    (s - 1.0).abs() < 0.05,
+                    "type topic distribution sums to {s}"
+                );
             }
         }
         assert!(observed > 40, "only {observed} types observed in analysis");

@@ -86,7 +86,10 @@ mod tests {
 
     #[test]
     fn tokenize_lowercases_and_splits() {
-        assert_eq!(tokenize("Warsaw, 1,777,972"), vec!["warsaw", "1", "777", "972"]);
+        assert_eq!(
+            tokenize("Warsaw, 1,777,972"),
+            vec!["warsaw", "1", "777", "972"]
+        );
         assert!(tokenize("--").is_empty());
     }
 

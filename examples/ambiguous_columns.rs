@@ -10,8 +10,8 @@
 //! ```
 
 use sato::{SatoConfig, SatoModel, SatoVariant};
-use sato_tabular::corpus::figure1_tables;
 use sato_tabular::corpus::default_corpus;
+use sato_tabular::corpus::figure1_tables;
 use sato_tabular::types::SemanticType;
 
 fn main() {
@@ -22,7 +22,9 @@ fn main() {
     let mut sato = SatoModel::train(&corpus, config, SatoVariant::Full);
 
     let (table_a, table_b) = figure1_tables();
-    println!("\nTable A (influential people): columns = name, birthDate, notes, <ambiguous cities>");
+    println!(
+        "\nTable A (influential people): columns = name, birthDate, notes, <ambiguous cities>"
+    );
     println!("Table B (cities in Europe):    columns = <ambiguous cities>, country, capacity");
     println!(
         "the ambiguous column has identical values in both tables: {:?}",
@@ -37,8 +39,14 @@ fn main() {
     println!("\n--- single-column Base predictions ---");
     println!("Table A ambiguous column -> {}", base_a.last().unwrap());
     println!("Table B ambiguous column -> {}", base_b[0]);
-    println!("(the Base model gives the same answer regardless of context: {})",
-        if base_a.last().unwrap() == &base_b[0] { "yes" } else { "no" });
+    println!(
+        "(the Base model gives the same answer regardless of context: {})",
+        if base_a.last().unwrap() == &base_b[0] {
+            "yes"
+        } else {
+            "no"
+        }
+    );
 
     println!("\n--- contextual Sato predictions ---");
     println!(

@@ -19,7 +19,10 @@ fn base_model_gives_identical_scores_to_identical_columns_regardless_of_context(
     let shared_a = proba_a.last().unwrap();
     let shared_b = &proba_b[0];
     for (x, y) in shared_a.iter().zip(shared_b) {
-        assert!((x - y).abs() < 1e-5, "Base scores differ for identical columns");
+        assert!(
+            (x - y).abs() < 1e-5,
+            "Base scores differ for identical columns"
+        );
     }
 }
 

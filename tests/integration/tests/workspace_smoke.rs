@@ -1,0 +1,48 @@
+//! Workspace smoke test: the `sato` crate-docs quickstart
+//! (`SatoModel::train` → `predict`) must run end-to-end for every
+//! [`SatoVariant`] on a tiny seeded corpus. This is the first test a fresh
+//! checkout should be able to pass; everything else builds on the same
+//! substrate.
+
+use sato::{SatoConfig, SatoModel, SatoVariant};
+use sato_tabular::corpus::default_corpus;
+use sato_tabular::split::train_test_split;
+
+#[test]
+fn quickstart_runs_end_to_end_for_every_variant() {
+    // Mirrors the crate-level docs of `sato`, shrunk to smoke-test size.
+    let corpus = default_corpus(40, 42);
+    let split = train_test_split(&corpus, 0.2, 0);
+    assert!(!split.train.is_empty() && !split.test.is_empty());
+
+    for variant in SatoVariant::ALL {
+        let mut model = SatoModel::train(&split.train, SatoConfig::fast(), variant);
+        assert_eq!(model.variant(), variant);
+        for table in split.test.iter().take(3) {
+            let types = model.predict(table);
+            assert_eq!(
+                types.len(),
+                table.num_columns(),
+                "{variant:?} predicted wrong arity for table {}",
+                table.id
+            );
+        }
+    }
+}
+
+#[test]
+fn quickstart_is_deterministic_across_runs() {
+    // The corpus generator and every model seed flow from explicit seeds,
+    // so two identical runs must agree bit-for-bit.
+    let run = || {
+        let corpus = default_corpus(30, 7);
+        let split = train_test_split(&corpus, 0.25, 1);
+        let mut model = SatoModel::train(&split.train, SatoConfig::fast(), SatoVariant::Full);
+        split
+            .test
+            .iter()
+            .map(|t| model.predict(t))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
