@@ -1,12 +1,17 @@
 //! Criterion micro-benchmark: end-to-end per-table prediction latency of a
-//! trained Base and a trained full Sato model (the paper reports ≈0.8 ms per
-//! table and argues the CRF overhead of ≈0.2 ms is unnoticeable; Section 5.3).
+//! frozen Base and full Sato predictor (the paper reports ≈0.8 ms per table
+//! and argues the CRF overhead of ≈0.2 ms is unnoticeable; Section 5.3),
+//! plus corpus serving throughput single- vs multi-threaded
+//! (`--threads N`, default: CPU count) through
+//! `SatoPredictor::predict_corpus_parallel`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sato::{SatoConfig, SatoModel, SatoVariant};
+use sato_bench::ExperimentOptions;
 use sato_tabular::corpus::default_corpus;
 
 fn bench_prediction(c: &mut Criterion) {
+    let opts = ExperimentOptions::from_env_lenient();
     let corpus = default_corpus(80, 31);
     let config = SatoConfig::fast();
     let table = corpus
@@ -18,13 +23,32 @@ fn bench_prediction(c: &mut Criterion) {
     let mut group = c.benchmark_group("prediction_latency");
     group.sample_size(30);
     for variant in [SatoVariant::Base, SatoVariant::Full] {
-        let mut model = SatoModel::train(&corpus, config.clone(), variant);
+        let predictor = SatoModel::train(&corpus, config.clone(), variant).into_predictor();
         group.bench_with_input(
             BenchmarkId::new("predict_table", variant.name()),
             &table,
-            |b, t| b.iter(|| model.predict(std::hint::black_box(t))),
+            |b, t| b.iter(|| predictor.predict(std::hint::black_box(t))),
         );
     }
+    group.finish();
+
+    // Serving throughput over the whole corpus: the same frozen predictor,
+    // sequentially and fanned out over scoped threads.
+    let predictor = SatoModel::train(&corpus, config, SatoVariant::Full).into_predictor();
+    let mut group = c.benchmark_group("serving_throughput");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("predict_corpus", "1_thread"),
+        &corpus,
+        |b, corp| b.iter(|| predictor.predict_corpus(std::hint::black_box(corp))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("predict_corpus", format!("{}_threads", opts.threads)),
+        &corpus,
+        |b, corp| {
+            b.iter(|| predictor.predict_corpus_parallel(std::hint::black_box(corp), opts.threads))
+        },
+    );
     group.finish();
 }
 

@@ -4,7 +4,9 @@
 //! initialisation and against using the raw (untrained) co-occurrence
 //! potentials without any CRF training.
 
-use sato::{unary_from_proba, ColumnwiseModel, ColumnwisePredictor, SatoVariant};
+use sato::{
+    unary_from_proba, ColumnwiseInference, ColumnwiseModel, ColumnwiseTrainer, SatoVariant,
+};
 use sato_bench::{banner, ExperimentOptions};
 use sato_crf::{train_crf, CrfExample, LinearChainCrf};
 use sato_eval::metrics::Evaluation;
@@ -14,7 +16,7 @@ use sato_tabular::split::train_test_split;
 use sato_tabular::table::Corpus;
 use sato_tabular::types::{SemanticType, NUM_TYPES};
 
-fn crf_examples(model: &mut ColumnwiseModel, corpus: &Corpus) -> Vec<CrfExample> {
+fn crf_examples(model: &ColumnwiseModel, corpus: &Corpus) -> Vec<CrfExample> {
     corpus
         .iter()
         .filter(|t| t.is_multi_column() && t.is_labelled())
@@ -29,7 +31,7 @@ fn crf_examples(model: &mut ColumnwiseModel, corpus: &Corpus) -> Vec<CrfExample>
         .collect()
 }
 
-fn evaluate_crf(model: &mut ColumnwiseModel, crf: &LinearChainCrf, test: &Corpus) -> Evaluation {
+fn evaluate_crf(model: &ColumnwiseModel, crf: &LinearChainCrf, test: &Corpus) -> Evaluation {
     let mut gold = Vec::new();
     let mut pred = Vec::new();
     for table in test.iter().filter(|t| t.is_multi_column()) {
@@ -64,7 +66,7 @@ fn main() {
     eprintln!("[ablation] training the topic-aware column-wise model ...");
     let mut columnwise = ColumnwiseModel::topic_aware(config.clone());
     columnwise.fit(&split.train);
-    let examples = crf_examples(&mut columnwise, &split.train);
+    let examples = crf_examples(&columnwise, &split.train);
     let cooc_init: Vec<f64> = CooccurrenceMatrix::adjacent_columns(&split.train)
         .log_matrix()
         .iter()
@@ -89,7 +91,7 @@ fn main() {
         ("zero init, trained (paper ablation)", &crf_zero),
         ("co-occurrence init, trained (Sato)", &crf_cooc),
     ] {
-        let eval = evaluate_crf(&mut columnwise, crf, &split.test);
+        let eval = evaluate_crf(&columnwise, crf, &split.test);
         table.add_row(vec![
             name.to_string(),
             format!("{:.3}", eval.weighted_f1),

@@ -30,13 +30,15 @@ fn main() {
     ]);
     for variant in table1_variants() {
         eprintln!("[hierarchy] training {} ...", variant.name());
-        let mut model = SatoModel::train(&split.train, config.clone(), variant);
+        let model = SatoModel::train(&split.train, config.clone(), variant);
         let predictions = model.predict_corpus(&split.test);
-        let gold: Vec<SemanticType> = predictions.iter().flat_map(|p| p.gold.clone()).collect();
-        let pred: Vec<SemanticType> = predictions
+        // Pair gold/predicted per table, skipping unlabelled tables
+        // (empty-gold convention) so the two flat vectors stay aligned.
+        let (gold, pred): (Vec<SemanticType>, Vec<SemanticType>) = predictions
             .iter()
-            .flat_map(|p| p.predicted.clone())
-            .collect();
+            .filter(|p| !p.gold.is_empty())
+            .flat_map(|p| p.gold.iter().copied().zip(p.predicted.iter().copied()))
+            .unzip();
         let eval = HierarchicalEvaluation::from_pairs(&gold, &pred);
         table.add_row(vec![
             variant.name().to_string(),

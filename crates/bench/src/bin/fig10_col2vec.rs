@@ -21,11 +21,11 @@ const FIG10_TYPES: [SemanticType; 4] = [
 ];
 
 /// Collect (embedding, type) pairs of test columns with the Figure-10 types.
-fn collect_embeddings(model: &mut SatoModel, test: &Corpus) -> (Vec<Vec<f32>>, Vec<SemanticType>) {
+fn collect_embeddings(model: &SatoModel, test: &Corpus) -> (Vec<Vec<f32>>, Vec<SemanticType>) {
     let mut embeddings = Vec::new();
     let mut labels = Vec::new();
     for table in test.iter() {
-        let embs = model.columnwise_mut().column_embeddings(table);
+        let embs = model.columnwise().column_embeddings(table);
         for (emb, label) in embs.into_iter().zip(&table.labels) {
             if FIG10_TYPES.contains(label) {
                 embeddings.push(emb);
@@ -87,8 +87,8 @@ fn main() {
             "[fig10] training {} and projecting embeddings ...",
             variant.name()
         );
-        let mut model = SatoModel::train(&split.train, config.clone(), variant);
-        let (embeddings, labels) = collect_embeddings(&mut model, &split.test);
+        let model = SatoModel::train(&split.train, config.clone(), variant);
+        let (embeddings, labels) = collect_embeddings(&model, &split.test);
         if embeddings.len() < 8 {
             println!(
                 "{}: only {} organisation-like columns in the held-out set — rerun with more tables",

@@ -26,9 +26,8 @@ fn main() {
             "[fig9] training {} and permuting feature groups ...",
             variant.name()
         );
-        let mut model = SatoModel::train(&split.train, config.clone(), variant);
-        let report =
-            permutation_importance(&mut model, &split.test, opts.trials, opts.seed ^ 0x919);
+        let model = SatoModel::train(&split.train, config.clone(), variant);
+        let report = permutation_importance(&model, &split.test, opts.trials, opts.seed ^ 0x919);
 
         println!(
             "\n{} (baseline macro F1 {:.3}, weighted F1 {:.3})",

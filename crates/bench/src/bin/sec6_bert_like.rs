@@ -2,7 +2,9 @@
 //! single-column predictor (the BERT-fine-tuning analogue) compared against
 //! the Sherlock baseline and the multi-column Sato model.
 
-use sato::{BertLikeConfig, BertLikeModel, ColumnwisePredictor, SatoModel, SatoVariant};
+use sato::{
+    BertLikeConfig, BertLikeModel, ColumnwiseInference, ColumnwiseTrainer, SatoModel, SatoVariant,
+};
 use sato_bench::{banner, ExperimentOptions};
 use sato_eval::crossval::evaluate_model;
 use sato_eval::metrics::Evaluation;
@@ -10,7 +12,7 @@ use sato_eval::report::TextTable;
 use sato_tabular::split::train_test_split;
 use sato_tabular::table::Corpus;
 
-fn evaluate_columnwise(model: &mut dyn ColumnwisePredictor, test: &Corpus) -> Evaluation {
+fn evaluate_columnwise(model: &dyn ColumnwiseInference, test: &Corpus) -> Evaluation {
     let mut gold = Vec::new();
     let mut pred = Vec::new();
     for table in test.iter().filter(|t| t.is_multi_column()) {
@@ -35,15 +37,15 @@ fn main() {
     eprintln!("[sec6] training the BERT-like raw-text model ...");
     let mut bert = BertLikeModel::new(BertLikeConfig::from_sato(&config));
     bert.fit(&split.train);
-    let bert_eval = evaluate_columnwise(&mut bert, &split.test);
+    let bert_eval = evaluate_columnwise(&bert, &split.test);
 
     eprintln!("[sec6] training the Base (Sherlock) model ...");
-    let mut base = SatoModel::train(&split.train, config.clone(), SatoVariant::Base);
-    let (_, base_eval) = evaluate_model(&mut base, &split.test);
+    let base = SatoModel::train(&split.train, config.clone(), SatoVariant::Base);
+    let (_, base_eval) = evaluate_model(&base, &split.test);
 
     eprintln!("[sec6] training the full Sato model ...");
-    let mut full = SatoModel::train(&split.train, config, SatoVariant::Full);
-    let (_, full_eval) = evaluate_model(&mut full, &split.test);
+    let full = SatoModel::train(&split.train, config, SatoVariant::Full);
+    let (_, full_eval) = evaluate_model(&full, &split.test);
 
     let mut table = TextTable::new(&["model", "weighted F1 (D_mult)", "macro F1 (D_mult)"]);
     for (name, eval) in [

@@ -26,8 +26,8 @@ type CorrectedExample = (u64, Vec<SemanticType>, Vec<SemanticType>, Vec<Semantic
 
 fn corrected_examples(
     test: &Corpus,
-    without: &mut SatoModel,
-    with: &mut SatoModel,
+    without: &SatoModel,
+    with: &SatoModel,
     limit: usize,
 ) -> Vec<CorrectedExample> {
     let mut out = Vec::new();
@@ -95,12 +95,12 @@ fn main() {
     let split = train_test_split(&corpus, 0.25, opts.seed);
 
     eprintln!("[table4] training Base / Sato_noTopic / Sato_noStruct / Sato ...");
-    let mut base = SatoModel::train(&split.train, config.clone(), SatoVariant::Base);
-    let mut no_topic = SatoModel::train(&split.train, config.clone(), SatoVariant::SatoNoTopic);
-    let mut no_struct = SatoModel::train(&split.train, config.clone(), SatoVariant::SatoNoStruct);
-    let mut full = SatoModel::train(&split.train, config, SatoVariant::Full);
+    let base = SatoModel::train(&split.train, config.clone(), SatoVariant::Base);
+    let no_topic = SatoModel::train(&split.train, config.clone(), SatoVariant::SatoNoTopic);
+    let no_struct = SatoModel::train(&split.train, config.clone(), SatoVariant::SatoNoStruct);
+    let full = SatoModel::train(&split.train, config, SatoVariant::Full);
 
-    let panel_a = corrected_examples(&split.test, &mut base, &mut no_topic, 5);
+    let panel_a = corrected_examples(&split.test, &base, &no_topic, 5);
     print_panel(
         "(a) Corrected tables from Base predictions",
         "Base",
@@ -108,7 +108,7 @@ fn main() {
         &panel_a,
     );
 
-    let panel_b = corrected_examples(&split.test, &mut no_struct, &mut full, 5);
+    let panel_b = corrected_examples(&split.test, &no_struct, &full, 5);
     print_panel(
         "(b) Corrected tables from Sato_noStruct predictions",
         "Sato_noStruct",

@@ -13,6 +13,7 @@
 //! --topics K    LDA topic count                            (default 64)
 //! --epochs E    column-wise network training epochs        (default 40)
 //! --trials T    repetitions for timing / permutation runs  (default 3)
+//! --threads N   serving threads for parallel prediction    (default: CPU count)
 //! --fast        shrink everything for a quick smoke run
 //! ```
 
@@ -37,8 +38,17 @@ pub struct ExperimentOptions {
     pub epochs: usize,
     /// Trials for repeated measurements.
     pub trials: usize,
+    /// Number of serving threads for parallel prediction benchmarks.
+    pub threads: usize,
     /// Whether `--fast` was passed.
     pub fast: bool,
+}
+
+/// The machine's logical CPU count (1 when it cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl Default for ExperimentOptions {
@@ -50,6 +60,7 @@ impl Default for ExperimentOptions {
             topics: 64,
             epochs: 40,
             trials: 3,
+            threads: default_threads(),
             fast: false,
         }
     }
@@ -58,6 +69,18 @@ impl Default for ExperimentOptions {
 impl ExperimentOptions {
     /// Parse options from an iterator of arguments (without the program name).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        Self::parse_impl(args, false)
+    }
+
+    /// Like [`Self::parse`], but unknown options are skipped instead of
+    /// panicking. Criterion benches run under `cargo bench`, which forwards
+    /// harness flags (`--bench`, filter strings, …) that the experiment
+    /// options must tolerate.
+    pub fn parse_lenient<I: IntoIterator<Item = String>>(args: I) -> Self {
+        Self::parse_impl(args, true)
+    }
+
+    fn parse_impl<I: IntoIterator<Item = String>>(args: I, lenient: bool) -> Self {
         let mut opts = ExperimentOptions::default();
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -73,14 +96,16 @@ impl ExperimentOptions {
                 "--topics" => opts.topics = take_usize("--topics"),
                 "--epochs" => opts.epochs = take_usize("--epochs"),
                 "--trials" => opts.trials = take_usize("--trials"),
+                "--threads" => opts.threads = take_usize("--threads").max(1),
                 "--fast" => opts.fast = true,
-                "--help" | "-h" => {
+                "--help" | "-h" if !lenient => {
                     println!(
-                        "options: --tables N --seed S --folds F --topics K --epochs E --trials T --fast"
+                        "options: --tables N --seed S --folds F --topics K --epochs E --trials T --threads N --fast"
                     );
                     std::process::exit(0);
                 }
-                other => panic!("unknown option {other:?}"),
+                other if !lenient => panic!("unknown option {other:?}"),
+                _ => {}
             }
         }
         if opts.fast {
@@ -96,6 +121,12 @@ impl ExperimentOptions {
     /// Parse from the real process arguments.
     pub fn from_env() -> Self {
         Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse from the real process arguments, tolerating harness flags
+    /// (for Criterion benches).
+    pub fn from_env_lenient() -> Self {
+        Self::parse_lenient(std::env::args().skip(1))
     }
 
     /// Build the synthetic evaluation corpus `D` for these options.
@@ -163,8 +194,20 @@ mod tests {
     #[test]
     fn parsing_overrides_fields() {
         let opts = ExperimentOptions::parse(args(&[
-            "--tables", "50", "--seed", "7", "--folds", "4", "--topics", "8", "--epochs", "3",
-            "--trials", "2",
+            "--tables",
+            "50",
+            "--seed",
+            "7",
+            "--folds",
+            "4",
+            "--topics",
+            "8",
+            "--epochs",
+            "3",
+            "--trials",
+            "2",
+            "--threads",
+            "6",
         ]));
         assert_eq!(opts.tables, 50);
         assert_eq!(opts.seed, 7);
@@ -172,6 +215,28 @@ mod tests {
         assert_eq!(opts.topics, 8);
         assert_eq!(opts.epochs, 3);
         assert_eq!(opts.trials, 2);
+        assert_eq!(opts.threads, 6);
+    }
+
+    #[test]
+    fn threads_default_to_cpu_count_and_clamp_to_one() {
+        assert_eq!(ExperimentOptions::default().threads, default_threads());
+        assert!(default_threads() >= 1);
+        let opts = ExperimentOptions::parse(args(&["--threads", "0"]));
+        assert_eq!(opts.threads, 1, "--threads 0 clamps to 1");
+    }
+
+    #[test]
+    fn lenient_parse_skips_harness_flags() {
+        // `cargo bench` forwards flags like `--bench` and filter strings.
+        let opts = ExperimentOptions::parse_lenient(args(&[
+            "--bench",
+            "prediction_latency",
+            "--threads",
+            "3",
+        ]));
+        assert_eq!(opts.threads, 3);
+        assert_eq!(opts.tables, ExperimentOptions::default().tables);
     }
 
     #[test]

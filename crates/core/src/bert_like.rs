@@ -10,10 +10,11 @@
 //! closest dependency-free analogue: the raw token stream of a column is
 //! encoded with hashed character n-grams (no per-group feature engineering)
 //! and classified by an MLP trained end to end. Like the paper's BERT
-//! baseline it implements [`ColumnwisePredictor`], so it can replace the
-//! Sherlock model inside Sato without touching the topic or CRF modules.
+//! baseline it implements [`ColumnwiseTrainer`] + [`ColumnwiseInference`], so
+//! it can replace the Sherlock model inside Sato without touching the topic
+//! or CRF modules.
 
-use crate::columnwise::ColumnwisePredictor;
+use crate::columnwise::{ColumnwiseInference, ColumnwiseTrainer};
 use crate::config::SatoConfig;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -135,9 +136,11 @@ impl BertLikeModel {
     pub fn is_trained(&self) -> bool {
         self.net.is_some()
     }
+}
 
+impl ColumnwiseTrainer for BertLikeModel {
     /// Train on a labelled corpus.
-    pub fn fit(&mut self, corpus: &Corpus) -> &[f32] {
+    fn fit(&mut self, corpus: &Corpus) -> &[f32] {
         let mut rows = Vec::new();
         let mut labels = Vec::new();
         for table in corpus.iter() {
@@ -201,9 +204,9 @@ impl BertLikeModel {
     }
 }
 
-impl ColumnwisePredictor for BertLikeModel {
-    fn predict_proba(&mut self, table: &Table) -> Vec<Vec<f32>> {
-        let net = self.net.as_mut().expect("model must be trained first");
+impl ColumnwiseInference for BertLikeModel {
+    fn predict_proba(&self, table: &Table) -> Vec<Vec<f32>> {
+        let net = self.net.as_ref().expect("model must be trained first");
         if table.columns.is_empty() {
             return Vec::new();
         }
@@ -217,7 +220,7 @@ impl ColumnwisePredictor for BertLikeModel {
             self.config.encoding_dim,
             rows.into_iter().flatten().collect(),
         );
-        let probs = softmax(&net.forward(&x, false));
+        let probs = softmax(&net.infer(&x));
         (0..probs.rows()).map(|r| probs.row(r).to_vec()).collect()
     }
 }
@@ -225,7 +228,6 @@ impl ColumnwisePredictor for BertLikeModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::columnwise::ColumnwisePredictor;
     use sato_tabular::corpus::default_corpus;
 
     #[test]
@@ -280,7 +282,7 @@ mod tests {
     #[should_panic(expected = "trained")]
     fn prediction_requires_training() {
         let corpus = default_corpus(3, 1);
-        let mut model = BertLikeModel::new(BertLikeConfig::fast());
+        let model = BertLikeModel::new(BertLikeConfig::fast());
         model.predict_proba(&corpus.tables[0]);
     }
 

@@ -9,6 +9,12 @@
 //! directly; the concatenation feeds a primary network of two
 //! fully-connected ReLU layers with BatchNorm and Dropout, followed by a
 //! 78-way output layer with softmax.
+//!
+//! The training and serving API surfaces are distinct: [`ColumnwiseTrainer`]
+//! is the `&mut self` fitting interface, [`ColumnwiseInference`] is the
+//! `&self` prediction interface, and a trained [`ColumnwiseModel`] can be
+//! [frozen](ColumnwiseModel::freeze) into an immutable [`FrozenColumnwise`]
+//! that drops all training-time state and serves predictions concurrently.
 
 use crate::config::SatoConfig;
 use crate::dataset::{Standardizer, TableInputs, TrainingData};
@@ -20,37 +26,105 @@ use sato_nn::layers::{BatchNorm, Dense, Dropout, Layer, ReLU};
 use sato_nn::loss::{softmax, softmax_cross_entropy};
 use sato_nn::network::{MultiInputNetwork, Sequential};
 use sato_nn::optim::Adam;
+use sato_nn::serialize::{LoadError, StateDict};
 use sato_nn::Matrix;
 use sato_tabular::table::{Corpus, Table};
 use sato_tabular::types::{SemanticType, NUM_TYPES};
 use sato_topic::TableIntentEstimator;
 
-/// Common interface of every single-column (column-wise) predictor, i.e. the
-/// pluggable slot of Sato's extensible architecture (the paper swaps the
-/// Sherlock model for BERT in Section 6 without touching the rest).
-pub trait ColumnwisePredictor {
+/// Per-column hard predictions from probability rows (row-wise argmax).
+pub fn types_from_proba(proba: &[Vec<f32>]) -> Vec<SemanticType> {
+    proba
+        .iter()
+        .map(|p| {
+            let best = p
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            SemanticType::from_index(best).expect("class index in range")
+        })
+        .collect()
+}
+
+/// The `&self` **inference** interface of a single-column (column-wise)
+/// predictor: the pluggable slot of Sato's extensible architecture (the
+/// paper swaps the Sherlock model for BERT in Section 6 without touching the
+/// rest). Everything here is read-only, so a trained predictor can be shared
+/// across threads.
+pub trait ColumnwiseInference {
     /// Per-column class probabilities for every column of `table`
     /// (each inner vector has [`NUM_TYPES`] entries summing to one).
-    fn predict_proba(&mut self, table: &Table) -> Vec<Vec<f32>>;
+    fn predict_proba(&self, table: &Table) -> Vec<Vec<f32>>;
 
     /// Per-column hard predictions.
-    fn predict_types(&mut self, table: &Table) -> Vec<SemanticType> {
-        self.predict_proba(table)
-            .iter()
-            .map(|p| {
-                let best = p
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                    .map(|(i, _)| i)
-                    .unwrap_or(0);
-                SemanticType::from_index(best).expect("class index in range")
-            })
-            .collect()
+    fn predict_types(&self, table: &Table) -> Vec<SemanticType> {
+        types_from_proba(&self.predict_proba(table))
     }
 }
 
-/// The Sherlock/Sato column-wise neural model.
+/// The `&mut self` **training** interface of a column-wise predictor,
+/// deliberately separate from [`ColumnwiseInference`]: fitting mutates
+/// (optimiser state, activation caches, RNG streams), serving must not.
+pub trait ColumnwiseTrainer {
+    /// Train on a labelled corpus, returning the per-epoch loss history.
+    fn fit(&mut self, corpus: &Corpus) -> &[f32];
+}
+
+/// Build the Sherlock/Sato multi-input network (branch subnetworks + primary
+/// trunk) and its classification head for the given feature-group widths.
+///
+/// Shared by training (fresh random weights that are then fitted) and by
+/// predictor deserialization (fresh weights immediately overwritten by a
+/// state dict), so both paths agree on the architecture.
+pub(crate) fn build_network(
+    config: &SatoConfig,
+    widths: &[usize],
+) -> (MultiInputNetwork, Sequential) {
+    let cfg = &config.network;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut branches = Vec::new();
+    let mut concat_dim = 0usize;
+    // Branch order mirrors TrainingData: Char, Word, Para, Stat [, Topic].
+    for (i, &w) in widths.iter().enumerate() {
+        let is_stat = i == FeatureGroup::ALL.len() - 1; // Stat is the 4th group
+        if is_stat {
+            branches.push(Sequential::new());
+            concat_dim += w;
+        } else {
+            branches.push(
+                Sequential::new()
+                    .push(Dense::new(w, cfg.subnetwork_dim, &mut rng))
+                    .push(ReLU::new())
+                    .push(Dropout::new(
+                        cfg.dropout,
+                        StdRng::seed_from_u64(config.seed ^ (i as u64 + 1)),
+                    )),
+            );
+            concat_dim += cfg.subnetwork_dim;
+        }
+    }
+    let trunk = Sequential::new()
+        .push(Dense::new(concat_dim, cfg.hidden_dim, &mut rng))
+        .push(ReLU::new())
+        .push(BatchNorm::new(cfg.hidden_dim))
+        .push(Dropout::new(
+            cfg.dropout,
+            StdRng::seed_from_u64(config.seed ^ 0x100),
+        ))
+        .push(Dense::new(cfg.hidden_dim, cfg.hidden_dim, &mut rng))
+        .push(ReLU::new())
+        .push(BatchNorm::new(cfg.hidden_dim))
+        .push(Dropout::new(
+            cfg.dropout,
+            StdRng::seed_from_u64(config.seed ^ 0x200),
+        ));
+    let head = Sequential::new().push(Dense::new(cfg.hidden_dim, NUM_TYPES, &mut rng));
+    (MultiInputNetwork::new(branches, trunk), head)
+}
+
+/// The Sherlock/Sato column-wise neural model (training-capable).
 pub struct ColumnwiseModel {
     config: SatoConfig,
     use_topic: bool,
@@ -103,7 +177,7 @@ impl ColumnwiseModel {
         self.net.is_some()
     }
 
-    /// Mean training loss per epoch (available after [`Self::fit`]).
+    /// Mean training loss per epoch (available after [`ColumnwiseTrainer::fit`]).
     pub fn loss_history(&self) -> &[f32] {
         &self.loss_history
     }
@@ -125,55 +199,65 @@ impl ColumnwiseModel {
         TableInputs::extract(table, &self.extractor, self.intent.as_ref())
     }
 
-    fn build_network(&mut self, widths: &[usize]) {
-        let cfg = &self.config.network;
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut branches = Vec::new();
-        let mut concat_dim = 0usize;
-        // Branch order mirrors TrainingData: Char, Word, Para, Stat [, Topic].
-        for (i, &w) in widths.iter().enumerate() {
-            let is_stat = i == FeatureGroup::ALL.len() - 1; // Stat is the 4th group
-            if is_stat {
-                branches.push(Sequential::new());
-                concat_dim += w;
-            } else {
-                branches.push(
-                    Sequential::new()
-                        .push(Dense::new(w, cfg.subnetwork_dim, &mut rng))
-                        .push(ReLU::new())
-                        .push(Dropout::new(
-                            cfg.dropout,
-                            StdRng::seed_from_u64(self.config.seed ^ (i as u64 + 1)),
-                        )),
-                );
-                concat_dim += cfg.subnetwork_dim;
-            }
-        }
-        let trunk = Sequential::new()
-            .push(Dense::new(concat_dim, cfg.hidden_dim, &mut rng))
-            .push(ReLU::new())
-            .push(BatchNorm::new(cfg.hidden_dim))
-            .push(Dropout::new(
-                cfg.dropout,
-                StdRng::seed_from_u64(self.config.seed ^ 0x100),
-            ))
-            .push(Dense::new(cfg.hidden_dim, cfg.hidden_dim, &mut rng))
-            .push(ReLU::new())
-            .push(BatchNorm::new(cfg.hidden_dim))
-            .push(Dropout::new(
-                cfg.dropout,
-                StdRng::seed_from_u64(self.config.seed ^ 0x200),
-            ));
-        let head = Sequential::new().push(Dense::new(cfg.hidden_dim, NUM_TYPES, &mut rng));
-        self.net = Some(MultiInputNetwork::new(branches, trunk));
-        self.head = Some(head);
-        self.group_widths = widths.to_vec();
+    /// Immutable forward pass (evaluation mode) on pre-extracted inputs,
+    /// returning the per-column probability rows.
+    pub fn predict_proba_from_inputs(&self, inputs: &TableInputs) -> Vec<Vec<f32>> {
+        let net = self.net.as_ref().expect("model must be trained first");
+        let head = self.head.as_ref().expect("model must be trained first");
+        infer_proba(net, head, &self.scalers, self.use_topic, inputs)
     }
 
+    /// Column embeddings (the final hidden representation before the output
+    /// layer), used by the Col2Vec analysis of Section 5.6 / Figure 10.
+    pub fn column_embeddings(&self, table: &Table) -> Vec<Vec<f32>> {
+        let inputs = self.extract_inputs(table);
+        let net = self.net.as_ref().expect("model must be trained first");
+        infer_embeddings(net, &self.scalers, self.use_topic, &inputs)
+    }
+
+    /// Snapshot the trained model into an immutable [`FrozenColumnwise`]
+    /// without consuming it (parameters and running statistics are copied).
+    ///
+    /// Panics if the model has not been trained.
+    pub fn freeze(&self) -> FrozenColumnwise {
+        let net = self.net.as_ref().expect("model must be trained first");
+        let head = self.head.as_ref().expect("model must be trained first");
+        FrozenColumnwise::from_state(
+            &self.config,
+            self.use_topic,
+            self.intent.clone(),
+            self.scalers.clone(),
+            self.group_widths.clone(),
+            &net.state_dict(),
+            &head.state_dict(),
+        )
+        .expect("snapshot of an identical architecture cannot fail")
+    }
+
+    /// Consume the trained model into an immutable [`FrozenColumnwise`],
+    /// moving the network weights instead of copying them.
+    ///
+    /// Panics if the model has not been trained.
+    pub fn into_frozen(self) -> FrozenColumnwise {
+        let net = self.net.expect("model must be trained first");
+        let head = self.head.expect("model must be trained first");
+        FrozenColumnwise {
+            use_topic: self.use_topic,
+            extractor: self.extractor,
+            intent: self.intent,
+            net,
+            head,
+            scalers: self.scalers,
+            group_widths: self.group_widths,
+        }
+    }
+}
+
+impl ColumnwiseTrainer for ColumnwiseModel {
     /// Train on a labelled corpus. For topic-aware models the table intent
     /// estimator (LDA) is pre-trained on the same corpus first, using only
     /// cell values.
-    pub fn fit(&mut self, corpus: &Corpus) -> &[f32] {
+    fn fit(&mut self, corpus: &Corpus) -> &[f32] {
         if self.use_topic {
             let estimator = TableIntentEstimator::fit(corpus, self.config.lda.clone());
             self.intent = Some(estimator);
@@ -184,7 +268,11 @@ impl ColumnwiseModel {
         // fitted scalers are reused at prediction time.
         self.scalers = Standardizer::fit_groups(&data.groups);
         data.groups = Standardizer::transform_groups(&self.scalers, &data.groups);
-        self.build_network(&data.group_widths());
+        let widths = data.group_widths();
+        let (net, head) = build_network(&self.config, &widths);
+        self.net = Some(net);
+        self.head = Some(head);
+        self.group_widths = widths;
         let net = self.net.as_mut().expect("network just built");
         let head = self.head.as_mut().expect("head just built");
 
@@ -215,42 +303,146 @@ impl ColumnwiseModel {
         }
         &self.loss_history
     }
+}
 
-    /// Forward pass (evaluation mode) on pre-extracted inputs, returning the
-    /// per-column probability rows.
-    pub fn predict_proba_from_inputs(&mut self, inputs: &TableInputs) -> Vec<Vec<f32>> {
-        let net = self.net.as_mut().expect("model must be trained first");
-        let head = self.head.as_mut().expect("model must be trained first");
-        if inputs.columns.is_empty() {
-            return Vec::new();
-        }
-        let groups = inputs.to_matrices(self.use_topic);
-        let groups = Standardizer::transform_groups(&self.scalers, &groups);
-        let embedding = net.forward(&groups, false);
-        let logits = head.forward(&embedding, false);
-        let probs = softmax(&logits);
-        (0..probs.rows()).map(|r| probs.row(r).to_vec()).collect()
-    }
-
-    /// Column embeddings (the final hidden representation before the output
-    /// layer), used by the Col2Vec analysis of Section 5.6 / Figure 10.
-    pub fn column_embeddings(&mut self, table: &Table) -> Vec<Vec<f32>> {
+impl ColumnwiseInference for ColumnwiseModel {
+    fn predict_proba(&self, table: &Table) -> Vec<Vec<f32>> {
         let inputs = self.extract_inputs(table);
-        let net = self.net.as_mut().expect("model must be trained first");
-        if inputs.columns.is_empty() {
-            return Vec::new();
-        }
-        let groups = inputs.to_matrices(self.use_topic);
-        let groups = Standardizer::transform_groups(&self.scalers, &groups);
-        let embedding: Matrix = net.forward(&groups, false);
-        (0..embedding.rows())
-            .map(|r| embedding.row(r).to_vec())
-            .collect()
+        self.predict_proba_from_inputs(&inputs)
     }
 }
 
-impl ColumnwisePredictor for ColumnwiseModel {
-    fn predict_proba(&mut self, table: &Table) -> Vec<Vec<f32>> {
+/// Evaluation-mode forward pass to per-column probability rows, shared by
+/// the live [`ColumnwiseModel`] and its [`FrozenColumnwise`] snapshot so the
+/// two cannot drift apart (freeze parity is structural, not by convention).
+fn infer_proba(
+    net: &MultiInputNetwork,
+    head: &Sequential,
+    scalers: &[Standardizer],
+    use_topic: bool,
+    inputs: &TableInputs,
+) -> Vec<Vec<f32>> {
+    if inputs.columns.is_empty() {
+        return Vec::new();
+    }
+    let groups = inputs.to_matrices(use_topic);
+    let groups = Standardizer::transform_groups(scalers, &groups);
+    let embedding = net.infer(&groups);
+    let logits = head.infer(&embedding);
+    let probs = softmax(&logits);
+    (0..probs.rows()).map(|r| probs.row(r).to_vec()).collect()
+}
+
+/// Evaluation-mode forward pass to column embeddings (the final hidden
+/// representation before the output layer); see [`infer_proba`].
+fn infer_embeddings(
+    net: &MultiInputNetwork,
+    scalers: &[Standardizer],
+    use_topic: bool,
+    inputs: &TableInputs,
+) -> Vec<Vec<f32>> {
+    if inputs.columns.is_empty() {
+        return Vec::new();
+    }
+    let groups = inputs.to_matrices(use_topic);
+    let groups = Standardizer::transform_groups(scalers, &groups);
+    let embedding: Matrix = net.infer(&groups);
+    (0..embedding.rows())
+        .map(|r| embedding.row(r).to_vec())
+        .collect()
+}
+
+/// The immutable, `Send + Sync` inference core of a trained column-wise
+/// model: feature extractor, optional topic estimator, fitted standardizers
+/// and the network weights — and nothing else. No optimiser state, no
+/// activation caches, no RNG; every method takes `&self`.
+pub struct FrozenColumnwise {
+    use_topic: bool,
+    extractor: FeatureExtractor,
+    intent: Option<TableIntentEstimator>,
+    net: MultiInputNetwork,
+    head: Sequential,
+    scalers: Vec<Standardizer>,
+    group_widths: Vec<usize>,
+}
+
+impl FrozenColumnwise {
+    /// Whether the frozen model consumes the table topic vector.
+    pub fn uses_topic(&self) -> bool {
+        self.use_topic
+    }
+
+    /// The table intent estimator (present for topic-aware models).
+    pub fn intent_estimator(&self) -> Option<&TableIntentEstimator> {
+        self.intent.as_ref()
+    }
+
+    /// The per-group input widths the network was trained with.
+    pub fn group_widths(&self) -> &[usize] {
+        &self.group_widths
+    }
+
+    /// Extract the network inputs for a table (features + topic vector).
+    pub fn extract_inputs(&self, table: &Table) -> TableInputs {
+        TableInputs::extract(table, &self.extractor, self.intent.as_ref())
+    }
+
+    /// Evaluation-mode forward pass on pre-extracted inputs.
+    pub fn predict_proba_from_inputs(&self, inputs: &TableInputs) -> Vec<Vec<f32>> {
+        infer_proba(&self.net, &self.head, &self.scalers, self.use_topic, inputs)
+    }
+
+    /// Column embeddings (the final hidden representation before the output
+    /// layer; Section 5.6 / Figure 10).
+    pub fn column_embeddings(&self, table: &Table) -> Vec<Vec<f32>> {
+        let inputs = self.extract_inputs(table);
+        infer_embeddings(&self.net, &self.scalers, self.use_topic, &inputs)
+    }
+
+    /// State dict of the multi-input network (for serialization).
+    pub(crate) fn net_state(&self) -> StateDict {
+        self.net.state_dict()
+    }
+
+    /// State dict of the classification head (for serialization).
+    pub(crate) fn head_state(&self) -> StateDict {
+        self.head.state_dict()
+    }
+
+    /// Scalers fitted on the training data (for serialization).
+    pub(crate) fn scalers(&self) -> &[Standardizer] {
+        &self.scalers
+    }
+
+    /// Rebuild a frozen core from its serialized parts: the architecture is
+    /// reconstructed from `config` + `group_widths` and the weights (and
+    /// BatchNorm running statistics) loaded from the state dicts.
+    pub(crate) fn from_state(
+        config: &SatoConfig,
+        use_topic: bool,
+        intent: Option<TableIntentEstimator>,
+        scalers: Vec<Standardizer>,
+        group_widths: Vec<usize>,
+        net_state: &StateDict,
+        head_state: &StateDict,
+    ) -> Result<Self, LoadError> {
+        let (mut net, mut head) = build_network(config, &group_widths);
+        net.load_state_dict(net_state)?;
+        head.load_state_dict(head_state)?;
+        Ok(FrozenColumnwise {
+            use_topic,
+            extractor: FeatureExtractor::new(config.features.clone()),
+            intent,
+            net,
+            head,
+            scalers,
+            group_widths,
+        })
+    }
+}
+
+impl ColumnwiseInference for FrozenColumnwise {
+    fn predict_proba(&self, table: &Table) -> Vec<Vec<f32>> {
         let inputs = self.extract_inputs(table);
         self.predict_proba_from_inputs(&inputs)
     }
@@ -295,7 +487,7 @@ mod tests {
 
     #[test]
     fn probabilities_are_normalised_per_column() {
-        let (mut model, corpus) = train_small(false);
+        let (model, corpus) = train_small(false);
         let table = &corpus.tables[0];
         let probs = model.predict_proba(table);
         assert_eq!(probs.len(), table.num_columns());
@@ -308,7 +500,7 @@ mod tests {
 
     #[test]
     fn predictions_beat_chance_on_training_data() {
-        let (mut model, corpus) = train_small(false);
+        let (model, corpus) = train_small(false);
         let mut correct = 0usize;
         let mut total = 0usize;
         for table in corpus.iter().take(30) {
@@ -329,7 +521,7 @@ mod tests {
 
     #[test]
     fn column_embeddings_have_hidden_dim() {
-        let (mut model, corpus) = train_small(false);
+        let (model, corpus) = train_small(false);
         let table = &corpus.tables[1];
         let emb = model.column_embeddings(table);
         assert_eq!(emb.len(), table.num_columns());
@@ -340,17 +532,42 @@ mod tests {
 
     #[test]
     fn prediction_is_deterministic_in_eval_mode() {
-        let (mut model, corpus) = train_small(false);
+        let (model, corpus) = train_small(false);
         let table = &corpus.tables[2];
         assert_eq!(model.predict_proba(table), model.predict_proba(table));
+    }
+
+    #[test]
+    fn frozen_model_matches_source_bit_for_bit() {
+        let (model, corpus) = train_small(true);
+        let snapshot = model.freeze();
+        for table in corpus.iter().take(10) {
+            assert_eq!(model.predict_proba(table), snapshot.predict_proba(table));
+            assert_eq!(
+                model.column_embeddings(table),
+                snapshot.column_embeddings(table)
+            );
+        }
+        // Consuming freeze agrees too (moves the very same weights).
+        let frozen = model.into_frozen();
+        let table = &corpus.tables[0];
+        assert_eq!(frozen.predict_proba(table), snapshot.predict_proba(table));
+        assert!(frozen.uses_topic());
+        assert!(frozen.intent_estimator().is_some());
     }
 
     #[test]
     #[should_panic(expected = "trained")]
     fn predicting_before_training_panics() {
         let corpus = default_corpus(3, 1);
-        let mut model = ColumnwiseModel::base(SatoConfig::fast());
+        let model = ColumnwiseModel::base(SatoConfig::fast());
         model.predict_proba(&corpus.tables[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "trained")]
+    fn freezing_before_training_panics() {
+        ColumnwiseModel::base(SatoConfig::fast()).freeze();
     }
 
     #[test]

@@ -19,18 +19,47 @@
 //! [`BertLikeModel`] reproduces the Section 6 "featurisation-free"
 //! single-column alternative.
 //!
+//! ## Train → freeze → serve
+//!
+//! The API splits the model lifecycle in two, like the write- and
+//! read-optimised sides of an HTAP store:
+//!
+//! * **Training** is mutable: [`SatoModel::train`] (or the
+//!   [`ColumnwiseTrainer`] trait for pluggable single-column models) fits
+//!   weights, optimiser state and activation caches behind `&mut self`.
+//! * **Serving** is immutable: a trained model **freezes** into a
+//!   [`SatoPredictor`] — via [`SatoModel::into_predictor`] (consuming,
+//!   zero-copy) or [`SatoModel::predictor`] (snapshot) — whose `predict` /
+//!   `predict_proba` / `column_embeddings` all take `&self`.
+//!
+//! `SatoPredictor` is `Send + Sync` by construction (no RNG, no caches, no
+//! interior mutability), so one frozen artifact can serve any number of
+//! threads concurrently ([`SatoPredictor::predict_corpus_parallel`]), and it
+//! round-trips through JSON ([`SatoPredictor::to_json`] /
+//! [`SatoPredictor::from_json`]) as a deployable artifact that reproduces
+//! the saved predictions bit for bit.
+//!
 //! ```no_run
-//! use sato::{SatoConfig, SatoModel, SatoVariant};
+//! use sato::{SatoConfig, SatoModel, SatoPredictor, SatoVariant};
 //! use sato_tabular::corpus::default_corpus;
 //! use sato_tabular::split::train_test_split;
 //!
+//! // Train (mutable phase) ...
 //! let corpus = default_corpus(500, 42);
 //! let split = train_test_split(&corpus, 0.2, 0);
-//! let mut model = SatoModel::train(&split.train, SatoConfig::default(), SatoVariant::Full);
+//! let model = SatoModel::train(&split.train, SatoConfig::default(), SatoVariant::Full);
+//!
+//! // ... freeze into an immutable, Send + Sync artifact ...
+//! let predictor = model.into_predictor();
+//! predictor.save("sato_full.json").unwrap();
+//!
+//! // ... and serve, sequentially or from many threads at once.
+//! let served = SatoPredictor::load("sato_full.json").unwrap();
 //! for table in split.test.iter().take(3) {
-//!     let types = model.predict(table);
-//!     println!("table {} -> {:?}", table.id, types);
+//!     println!("table {} -> {:?}", table.id, served.predict(table));
 //! }
+//! let predictions = served.predict_corpus_parallel(&split.test, 8);
+//! assert_eq!(predictions, served.predict_corpus(&split.test));
 //! ```
 
 #![warn(missing_docs)]
@@ -40,11 +69,15 @@ pub mod columnwise;
 pub mod config;
 pub mod dataset;
 pub mod model;
+pub mod predictor;
 pub mod structured;
 
 pub use bert_like::{BertLikeConfig, BertLikeModel};
-pub use columnwise::{ColumnwiseModel, ColumnwisePredictor};
+pub use columnwise::{
+    types_from_proba, ColumnwiseInference, ColumnwiseModel, ColumnwiseTrainer, FrozenColumnwise,
+};
 pub use config::{CrfTrainParams, NetworkConfig, SatoConfig};
 pub use dataset::{InputGroup, TableInputs, TrainingData};
 pub use model::{SatoModel, SatoVariant, TablePrediction, TrainTimings};
+pub use predictor::{PredictorError, SatoPredictor};
 pub use structured::{unary_from_proba, StructuredLayer};

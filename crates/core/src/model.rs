@@ -8,8 +8,9 @@
 //! | `SatoNoTopic`          | no  | yes |
 //! | `Full` (Sato)          | yes | yes |
 
-use crate::columnwise::{ColumnwiseModel, ColumnwisePredictor};
+use crate::columnwise::{ColumnwiseInference, ColumnwiseModel, ColumnwiseTrainer};
 use crate::config::SatoConfig;
+use crate::predictor::SatoPredictor;
 use crate::structured::StructuredLayer;
 use sato_tabular::table::{Corpus, Table};
 use sato_tabular::types::SemanticType;
@@ -85,10 +86,28 @@ pub struct SatoModel {
 pub struct TablePrediction {
     /// The table's id.
     pub table_id: u64,
-    /// Gold labels (empty when the table is unlabelled).
+    /// Gold labels, cloned from the table **only when it is fully labelled**
+    /// (one label per column).
+    ///
+    /// *Empty-gold convention*: for unlabelled (or partially labelled)
+    /// tables this vector is empty — it does **not** mean the table has zero
+    /// columns. Consumers must treat an empty `gold` as "no ground truth
+    /// available" and skip the table when computing metrics; `predicted`
+    /// always has one entry per column.
     pub gold: Vec<SemanticType>,
     /// Predicted labels, parallel to the table's columns.
     pub predicted: Vec<SemanticType>,
+}
+
+/// Gold labels of a table under the empty-gold convention: a clone of the
+/// labels when the table is fully labelled, and an empty vector otherwise
+/// (no allocation, no clone for unlabelled tables).
+pub(crate) fn gold_of(table: &Table) -> Vec<SemanticType> {
+    if table.is_labelled() {
+        table.labels.clone()
+    } else {
+        Vec::new()
+    }
 }
 
 impl SatoModel {
@@ -105,7 +124,7 @@ impl SatoModel {
 
         let (structured, crf_secs) = if variant.uses_structure() {
             let start = Instant::now();
-            let layer = StructuredLayer::fit(&mut columnwise, corpus, &config);
+            let layer = StructuredLayer::fit(&columnwise, corpus, &config);
             (Some(layer), start.elapsed().as_secs_f64())
         } else {
             (None, 0.0)
@@ -139,9 +158,10 @@ impl SatoModel {
     }
 
     /// Borrow the column-wise model (e.g. for column embeddings or for the
-    /// permutation-importance analysis).
-    pub fn columnwise_mut(&mut self) -> &mut ColumnwiseModel {
-        &mut self.columnwise
+    /// permutation-importance analysis). All inference entry points take
+    /// `&self`; mutable access is deliberately not exposed.
+    pub fn columnwise(&self) -> &ColumnwiseModel {
+        &self.columnwise
     }
 
     /// Borrow the CRF layer, if the variant has one.
@@ -151,12 +171,12 @@ impl SatoModel {
 
     /// Per-column probability rows from the column-wise stage (before any
     /// structured decoding).
-    pub fn predict_proba(&mut self, table: &Table) -> Vec<Vec<f32>> {
+    pub fn predict_proba(&self, table: &Table) -> Vec<Vec<f32>> {
         self.columnwise.predict_proba(table)
     }
 
     /// Predict the semantic type of every column of a table.
-    pub fn predict(&mut self, table: &Table) -> Vec<SemanticType> {
+    pub fn predict(&self, table: &Table) -> Vec<SemanticType> {
         match &self.structured {
             Some(layer) => {
                 let proba = self.columnwise.predict_proba(table);
@@ -166,16 +186,41 @@ impl SatoModel {
         }
     }
 
-    /// Predict every table of a corpus, pairing predictions with gold labels.
-    pub fn predict_corpus(&mut self, corpus: &Corpus) -> Vec<TablePrediction> {
+    /// Predict every table of a corpus, pairing predictions with gold labels
+    /// (see [`TablePrediction::gold`] for the empty-gold convention).
+    pub fn predict_corpus(&self, corpus: &Corpus) -> Vec<TablePrediction> {
         corpus
             .iter()
             .map(|table| TablePrediction {
                 table_id: table.id,
-                gold: table.labels.clone(),
+                gold: gold_of(table),
                 predicted: self.predict(table),
             })
             .collect()
+    }
+
+    /// Freeze this trained model into an immutable, `Send + Sync`
+    /// [`SatoPredictor`] serving artifact, consuming the model (the weights
+    /// are moved, not copied).
+    pub fn into_predictor(self) -> SatoPredictor {
+        SatoPredictor::from_parts(
+            self.variant,
+            self.config,
+            self.columnwise.into_frozen(),
+            self.structured.map(StructuredLayer::into_crf),
+        )
+    }
+
+    /// Snapshot this trained model into a [`SatoPredictor`] without
+    /// consuming it (weights and running statistics are copied), e.g. to
+    /// keep training while a frozen snapshot serves traffic.
+    pub fn predictor(&self) -> SatoPredictor {
+        SatoPredictor::from_parts(
+            self.variant,
+            self.config.clone(),
+            self.columnwise.freeze(),
+            self.structured.as_ref().map(|s| s.crf().clone()),
+        )
     }
 }
 
@@ -203,7 +248,7 @@ mod tests {
     fn base_variant_trains_and_predicts() {
         let corpus = default_corpus(50, 2);
         let split = train_test_split(&corpus, 0.2, 1);
-        let mut model = SatoModel::train(&split.train, SatoConfig::fast(), SatoVariant::Base);
+        let model = SatoModel::train(&split.train, SatoConfig::fast(), SatoVariant::Base);
         assert_eq!(model.variant(), SatoVariant::Base);
         assert!(model.structured().is_none());
         assert!(model.timings().columnwise_secs > 0.0);
@@ -220,7 +265,7 @@ mod tests {
     #[test]
     fn full_variant_has_structured_layer_and_crf_timing() {
         let corpus = default_corpus(40, 4);
-        let mut model = SatoModel::train(&corpus, SatoConfig::fast(), SatoVariant::Full);
+        let model = SatoModel::train(&corpus, SatoConfig::fast(), SatoVariant::Full);
         assert!(model.structured().is_some());
         assert!(model.timings().crf_secs > 0.0);
         let table = &corpus.tables[0];
@@ -233,13 +278,28 @@ mod tests {
         // For a single-column table the CRF cannot change anything: the MAP
         // label equals the column-wise argmax.
         let corpus = default_corpus(40, 6);
-        let mut model = SatoModel::train(&corpus, SatoConfig::fast(), SatoVariant::SatoNoTopic);
+        let model = SatoModel::train(&corpus, SatoConfig::fast(), SatoVariant::SatoNoTopic);
         let singleton = corpus
             .iter()
             .find(|t| t.num_columns() == 1)
             .expect("corpus contains singleton tables");
         let structured = model.predict(singleton);
-        let columnwise = model.columnwise_mut().predict_types(singleton);
+        let columnwise = model.columnwise().predict_types(singleton);
         assert_eq!(structured, columnwise);
+    }
+
+    #[test]
+    fn unlabelled_tables_get_empty_gold_without_cloning() {
+        use sato_tabular::table::{Column, Table};
+        let corpus = default_corpus(40, 8);
+        let model = SatoModel::train(&corpus, SatoConfig::fast(), SatoVariant::Base);
+        let lake = Corpus::new(vec![
+            Table::unlabelled(1, vec![Column::new(["Warsaw", "London"])]),
+            corpus.tables[0].clone(),
+        ]);
+        let preds = model.predict_corpus(&lake);
+        assert!(preds[0].gold.is_empty(), "unlabelled table: empty gold");
+        assert_eq!(preds[0].predicted.len(), 1, "predictions still per-column");
+        assert_eq!(preds[1].gold, corpus.tables[0].labels);
     }
 }

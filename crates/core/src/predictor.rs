@@ -1,0 +1,430 @@
+//! The frozen serving artifact: [`SatoPredictor`], an immutable,
+//! `Send + Sync` snapshot of a trained [`SatoModel`](crate::SatoModel).
+//!
+//! Training and serving have different needs — training mutates (optimiser
+//! state, activation caches for backprop, RNG streams), serving must share
+//! one set of weights across many threads. `SatoPredictor` is the
+//! read-optimised side of that split: it owns the column-wise network
+//! weights (with BatchNorm running statistics), the optional CRF layer and
+//! the configuration, exposes every prediction entry point by `&self`,
+//! round-trips through JSON as a deployable artifact, and fans a corpus out
+//! over scoped threads with [`SatoPredictor::predict_corpus_parallel`].
+//!
+//! ```no_run
+//! use sato::{SatoConfig, SatoModel, SatoVariant};
+//! use sato_tabular::corpus::default_corpus;
+//!
+//! let corpus = default_corpus(200, 42);
+//! let model = SatoModel::train(&corpus, SatoConfig::fast(), SatoVariant::Full);
+//! let predictor = model.into_predictor(); // frozen, Send + Sync
+//! let json = predictor.to_json(); // deployable artifact
+//! let served = sato::SatoPredictor::from_json(&json).unwrap();
+//! assert_eq!(
+//!     served.predict(&corpus.tables[0]),
+//!     predictor.predict(&corpus.tables[0])
+//! );
+//! ```
+
+use crate::columnwise::{ColumnwiseInference, FrozenColumnwise};
+use crate::config::SatoConfig;
+use crate::dataset::Standardizer;
+use crate::model::{gold_of, SatoVariant, TablePrediction};
+use crate::structured::StructuredLayer;
+use sato_crf::LinearChainCrf;
+use sato_features::FeatureGroup;
+use sato_nn::serialize::{LoadError, StateDict};
+use sato_tabular::table::{Corpus, Table};
+use sato_tabular::types::SemanticType;
+use sato_topic::TableIntentEstimator;
+use serde::{Deserialize, Serialize};
+
+/// Version tag written into serialized predictor artifacts.
+const FORMAT_VERSION: u64 = 1;
+
+/// Error raised when loading a serialized [`SatoPredictor`] artifact.
+#[derive(Debug)]
+pub enum PredictorError {
+    /// The artifact is not valid JSON or does not match the expected shape.
+    Json(serde_json::Error),
+    /// The artifact was written by an incompatible format version.
+    UnsupportedVersion(u64),
+    /// The stored weights do not fit the architecture described by the
+    /// stored configuration (count/shape mismatch).
+    State(LoadError),
+    /// The artifact's fields are mutually inconsistent (e.g. a topic-aware
+    /// model without its topic estimator), which would panic at predict
+    /// time if loaded.
+    Inconsistent(&'static str),
+    /// Reading or writing the artifact file failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for PredictorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictorError::Json(e) => write!(f, "predictor artifact: {e}"),
+            PredictorError::UnsupportedVersion(v) => {
+                write!(f, "predictor artifact: unsupported format version {v}")
+            }
+            PredictorError::State(e) => write!(f, "predictor artifact: {e}"),
+            PredictorError::Inconsistent(msg) => write!(f, "predictor artifact: {msg}"),
+            PredictorError::Io(e) => write!(f, "predictor artifact: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PredictorError {}
+
+impl From<serde_json::Error> for PredictorError {
+    fn from(e: serde_json::Error) -> Self {
+        PredictorError::Json(e)
+    }
+}
+
+impl From<LoadError> for PredictorError {
+    fn from(e: LoadError) -> Self {
+        PredictorError::State(e)
+    }
+}
+
+impl From<std::io::Error> for PredictorError {
+    fn from(e: std::io::Error) -> Self {
+        PredictorError::Io(e)
+    }
+}
+
+/// The serialized form of a predictor: everything needed to rebuild the
+/// frozen inference pipeline bit-for-bit (architecture from `config` +
+/// `group_widths`, weights and running statistics from the state dicts).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PredictorArtifact {
+    format_version: u64,
+    variant: SatoVariant,
+    config: SatoConfig,
+    use_topic: bool,
+    group_widths: Vec<usize>,
+    scalers: Vec<Standardizer>,
+    net: StateDict,
+    head: StateDict,
+    intent: Option<TableIntentEstimator>,
+    crf: Option<LinearChainCrf>,
+}
+
+/// An immutable, thread-safe (`Send + Sync`) serving artifact frozen from a
+/// trained [`SatoModel`](crate::SatoModel).
+///
+/// Obtain one with [`SatoModel::into_predictor`](crate::SatoModel::into_predictor)
+/// (consuming, zero-copy) or [`SatoModel::predictor`](crate::SatoModel::predictor)
+/// (snapshot). Every prediction method takes `&self`, so one predictor can
+/// be shared by reference across any number of threads — no locks, no
+/// interior mutability, no training-time state.
+pub struct SatoPredictor {
+    variant: SatoVariant,
+    config: SatoConfig,
+    columnwise: FrozenColumnwise,
+    structured: Option<StructuredLayer>,
+}
+
+impl SatoPredictor {
+    pub(crate) fn from_parts(
+        variant: SatoVariant,
+        config: SatoConfig,
+        columnwise: FrozenColumnwise,
+        crf: Option<LinearChainCrf>,
+    ) -> Self {
+        SatoPredictor {
+            variant,
+            config,
+            columnwise,
+            structured: crf.map(StructuredLayer::from_crf),
+        }
+    }
+
+    /// The variant the source model was trained as.
+    pub fn variant(&self) -> SatoVariant {
+        self.variant
+    }
+
+    /// The configuration the source model was trained with.
+    pub fn config(&self) -> &SatoConfig {
+        &self.config
+    }
+
+    /// Whether this predictor consumes the table topic vector.
+    pub fn uses_topic(&self) -> bool {
+        self.columnwise.uses_topic()
+    }
+
+    /// The CRF layer, if the frozen variant has one.
+    pub fn crf(&self) -> Option<&LinearChainCrf> {
+        self.structured.as_ref().map(|s| s.crf())
+    }
+
+    /// The frozen column-wise inference core.
+    pub fn columnwise(&self) -> &FrozenColumnwise {
+        &self.columnwise
+    }
+
+    /// Per-column probability rows from the column-wise stage (before any
+    /// structured decoding).
+    pub fn predict_proba(&self, table: &Table) -> Vec<Vec<f32>> {
+        self.columnwise.predict_proba(table)
+    }
+
+    /// Predict the semantic type of every column of a table.
+    pub fn predict(&self, table: &Table) -> Vec<SemanticType> {
+        match &self.structured {
+            Some(layer) => layer.decode_proba(&self.columnwise.predict_proba(table)),
+            None => self.columnwise.predict_types(table),
+        }
+    }
+
+    /// Column embeddings (the final hidden representation before the output
+    /// layer; Section 5.6 / Figure 10).
+    pub fn column_embeddings(&self, table: &Table) -> Vec<Vec<f32>> {
+        self.columnwise.column_embeddings(table)
+    }
+
+    fn predict_table(&self, table: &Table) -> TablePrediction {
+        TablePrediction {
+            table_id: table.id,
+            gold: gold_of(table),
+            predicted: self.predict(table),
+        }
+    }
+
+    /// Predict every table of a corpus sequentially (see
+    /// [`TablePrediction::gold`] for the empty-gold convention).
+    pub fn predict_corpus(&self, corpus: &Corpus) -> Vec<TablePrediction> {
+        corpus.iter().map(|t| self.predict_table(t)).collect()
+    }
+
+    /// Predict every table of a corpus on `n_threads` scoped OS threads,
+    /// sharing `self` by reference. The output is exactly — bit for bit —
+    /// the output of [`Self::predict_corpus`], in the same order; only the
+    /// wall-clock time changes.
+    ///
+    /// `n_threads` is clamped to at least 1; with 1 thread (or at most one
+    /// table) this falls back to the sequential path.
+    pub fn predict_corpus_parallel(
+        &self,
+        corpus: &Corpus,
+        n_threads: usize,
+    ) -> Vec<TablePrediction> {
+        let n_threads = n_threads.max(1);
+        let tables = &corpus.tables;
+        if n_threads == 1 || tables.len() < 2 {
+            return self.predict_corpus(corpus);
+        }
+        // Contiguous chunks keep the output order: chunk i's results are
+        // appended before chunk i+1's. Each thread borrows `self` — this is
+        // exactly the Send + Sync guarantee the frozen artifact exists for.
+        let chunk_size = tables.len().div_ceil(n_threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = tables
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|t| self.predict_table(t))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("prediction thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Serialize the whole predictor (config, weights, running statistics,
+    /// scalers, topic model, CRF) into a deployable JSON artifact.
+    pub fn to_json(&self) -> String {
+        let artifact = PredictorArtifact {
+            format_version: FORMAT_VERSION,
+            variant: self.variant,
+            config: self.config.clone(),
+            use_topic: self.columnwise.uses_topic(),
+            group_widths: self.columnwise.group_widths().to_vec(),
+            scalers: self.columnwise.scalers().to_vec(),
+            net: self.columnwise.net_state(),
+            head: self.columnwise.head_state(),
+            intent: self.columnwise.intent_estimator().cloned(),
+            crf: self.structured.as_ref().map(|s| s.crf().clone()),
+        };
+        serde_json::to_string(&artifact).expect("predictor artifact serialization cannot fail")
+    }
+
+    /// Rebuild a predictor from a JSON artifact written by
+    /// [`Self::to_json`]. The loaded predictor reproduces the predictions of
+    /// the saved one bit for bit.
+    pub fn from_json(json: &str) -> Result<Self, PredictorError> {
+        let artifact: PredictorArtifact = serde_json::from_str(json)?;
+        if artifact.format_version != FORMAT_VERSION {
+            return Err(PredictorError::UnsupportedVersion(artifact.format_version));
+        }
+        // Cross-field consistency: a schema-valid artifact must not be able
+        // to panic at predict time (errors-not-panics contract).
+        if artifact.use_topic && artifact.intent.is_none() {
+            return Err(PredictorError::Inconsistent(
+                "topic-aware artifact is missing its table intent estimator",
+            ));
+        }
+        let expected_groups = FeatureGroup::ALL.len() + usize::from(artifact.use_topic);
+        if artifact.group_widths.len() != expected_groups {
+            return Err(PredictorError::Inconsistent(
+                "group_widths count does not match the feature groups of the model",
+            ));
+        }
+        if artifact.scalers.len() != artifact.group_widths.len() {
+            return Err(PredictorError::Inconsistent(
+                "scaler count does not match the input group count",
+            ));
+        }
+        let columnwise = FrozenColumnwise::from_state(
+            &artifact.config,
+            artifact.use_topic,
+            artifact.intent,
+            artifact.scalers,
+            artifact.group_widths,
+            &artifact.net,
+            &artifact.head,
+        )?;
+        Ok(SatoPredictor {
+            variant: artifact.variant,
+            config: artifact.config,
+            columnwise,
+            structured: artifact.crf.map(StructuredLayer::from_crf),
+        })
+    }
+
+    /// Write the JSON artifact to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), PredictorError> {
+        std::fs::write(path, self.to_json())?;
+        Ok(())
+    }
+
+    /// Load a predictor from a JSON artifact file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, PredictorError> {
+        let json = std::fs::read_to_string(path)?;
+        Self::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SatoModel;
+    use sato_tabular::corpus::default_corpus;
+
+    /// Compile-time proof that the frozen artifact is shareable across
+    /// threads; this is part of the public API contract.
+    const _: fn() = || {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SatoPredictor>();
+    };
+
+    fn tiny_config() -> SatoConfig {
+        let mut config = SatoConfig::fast();
+        config.network.epochs = 6;
+        config.lda.train_iterations = 20;
+        config.crf.epochs = 3;
+        config
+    }
+
+    #[test]
+    fn frozen_predictor_matches_source_model() {
+        let corpus = default_corpus(40, 3);
+        let model = SatoModel::train(&corpus, tiny_config(), SatoVariant::Full);
+        let by_snapshot = model.predictor();
+        let model_preds: Vec<_> = corpus.iter().take(8).map(|t| model.predict(t)).collect();
+        let by_move = model.into_predictor();
+        for (i, table) in corpus.iter().take(8).enumerate() {
+            assert_eq!(by_snapshot.predict(table), model_preds[i]);
+            assert_eq!(by_move.predict(table), model_preds[i]);
+            assert_eq!(
+                by_snapshot.predict_proba(table),
+                by_move.predict_proba(table)
+            );
+        }
+        assert_eq!(by_move.variant(), SatoVariant::Full);
+        assert!(by_move.crf().is_some());
+        assert!(by_move.uses_topic());
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_identical() {
+        let corpus = default_corpus(35, 5);
+        let predictor =
+            SatoModel::train(&corpus, tiny_config(), SatoVariant::SatoNoTopic).into_predictor();
+        let loaded = SatoPredictor::from_json(&predictor.to_json()).unwrap();
+        for table in corpus.iter().take(10) {
+            assert_eq!(predictor.predict_proba(table), loaded.predict_proba(table));
+            assert_eq!(predictor.predict(table), loaded.predict(table));
+        }
+        assert_eq!(loaded.variant(), SatoVariant::SatoNoTopic);
+    }
+
+    #[test]
+    fn corrupted_artifacts_are_rejected() {
+        assert!(matches!(
+            SatoPredictor::from_json("not json at all"),
+            Err(PredictorError::Json(_))
+        ));
+        assert!(matches!(
+            SatoPredictor::from_json("{\"format_version\": 1}"),
+            Err(PredictorError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let corpus = default_corpus(30, 6);
+        let predictor =
+            SatoModel::train(&corpus, tiny_config(), SatoVariant::Base).into_predictor();
+        let json =
+            predictor
+                .to_json()
+                .replacen("\"format_version\":1", "\"format_version\":999", 1);
+        assert!(matches!(
+            SatoPredictor::from_json(&json),
+            Err(PredictorError::UnsupportedVersion(999))
+        ));
+    }
+
+    #[test]
+    fn inconsistent_artifacts_are_rejected_not_panicking() {
+        let corpus = default_corpus(30, 6);
+        let predictor =
+            SatoModel::train(&corpus, tiny_config(), SatoVariant::Base).into_predictor();
+        // A schema-valid artifact claiming to be topic-aware but carrying no
+        // intent estimator must fail at load time, not panic at predict time.
+        let json = predictor
+            .to_json()
+            .replacen("\"use_topic\":false", "\"use_topic\":true", 1);
+        assert!(matches!(
+            SatoPredictor::from_json(&json),
+            Err(PredictorError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn parallel_prediction_matches_sequential_exactly() {
+        let corpus = default_corpus(30, 7);
+        let predictor =
+            SatoModel::train(&corpus, tiny_config(), SatoVariant::Full).into_predictor();
+        let sequential = predictor.predict_corpus(&corpus);
+        for n_threads in [1, 2, 3, 8, 64] {
+            let parallel = predictor.predict_corpus_parallel(&corpus, n_threads);
+            assert_eq!(sequential, parallel, "n_threads={n_threads}");
+        }
+        // More threads than tables must also work.
+        let small = sato_tabular::table::Corpus::new(corpus.tables[..2].to_vec());
+        assert_eq!(
+            predictor.predict_corpus(&small),
+            predictor.predict_corpus_parallel(&small, 16)
+        );
+    }
+}

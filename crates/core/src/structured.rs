@@ -6,7 +6,7 @@
 //! adjacent-column co-occurrence matrix of the training corpus (Section 4.3)
 //! and then trained by maximising the table-level conditional log-likelihood.
 
-use crate::columnwise::ColumnwisePredictor;
+use crate::columnwise::ColumnwiseInference;
 use crate::config::SatoConfig;
 use sato_crf::{train_crf, CrfExample, LinearChainCrf};
 use sato_tabular::cooccurrence::CooccurrenceMatrix;
@@ -40,8 +40,8 @@ impl StructuredLayer {
     /// * `corpus` is the training corpus,
     /// * pairwise potentials start from the log adjacent-column
     ///   co-occurrence counts of that corpus.
-    pub fn fit<P: ColumnwisePredictor>(
-        predictor: &mut P,
+    pub fn fit<P: ColumnwiseInference>(
+        predictor: &P,
         corpus: &Corpus,
         config: &SatoConfig,
     ) -> Self {
@@ -83,9 +83,24 @@ impl StructuredLayer {
         }
     }
 
+    /// Wrap an already-trained CRF (e.g. one deserialized from a frozen
+    /// predictor artifact). The training history is empty.
+    pub fn from_crf(crf: LinearChainCrf) -> Self {
+        StructuredLayer {
+            crf,
+            training_history: Vec::new(),
+        }
+    }
+
     /// Borrow the underlying CRF.
     pub fn crf(&self) -> &LinearChainCrf {
         &self.crf
+    }
+
+    /// Consume the layer into its underlying CRF (the only state a frozen
+    /// serving artifact needs).
+    pub fn into_crf(self) -> LinearChainCrf {
+        self.crf
     }
 
     /// Joint MAP decoding of a table from column-wise probabilities.
@@ -102,9 +117,9 @@ impl StructuredLayer {
     }
 
     /// Predict the types of a table: column-wise scores followed by Viterbi.
-    pub fn predict<P: ColumnwisePredictor>(
+    pub fn predict<P: ColumnwiseInference>(
         &self,
-        predictor: &mut P,
+        predictor: &P,
         table: &Table,
     ) -> Vec<SemanticType> {
         let proba = predictor.predict_proba(table);
@@ -117,13 +132,22 @@ mod tests {
     use super::*;
 
     /// A deterministic fake column-wise predictor that returns pre-set
-    /// probability rows, letting the tests isolate the CRF behaviour.
+    /// probability rows, letting the tests isolate the CRF behaviour. The
+    /// inference trait takes `&self`, so the advancing cursor lives in a
+    /// `Cell`.
     struct FakePredictor {
         rows_per_table: Vec<Vec<Vec<f32>>>,
-        cursor: usize,
+        cursor: std::cell::Cell<usize>,
     }
 
     impl FakePredictor {
+        fn new(rows_per_table: Vec<Vec<Vec<f32>>>) -> Self {
+            FakePredictor {
+                rows_per_table,
+                cursor: std::cell::Cell::new(0),
+            }
+        }
+
         fn uniform_with_peaks(peaks: &[(usize, f32)]) -> Vec<f32> {
             let mut row = vec![
                 (1.0 - peaks.iter().map(|(_, p)| p).sum::<f32>()) / NUM_TYPES as f32;
@@ -136,10 +160,11 @@ mod tests {
         }
     }
 
-    impl ColumnwisePredictor for FakePredictor {
-        fn predict_proba(&mut self, table: &Table) -> Vec<Vec<f32>> {
-            let out = self.rows_per_table[self.cursor % self.rows_per_table.len()].clone();
-            self.cursor += 1;
+    impl ColumnwiseInference for FakePredictor {
+        fn predict_proba(&self, table: &Table) -> Vec<Vec<f32>> {
+            let cursor = self.cursor.get();
+            let out = self.rows_per_table[cursor % self.rows_per_table.len()].clone();
+            self.cursor.set(cursor + 1);
             assert_eq!(out.len(), table.num_columns());
             out
         }
@@ -192,23 +217,17 @@ mod tests {
             FakePredictor::uniform_with_peaks(&[(city, 0.30), (birth, 0.32)]),
             FakePredictor::uniform_with_peaks(&[(state, 0.8)]),
         ];
-        let mut train_pred = FakePredictor {
-            rows_per_table: vec![ambiguous_rows.clone()],
-            cursor: 0,
-        };
+        let train_pred = FakePredictor::new(vec![ambiguous_rows.clone()]);
         let mut config = SatoConfig::fast();
         config.crf.epochs = 20;
-        let layer = StructuredLayer::fit(&mut train_pred, &corpus, &config);
+        let layer = StructuredLayer::fit(&train_pred, &corpus, &config);
         assert!(!layer.training_history.is_empty());
 
         // Column-wise argmax picks birthPlace (0.32 > 0.30); the CRF should
         // flip it to city because city co-occurs with the adjacent state.
-        let mut test_pred = FakePredictor {
-            rows_per_table: vec![ambiguous_rows],
-            cursor: 0,
-        };
+        let test_pred = FakePredictor::new(vec![ambiguous_rows]);
         let table = &corpus.tables[0];
-        let structured = layer.predict(&mut test_pred, table);
+        let structured = layer.predict(&test_pred, table);
         assert_eq!(structured[0], SemanticType::City);
         assert_eq!(structured[1], SemanticType::State);
     }
@@ -220,8 +239,8 @@ mod tests {
         // Predictor that always returns the gold label with high confidence
         // (uses the labels through closure state cheaply).
         struct GoldPredictor;
-        impl ColumnwisePredictor for GoldPredictor {
-            fn predict_proba(&mut self, table: &Table) -> Vec<Vec<f32>> {
+        impl ColumnwiseInference for GoldPredictor {
+            fn predict_proba(&self, table: &Table) -> Vec<Vec<f32>> {
                 table
                     .labels
                     .iter()
@@ -235,12 +254,12 @@ mod tests {
                     .collect()
             }
         }
-        let layer = StructuredLayer::fit(&mut GoldPredictor, &corpus, &SatoConfig::fast());
+        let layer = StructuredLayer::fit(&GoldPredictor, &corpus, &SatoConfig::fast());
         assert!(layer.training_history.iter().all(|x| x.is_finite()));
         // With near-perfect unaries the CRF must keep the gold decoding.
-        let mut gold = GoldPredictor;
+        let gold = GoldPredictor;
         for table in corpus.iter().filter(|t| t.is_multi_column()).take(5) {
-            assert_eq!(layer.predict(&mut gold, table), table.labels);
+            assert_eq!(layer.predict(&gold, table), table.labels);
         }
     }
 }

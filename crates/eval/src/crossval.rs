@@ -75,7 +75,7 @@ impl CrossValResult {
 
 /// Evaluate a trained model on a held-out corpus, producing both the `D` and
 /// `D_mult` views.
-pub fn evaluate_model(model: &mut SatoModel, test: &Corpus) -> (Evaluation, Evaluation) {
+pub fn evaluate_model(model: &SatoModel, test: &Corpus) -> (Evaluation, Evaluation) {
     let predictions = model.predict_corpus(test);
     let all = Evaluation::from_tables(
         predictions
@@ -107,8 +107,8 @@ pub fn cross_validate(
         .iter()
         .enumerate()
         .map(|(i, split)| {
-            let mut model = SatoModel::train(&split.train, config.clone(), variant);
-            let (all_tables, multi_column) = evaluate_model(&mut model, &split.test);
+            let model = SatoModel::train(&split.train, config.clone(), variant);
+            let (all_tables, multi_column) = evaluate_model(&model, &split.test);
             FoldResult {
                 fold: i,
                 all_tables,
@@ -147,8 +147,8 @@ mod tests {
     #[test]
     fn evaluate_model_separates_d_and_dmult() {
         let corpus = default_corpus(50, 15);
-        let mut model = SatoModel::train(&corpus, SatoConfig::fast(), SatoVariant::Base);
-        let (all, multi) = evaluate_model(&mut model, &corpus);
+        let model = SatoModel::train(&corpus, SatoConfig::fast(), SatoVariant::Base);
+        let (all, multi) = evaluate_model(&model, &corpus);
         // D includes singleton-table columns, so it has strictly more columns
         // than D_mult for this corpus configuration.
         assert!(all.total > multi.total);

@@ -125,12 +125,19 @@ impl Evaluation {
     }
 
     /// Compute metrics from per-table prediction pairs (flattens columns).
+    ///
+    /// Tables with an empty gold slice are unlabelled under the empty-gold
+    /// convention (see `TablePrediction::gold` in the `sato` crate) and are
+    /// skipped: they carry no ground truth to score against.
     pub fn from_tables<'a>(
         pairs: impl Iterator<Item = (&'a [SemanticType], &'a [SemanticType])>,
     ) -> Self {
         let mut gold = Vec::new();
         let mut pred = Vec::new();
         for (g, p) in pairs {
+            if g.is_empty() {
+                continue;
+            }
             assert_eq!(g.len(), p.len(), "table with mismatched label counts");
             gold.extend_from_slice(g);
             pred.extend_from_slice(p);
@@ -247,6 +254,21 @@ mod tests {
             Evaluation::from_tables(vec![(&g1[..], &p1[..]), (&g2[..], &p2[..])].into_iter());
         assert_eq!(eval.total, 3);
         assert!((eval.accuracy - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_tables_skips_unlabelled_tables() {
+        // An empty gold slice marks an unlabelled table (empty-gold
+        // convention); its predictions must not panic or dilute metrics.
+        let g1 = [T::City, T::Country];
+        let p1 = [T::City, T::Country];
+        let unlabelled_gold: [T; 0] = [];
+        let p2 = [T::Age, T::Weight, T::Name];
+        let eval = Evaluation::from_tables(
+            vec![(&g1[..], &p1[..]), (&unlabelled_gold[..], &p2[..])].into_iter(),
+        );
+        assert_eq!(eval.total, 2);
+        assert_eq!(eval.accuracy, 1.0);
     }
 
     #[test]

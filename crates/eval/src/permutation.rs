@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use sato::dataset::TableInputs;
-use sato::{InputGroup, SatoModel};
+use sato::{types_from_proba, InputGroup, SatoModel};
 use sato_features::FeatureGroup;
 use sato_tabular::table::Corpus;
 use sato_tabular::types::SemanticType;
@@ -40,33 +40,17 @@ pub struct ImportanceReport {
 
 /// Evaluate the model on pre-extracted inputs, optionally permuting one group.
 fn evaluate_with_inputs(
-    model: &mut SatoModel,
+    model: &SatoModel,
     inputs: &[TableInputs],
     gold: &[Vec<SemanticType>],
 ) -> Evaluation {
     let mut gold_flat = Vec::new();
     let mut pred_flat = Vec::new();
-    let has_structured = model.structured().is_some();
     for (table_inputs, gold_labels) in inputs.iter().zip(gold) {
-        let proba = model
-            .columnwise_mut()
-            .predict_proba_from_inputs(table_inputs);
-        let pred: Vec<SemanticType> = if has_structured {
-            let layer = model.structured().expect("checked above").clone();
-            layer.decode_proba(&proba)
-        } else {
-            proba
-                .iter()
-                .map(|p| {
-                    let best = p
-                        .iter()
-                        .enumerate()
-                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                        .map(|(i, _)| i)
-                        .unwrap_or(0);
-                    SemanticType::from_index(best).unwrap()
-                })
-                .collect()
+        let proba = model.columnwise().predict_proba_from_inputs(table_inputs);
+        let pred: Vec<SemanticType> = match model.structured() {
+            Some(layer) => layer.decode_proba(&proba),
+            None => types_from_proba(&proba),
         };
         gold_flat.extend_from_slice(gold_labels);
         pred_flat.extend(pred);
@@ -108,15 +92,15 @@ fn permute_group(inputs: &[TableInputs], group: InputGroup, rng: &mut StdRng) ->
 /// Run the permutation-importance analysis of a trained model on a test
 /// corpus with `trials` random shuffles per group.
 pub fn permutation_importance(
-    model: &mut SatoModel,
+    model: &SatoModel,
     test: &Corpus,
     trials: usize,
     seed: u64,
 ) -> ImportanceReport {
-    let uses_topic = model.columnwise_mut().uses_topic();
+    let uses_topic = model.columnwise().uses_topic();
     let inputs: Vec<TableInputs> = test
         .iter()
-        .map(|t| model.columnwise_mut().extract_inputs(t))
+        .map(|t| model.columnwise().extract_inputs(t))
         .collect();
     let gold: Vec<Vec<SemanticType>> = test.iter().map(|t| t.labels.clone()).collect();
 
@@ -177,8 +161,8 @@ mod tests {
     fn importance_report_covers_all_groups() {
         let corpus = default_corpus(60, 23);
         let split = train_test_split(&corpus, 0.3, 1);
-        let mut model = SatoModel::train(&split.train, SatoConfig::fast(), SatoVariant::Base);
-        let report = permutation_importance(&mut model, &split.test, 2, 9);
+        let model = SatoModel::train(&split.train, SatoConfig::fast(), SatoVariant::Base);
+        let report = permutation_importance(&model, &split.test, 2, 9);
         assert_eq!(report.groups.len(), 4);
         assert!(report.baseline_weighted_f1 > 0.0);
         for g in &report.groups {
@@ -192,9 +176,8 @@ mod tests {
     fn topic_group_appears_for_topic_aware_models() {
         let corpus = default_corpus(50, 24);
         let split = train_test_split(&corpus, 0.3, 2);
-        let mut model =
-            SatoModel::train(&split.train, SatoConfig::fast(), SatoVariant::SatoNoStruct);
-        let report = permutation_importance(&mut model, &split.test, 1, 3);
+        let model = SatoModel::train(&split.train, SatoConfig::fast(), SatoVariant::SatoNoStruct);
+        let report = permutation_importance(&model, &split.test, 1, 3);
         assert_eq!(report.groups.len(), 5);
         assert!(report.groups.iter().any(|g| g.group == "topic"));
     }
@@ -205,8 +188,8 @@ mod tests {
         // on the weighted F1 (the model relies on its inputs).
         let corpus = default_corpus(70, 25);
         let split = train_test_split(&corpus, 0.3, 4);
-        let mut model = SatoModel::train(&split.train, SatoConfig::fast(), SatoVariant::Base);
-        let report = permutation_importance(&mut model, &split.test, 2, 11);
+        let model = SatoModel::train(&split.train, SatoConfig::fast(), SatoVariant::Base);
+        let report = permutation_importance(&model, &split.test, 2, 11);
         let max_drop = report
             .groups
             .iter()

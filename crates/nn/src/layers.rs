@@ -3,9 +3,14 @@
 //! network ("two fully-connected layers (ReLU activation) with BatchNorm and
 //! Dropout layers ... before the output layer", Section 3.1).
 //!
-//! Every layer implements [`Layer`]: `forward` caches whatever it needs for
-//! the corresponding `backward` call, and trainable layers expose their
-//! parameters through [`Layer::params_mut`] so an optimiser can update them.
+//! Every layer implements [`Layer`] twice over: the *training* surface
+//! (`forward` caches whatever it needs for the corresponding `backward`
+//! call, and trainable layers expose their parameters through
+//! [`Layer::params_mut`] so an optimiser can update them) and the
+//! *inference* surface ([`Layer::infer`]), an immutable evaluation-mode
+//! forward pass that caches nothing, treats dropout as the identity and
+//! normalises with running batch statistics — so a trained network can be
+//! shared across threads (`Layer: Send + Sync`).
 
 use crate::init::he_uniform;
 use crate::matrix::Matrix;
@@ -37,10 +42,21 @@ impl Param {
 }
 
 /// A differentiable network layer.
-pub trait Layer: Send {
+///
+/// `Send + Sync` is part of the contract: a trained layer must be shareable
+/// across threads through `&self`, which is what [`Layer::infer`] (and the
+/// frozen predictors built on it) rely on.
+pub trait Layer: Send + Sync {
     /// Run the layer forward. `training` toggles train-time behaviour
     /// (dropout masks, batch statistics).
     fn forward(&mut self, input: &Matrix, training: bool) -> Matrix;
+
+    /// Immutable evaluation-mode forward pass: no activation caching, no RNG
+    /// state, dropout as the identity, batch normalisation with running
+    /// statistics. Produces exactly the same output as
+    /// `forward(input, false)` but never mutates the layer, so it can be
+    /// called concurrently on a shared reference.
+    fn infer(&self, input: &Matrix) -> Matrix;
 
     /// Back-propagate `grad_output` (dL/d output) and return dL/d input.
     /// Must be called after a `forward` with `training = true`.
@@ -49,6 +65,24 @@ pub trait Layer: Send {
     /// Mutable access to the layer's trainable parameters (empty for
     /// parameter-free layers).
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Shared access to the layer's trainable parameters, in the same order
+    /// as [`Layer::params_mut`].
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Shared access to the layer's non-trainable state ("buffers", e.g. the
+    /// running statistics of batch normalisation), in a stable order.
+    fn buffers(&self) -> Vec<&Vec<f32>> {
+        Vec::new()
+    }
+
+    /// Mutable access to the layer's buffers, in the same order as
+    /// [`Layer::buffers`].
+    fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
         Vec::new()
     }
 
@@ -91,6 +125,13 @@ impl Dense {
 
 impl Layer for Dense {
     fn forward(&mut self, input: &Matrix, training: bool) -> Matrix {
+        if training {
+            self.cached_input = Some(input.clone());
+        }
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Matrix) -> Matrix {
         assert_eq!(
             input.cols(),
             self.in_dim(),
@@ -100,9 +141,6 @@ impl Layer for Dense {
         );
         let mut out = input.matmul(&self.weight.value);
         out.add_row_broadcast(&self.bias.value);
-        if training {
-            self.cached_input = Some(input.clone());
-        }
         out
     }
 
@@ -121,6 +159,10 @@ impl Layer for Dense {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
     }
 
     fn name(&self) -> &'static str {
@@ -150,6 +192,10 @@ impl Layer for ReLU {
         if training {
             self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
         }
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Matrix) -> Matrix {
         input.map(|x| x.max(0.0))
     }
 
@@ -193,7 +239,7 @@ impl Layer for Dropout {
     fn forward(&mut self, input: &Matrix, training: bool) -> Matrix {
         if !training || self.p == 0.0 {
             self.mask = None;
-            return input.clone();
+            return self.infer(input);
         }
         let keep = 1.0 - self.p;
         let mask: Vec<f32> = (0..input.data().len())
@@ -213,6 +259,11 @@ impl Layer for Dropout {
             .collect();
         self.mask = Some(mask);
         Matrix::from_vec(input.rows(), input.cols(), data)
+    }
+
+    fn infer(&self, input: &Matrix) -> Matrix {
+        // Inverted dropout is the identity at evaluation time.
+        input.clone()
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
@@ -274,34 +325,36 @@ impl BatchNorm {
 
 impl Layer for BatchNorm {
     fn forward(&mut self, input: &Matrix, training: bool) -> Matrix {
+        if !(training && input.rows() > 1) {
+            // Eval mode (or a batch of one, whose batch variance is
+            // degenerate): running statistics only, no cache — exactly the
+            // immutable `infer` path, so the two stay bit-for-bit equal.
+            self.cache = None;
+            return self.infer(input);
+        }
         assert_eq!(input.cols(), self.dim(), "BatchNorm feature mismatch");
         let n = input.rows() as f32;
         let dim = self.dim();
-        let (mean, var) = if training && input.rows() > 1 {
-            let mean: Vec<f32> = (0..dim)
-                .map(|c| (0..input.rows()).map(|r| input.get(r, c)).sum::<f32>() / n)
-                .collect();
-            let var: Vec<f32> = (0..dim)
-                .map(|c| {
-                    (0..input.rows())
-                        .map(|r| {
-                            let d = input.get(r, c) - mean[c];
-                            d * d
-                        })
-                        .sum::<f32>()
-                        / n
-                })
-                .collect();
-            for c in 0..dim {
-                self.running_mean[c] =
-                    (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean[c];
-                self.running_var[c] =
-                    (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
-            }
-            (mean, var)
-        } else {
-            (self.running_mean.clone(), self.running_var.clone())
-        };
+        let mean: Vec<f32> = (0..dim)
+            .map(|c| (0..input.rows()).map(|r| input.get(r, c)).sum::<f32>() / n)
+            .collect();
+        let var: Vec<f32> = (0..dim)
+            .map(|c| {
+                (0..input.rows())
+                    .map(|r| {
+                        let d = input.get(r, c) - mean[c];
+                        d * d
+                    })
+                    .sum::<f32>()
+                    / n
+            })
+            .collect();
+        for c in 0..dim {
+            self.running_mean[c] =
+                (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean[c];
+            self.running_var[c] =
+                (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
+        }
 
         let std_inv: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
         let mut x_hat = Matrix::zeros(input.rows(), dim);
@@ -320,10 +373,28 @@ impl Layer for BatchNorm {
                 );
             }
         }
-        if training && input.rows() > 1 {
-            self.cache = Some(BatchNormCache { x_hat, std_inv });
-        } else {
-            self.cache = None;
+        self.cache = Some(BatchNormCache { x_hat, std_inv });
+        out
+    }
+
+    fn infer(&self, input: &Matrix) -> Matrix {
+        assert_eq!(input.cols(), self.dim(), "BatchNorm feature mismatch");
+        let dim = self.dim();
+        let std_inv: Vec<f32> = self
+            .running_var
+            .iter()
+            .map(|&v| 1.0 / (v + self.eps).sqrt())
+            .collect();
+        let mut out = Matrix::zeros(input.rows(), dim);
+        for r in 0..input.rows() {
+            for (c, &std_inv_c) in std_inv.iter().enumerate() {
+                let x_hat = (input.get(r, c) - self.running_mean[c]) * std_inv_c;
+                out.set(
+                    r,
+                    c,
+                    x_hat * self.gamma.value.get(0, c) + self.beta.value.get(0, c),
+                );
+            }
         }
         out
     }
@@ -384,6 +455,18 @@ impl Layer for BatchNorm {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn buffers(&self) -> Vec<&Vec<f32>> {
+        vec![&self.running_mean, &self.running_var]
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
+        vec![&mut self.running_mean, &mut self.running_var]
     }
 
     fn name(&self) -> &'static str {

@@ -6,6 +6,14 @@
 //! in Tables* (VLDB 2020) — dense layers, ReLU, BatchNorm, Dropout, softmax
 //! cross-entropy, SGD/Adam, and save/load of trained parameters.
 //!
+//! Training and inference are distinct API surfaces: `forward`/`backward`
+//! take `&mut self` and cache activations for backprop, while
+//! [`Layer::infer`] is an immutable (`&self`) evaluation-mode pass — dropout
+//! is the identity, BatchNorm uses running statistics, nothing is cached —
+//! so a trained network is `Send + Sync` and can serve predictions from
+//! many threads at once. A whole network (parameters *and* running
+//! statistics) round-trips through [`StateDict`].
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -46,4 +54,6 @@ pub use loss::{argmax_rows, log_softmax, softmax, softmax_cross_entropy};
 pub use matrix::Matrix;
 pub use network::{MultiInputNetwork, Sequential};
 pub use optim::{Adam, Sgd};
-pub use serialize::{load_state_dict, state_dict, StateDict};
+pub use serialize::{
+    full_state_dict, load_state_dict, state_dict, validate_state, LoadError, StateDict,
+};

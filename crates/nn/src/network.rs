@@ -5,6 +5,7 @@
 
 use crate::layers::{Layer, Param};
 use crate::matrix::Matrix;
+use crate::serialize::{LoadError, StateDict};
 
 /// An ordered stack of layers applied one after another.
 ///
@@ -47,6 +48,23 @@ impl Sequential {
     pub fn layer_names(&self) -> Vec<&'static str> {
         self.layers.iter().map(|l| l.name()).collect()
     }
+
+    /// Snapshot every parameter *and* buffer (running statistics) into a
+    /// state dict, so a trained stack round-trips through
+    /// [`Self::load_state_dict`] with its evaluation-mode behaviour intact.
+    pub fn state_dict(&self) -> StateDict {
+        crate::serialize::full_state_dict(&self.params(), &self.buffers())
+    }
+
+    /// Load a state dict captured by [`Self::state_dict`] into a
+    /// structurally identical stack. All-or-nothing: on error no parameter
+    /// or buffer has been modified.
+    pub fn load_state_dict(&mut self, state: &StateDict) -> Result<(), LoadError> {
+        crate::serialize::validate_state(&self.params(), &self.buffers(), state)?;
+        crate::serialize::copy_tensors(&mut self.params_mut(), state);
+        crate::serialize::copy_buffers(&mut self.buffers_mut(), state);
+        Ok(())
+    }
 }
 
 impl Layer for Sequential {
@@ -54,6 +72,14 @@ impl Layer for Sequential {
         let mut x = input.clone();
         for layer in &mut self.layers {
             x = layer.forward(&x, training);
+        }
+        x
+    }
+
+    fn infer(&self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.infer(&x);
         }
         x
     }
@@ -70,6 +96,21 @@ impl Layer for Sequential {
         self.layers
             .iter_mut()
             .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn buffers(&self) -> Vec<&Vec<f32>> {
+        self.layers.iter().flat_map(|l| l.buffers()).collect()
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.buffers_mut())
             .collect()
     }
 
@@ -140,6 +181,34 @@ impl MultiInputNetwork {
         self.primary.forward(&concatenated, training)
     }
 
+    /// Immutable evaluation-mode forward pass over one mini-batch: the
+    /// shared-reference counterpart of `forward(inputs, false)`, producing
+    /// identical output without touching any layer state. Safe to call
+    /// concurrently from many threads on the same network.
+    pub fn infer(&self, inputs: &[Matrix]) -> Matrix {
+        assert_eq!(
+            inputs.len(),
+            self.branches.len(),
+            "expected {} input groups, got {}",
+            self.branches.len(),
+            inputs.len()
+        );
+        let rows = inputs[0].rows();
+        assert!(
+            inputs.iter().all(|m| m.rows() == rows),
+            "all input groups must have the same batch size"
+        );
+        let branch_outputs: Vec<Matrix> = self
+            .branches
+            .iter()
+            .zip(inputs)
+            .map(|(b, x)| b.infer(x))
+            .collect();
+        let concat_refs: Vec<&Matrix> = branch_outputs.iter().collect();
+        let concatenated = Matrix::hconcat(&concat_refs);
+        self.primary.infer(&concatenated)
+    }
+
     /// Backward pass; returns the gradient with respect to every input group
     /// (rarely needed, but it makes the container a proper differentiable
     /// unit and is exercised by the tests).
@@ -165,6 +234,53 @@ impl MultiInputNetwork {
         }
         params.extend(self.primary.params_mut());
         params
+    }
+
+    /// Shared access to all trainable parameters, in [`Self::params_mut`]
+    /// order.
+    pub fn params(&self) -> Vec<&Param> {
+        let mut params: Vec<&Param> = Vec::new();
+        for b in &self.branches {
+            params.extend(b.params());
+        }
+        params.extend(self.primary.params());
+        params
+    }
+
+    /// Shared access to all non-trainable buffers (running statistics), in
+    /// the same traversal order as [`Self::params`].
+    pub fn buffers(&self) -> Vec<&Vec<f32>> {
+        let mut buffers: Vec<&Vec<f32>> = Vec::new();
+        for b in &self.branches {
+            buffers.extend(b.buffers());
+        }
+        buffers.extend(self.primary.buffers());
+        buffers
+    }
+
+    /// Mutable access to all buffers, in [`Self::buffers`] order.
+    pub fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
+        let mut buffers: Vec<&mut Vec<f32>> = Vec::new();
+        for b in &mut self.branches {
+            buffers.extend(b.buffers_mut());
+        }
+        buffers.extend(self.primary.buffers_mut());
+        buffers
+    }
+
+    /// Snapshot the whole multi-input network — every branch and primary
+    /// parameter plus every buffer — into one state dict.
+    pub fn state_dict(&self) -> StateDict {
+        crate::serialize::full_state_dict(&self.params(), &self.buffers())
+    }
+
+    /// Load a state dict captured by [`Self::state_dict`]. All-or-nothing:
+    /// on error no parameter or buffer has been modified.
+    pub fn load_state_dict(&mut self, state: &StateDict) -> Result<(), LoadError> {
+        crate::serialize::validate_state(&self.params(), &self.buffers(), state)?;
+        crate::serialize::copy_tensors(&mut self.params_mut(), state);
+        crate::serialize::copy_buffers(&mut self.buffers_mut(), state);
+        Ok(())
     }
 
     /// Reset all gradients.
@@ -283,6 +399,69 @@ mod tests {
         let a = Matrix::zeros(1, 2);
         let b = Matrix::zeros(1, 2);
         net.forward(&[a, b], false);
+    }
+
+    /// Regression test for the eval-mode bug class: a `training: true`
+    /// forward leaking into an inference path. With Dropout and BatchNorm in
+    /// the stack, a train-mode forward must differ from the evaluation-mode
+    /// output, while repeated evaluation-mode calls (both `forward(_, false)`
+    /// and the immutable `infer`) are identical to each other and across
+    /// repetitions.
+    #[test]
+    fn train_mode_differs_from_eval_mode_and_eval_is_stable() {
+        use crate::layers::{BatchNorm, Dropout};
+        use rand::SeedableRng;
+        let mut r = rng();
+        let mut net = Sequential::new()
+            .push(Dense::new(3, 8, &mut r))
+            .push(ReLU::new())
+            .push(BatchNorm::new(8))
+            .push(Dropout::new(0.5, StdRng::seed_from_u64(9)))
+            .push(Dense::new(8, 2, &mut r));
+        let x = Matrix::from_rows(&[
+            vec![1.0, -2.0, 0.5],
+            vec![0.0, 1.0, 3.0],
+            vec![-1.0, 0.5, 2.0],
+        ]);
+        // Accumulate some running statistics so eval mode is non-trivial.
+        for _ in 0..20 {
+            net.forward(&x, true);
+        }
+
+        let eval_immutable = net.infer(&x);
+        let train = net.forward(&x, true);
+        assert_ne!(
+            train, eval_immutable,
+            "train-mode forward must differ from eval mode (dropout masks, batch statistics)"
+        );
+        // `forward(_, true)` above moved the running statistics, so compare
+        // eval outputs from this point on.
+        let eval_a = net.infer(&x);
+        let eval_b = net.infer(&x);
+        let eval_mut = net.forward(&x, false);
+        assert_eq!(eval_a, eval_b, "repeated eval-mode calls must be identical");
+        assert_eq!(
+            eval_a, eval_mut,
+            "infer(&self) must match forward(&mut self, false) bit for bit"
+        );
+    }
+
+    #[test]
+    fn multi_input_infer_matches_eval_forward() {
+        let mut r = rng();
+        let branches = vec![
+            Sequential::new()
+                .push(Dense::new(3, 4, &mut r))
+                .push(ReLU::new()),
+            Sequential::new(),
+        ];
+        let primary = Sequential::new().push(Dense::new(4 + 2, 5, &mut r));
+        let mut net = MultiInputNetwork::new(branches, primary);
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![0.0, 1.0, 0.0]]);
+        let b = Matrix::from_rows(&[vec![0.5, -0.5], vec![1.0, 1.0]]);
+        let from_infer = net.infer(&[a.clone(), b.clone()]);
+        let from_forward = net.forward(&[a, b], false);
+        assert_eq!(from_infer, from_forward);
     }
 
     #[test]

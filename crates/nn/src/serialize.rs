@@ -1,17 +1,27 @@
 //! Parameter (de)serialization: extract a network's parameters into a
 //! portable "state dict" and load it back into a structurally identical
 //! network, mirroring how trained Sato models are shipped and reloaded.
+//!
+//! A [`StateDict`] carries both trainable parameters (`tensors`) and
+//! non-trainable *buffers* (`buffers`, e.g. BatchNorm running statistics),
+//! so a whole multi-input network round-trips with its evaluation-mode
+//! behaviour intact — see `MultiInputNetwork::state_dict` /
+//! `MultiInputNetwork::load_state_dict`.
 
 use crate::layers::Param;
 use crate::matrix::Matrix;
 use serde::{Deserialize, Serialize};
 
-/// A snapshot of every trainable parameter of a network, in the stable
-/// traversal order of `params_mut()`.
+/// A snapshot of every trainable parameter (and, for full-network captures,
+/// every buffer) of a network, in the stable traversal order of `params()` /
+/// `buffers()`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StateDict {
     /// Parameter values, in traversal order.
     pub tensors: Vec<Matrix>,
+    /// Non-trainable state (e.g. BatchNorm running mean/variance), in
+    /// traversal order. Empty for parameter-only snapshots.
+    pub buffers: Vec<Vec<f32>>,
 }
 
 /// Error returned when a state dict cannot be loaded into a network.
@@ -33,6 +43,22 @@ pub enum LoadError {
         /// Shape found in the state dict.
         found: (usize, usize),
     },
+    /// The number of buffers differs from the number in the target network.
+    BufferCountMismatch {
+        /// Buffers in the target network.
+        expected: usize,
+        /// Buffers in the state dict.
+        found: usize,
+    },
+    /// A buffer's length differs from the target buffer's length.
+    BufferLenMismatch {
+        /// Index of the offending buffer.
+        index: usize,
+        /// Length of the target buffer.
+        expected: usize,
+        /// Length found in the state dict.
+        found: usize,
+    },
 }
 
 impl std::fmt::Display for LoadError {
@@ -52,40 +78,126 @@ impl std::fmt::Display for LoadError {
                 f,
                 "tensor {index} has shape {found:?} but parameter expects {expected:?}"
             ),
+            LoadError::BufferCountMismatch { expected, found } => {
+                write!(
+                    f,
+                    "state dict has {found} buffers but network has {expected}"
+                )
+            }
+            LoadError::BufferLenMismatch {
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "buffer {index} has length {found} but network expects {expected}"
+            ),
         }
     }
 }
 
 impl std::error::Error for LoadError {}
 
-/// Capture the current values of the given parameters.
-pub fn state_dict(params: &mut [&mut Param]) -> StateDict {
+/// Capture the current values of the given parameters (no buffers).
+pub fn state_dict(params: &[&Param]) -> StateDict {
     StateDict {
         tensors: params.iter().map(|p| p.value.clone()).collect(),
+        buffers: Vec::new(),
     }
 }
 
-/// Load a state dict into the given parameters (shapes must match exactly).
-pub fn load_state_dict(params: &mut [&mut Param], state: &StateDict) -> Result<(), LoadError> {
-    if params.len() != state.tensors.len() {
+/// Capture parameters *and* buffers, so evaluation-mode state (running
+/// batch statistics) survives the round-trip.
+pub fn full_state_dict(params: &[&Param], buffers: &[&Vec<f32>]) -> StateDict {
+    StateDict {
+        tensors: params.iter().map(|p| p.value.clone()).collect(),
+        buffers: buffers.iter().map(|b| (*b).clone()).collect(),
+    }
+}
+
+/// Check tensor count and shapes against the state dict.
+fn check_tensors(
+    shapes: impl ExactSizeIterator<Item = (usize, usize)>,
+    state: &StateDict,
+) -> Result<(), LoadError> {
+    if shapes.len() != state.tensors.len() {
         return Err(LoadError::CountMismatch {
-            expected: params.len(),
+            expected: shapes.len(),
             found: state.tensors.len(),
         });
     }
-    for (i, (p, t)) in params.iter().zip(&state.tensors).enumerate() {
-        if p.value.shape() != t.shape() {
+    for (i, (expected, t)) in shapes.zip(&state.tensors).enumerate() {
+        if expected != t.shape() {
             return Err(LoadError::ShapeMismatch {
                 index: i,
-                expected: p.value.shape(),
+                expected,
                 found: t.shape(),
             });
         }
     }
+    Ok(())
+}
+
+/// Check buffer count and lengths against the state dict.
+fn check_buffers(
+    lens: impl ExactSizeIterator<Item = usize>,
+    state: &StateDict,
+) -> Result<(), LoadError> {
+    if lens.len() != state.buffers.len() {
+        return Err(LoadError::BufferCountMismatch {
+            expected: lens.len(),
+            found: state.buffers.len(),
+        });
+    }
+    for (i, (expected, s)) in lens.zip(&state.buffers).enumerate() {
+        if expected != s.len() {
+            return Err(LoadError::BufferLenMismatch {
+                index: i,
+                expected,
+                found: s.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Check that `state` is loadable into the given parameters and buffers
+/// without modifying anything.
+pub fn validate_state(
+    params: &[&Param],
+    buffers: &[&Vec<f32>],
+    state: &StateDict,
+) -> Result<(), LoadError> {
+    check_tensors(params.iter().map(|p| p.value.shape()), state)?;
+    check_buffers(buffers.iter().map(|b| b.len()), state)
+}
+
+/// Load a parameter-only state dict into the given parameters (shapes must
+/// match exactly; any buffers in `state` are ignored).
+pub fn load_state_dict(params: &mut [&mut Param], state: &StateDict) -> Result<(), LoadError> {
+    check_tensors(params.iter().map(|p| p.value.shape()), state)?;
+    copy_tensors(params, state);
+    Ok(())
+}
+
+/// Copy a validated state dict's tensors into the given parameters. Callers
+/// must run [`validate_state`] first; together with [`copy_buffers`] this is
+/// the single copy implementation behind `Sequential::load_state_dict` and
+/// `MultiInputNetwork::load_state_dict` (two functions rather than one
+/// because a network cannot hand out its parameter and buffer views under
+/// one `&mut self` borrow).
+pub fn copy_tensors(params: &mut [&mut Param], state: &StateDict) {
     for (p, t) in params.iter_mut().zip(&state.tensors) {
         p.value = t.clone();
     }
-    Ok(())
+}
+
+/// Copy a validated state dict's buffers into the given buffer views; see
+/// [`copy_tensors`].
+pub fn copy_buffers(buffers: &mut [&mut Vec<f32>], state: &StateDict) {
+    for (b, s) in buffers.iter_mut().zip(&state.buffers) {
+        b.clone_from(s);
+    }
 }
 
 impl StateDict {
@@ -118,20 +230,20 @@ mod tests {
 
     #[test]
     fn save_and_load_round_trip() {
-        let mut a = net(1);
+        let a = net(1);
         let mut b = net(2);
         let x = crate::matrix::Matrix::from_rows(&[vec![1.0, -0.5, 2.0]]);
-        assert_ne!(a.forward(&x, false), b.forward(&x, false));
+        assert_ne!(a.infer(&x), b.infer(&x));
 
-        let state = state_dict(&mut a.params_mut());
+        let state = state_dict(&a.params());
         load_state_dict(&mut b.params_mut(), &state).unwrap();
-        assert_eq!(a.forward(&x, false), b.forward(&x, false));
+        assert_eq!(a.infer(&x), b.infer(&x));
     }
 
     #[test]
     fn json_round_trip_preserves_values() {
-        let mut a = net(3);
-        let state = state_dict(&mut a.params_mut());
+        let a = net(3);
+        let state = state_dict(&a.params());
         let json = state.to_json();
         let back = StateDict::from_json(&json).unwrap();
         assert_eq!(state, back);
@@ -140,7 +252,10 @@ mod tests {
     #[test]
     fn count_mismatch_is_detected() {
         let mut a = net(1);
-        let state = StateDict { tensors: vec![] };
+        let state = StateDict {
+            tensors: vec![],
+            buffers: vec![],
+        };
         let err = load_state_dict(&mut a.params_mut(), &state).unwrap_err();
         assert!(matches!(err, LoadError::CountMismatch { .. }));
         assert!(err.to_string().contains("tensors"));
@@ -149,13 +264,66 @@ mod tests {
     #[test]
     fn shape_mismatch_is_detected_and_nothing_is_loaded() {
         let mut a = net(1);
-        let mut wrong = state_dict(&mut a.params_mut());
+        let mut wrong = state_dict(&a.params());
         wrong.tensors[2] = crate::matrix::Matrix::zeros(10, 10);
-        let before = state_dict(&mut a.params_mut());
+        let before = state_dict(&a.params());
         let err = load_state_dict(&mut a.params_mut(), &wrong).unwrap_err();
         assert!(matches!(err, LoadError::ShapeMismatch { index: 2, .. }));
         // The failed load must not have partially overwritten parameters.
-        let after = state_dict(&mut a.params_mut());
+        let after = state_dict(&a.params());
         assert_eq!(before, after);
+    }
+
+    /// A stack with a BatchNorm layer, whose running statistics only live in
+    /// the buffers of a full state dict.
+    fn bn_net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new()
+            .push(Dense::new(3, 4, &mut rng))
+            .push(crate::layers::BatchNorm::new(4))
+            .push(ReLU::new())
+            .push(Dense::new(4, 2, &mut rng))
+    }
+
+    #[test]
+    fn full_state_dict_round_trips_running_statistics() {
+        let mut a = bn_net(5);
+        let x = crate::matrix::Matrix::from_rows(&[
+            vec![1.0, -0.5, 2.0],
+            vec![0.0, 3.0, -1.0],
+            vec![2.0, 0.5, 0.5],
+        ]);
+        // Drive the running statistics away from their initial values.
+        for _ in 0..50 {
+            a.forward(&x, true);
+        }
+        let state = a.state_dict();
+        assert!(!state.buffers.is_empty(), "BatchNorm buffers captured");
+
+        let mut b = bn_net(6);
+        b.load_state_dict(&state).unwrap();
+        // Evaluation-mode outputs (which depend on the running statistics)
+        // must match bit for bit.
+        assert_eq!(a.infer(&x), b.infer(&x));
+        // And the JSON round-trip preserves the whole thing.
+        let back = StateDict::from_json(&state.to_json()).unwrap();
+        assert_eq!(state, back);
+    }
+
+    #[test]
+    fn buffer_mismatch_is_detected_and_nothing_is_loaded() {
+        let mut a = bn_net(7);
+        let mut wrong = a.state_dict();
+        wrong.buffers[0].push(0.0);
+        let before = a.state_dict();
+        let err = a.load_state_dict(&wrong).unwrap_err();
+        assert!(matches!(err, LoadError::BufferLenMismatch { index: 0, .. }));
+        assert_eq!(a.state_dict(), before);
+
+        let mut missing = before.clone();
+        missing.buffers.clear();
+        let err = a.load_state_dict(&missing).unwrap_err();
+        assert!(matches!(err, LoadError::BufferCountMismatch { .. }));
+        assert_eq!(a.state_dict(), before);
     }
 }

@@ -18,8 +18,10 @@ fn main() {
     println!("training Base (single-column) and Sato (contextual) models ...");
     let corpus = default_corpus(400, 17);
     let config = SatoConfig::fast().with_epochs(25);
-    let mut base = SatoModel::train(&corpus, config.clone(), SatoVariant::Base);
-    let mut sato = SatoModel::train(&corpus, config, SatoVariant::Full);
+    // Freeze both trained models into immutable serving artifacts; all
+    // predictions below go through the read-only `SatoPredictor` surface.
+    let base = SatoModel::train(&corpus, config.clone(), SatoVariant::Base).into_predictor();
+    let sato = SatoModel::train(&corpus, config, SatoVariant::Full).into_predictor();
 
     let (table_a, table_b) = figure1_tables();
     println!(

@@ -33,7 +33,9 @@ fn main() {
     println!("training a Sato model on the synthetic corpus ...");
     let corpus = default_corpus(300, 5);
     let config = SatoConfig::fast().with_epochs(25);
-    let mut model = SatoModel::train(&corpus, config, SatoVariant::Full);
+    // Train once, then freeze into the immutable serving artifact the
+    // annotation loop reads from.
+    let model = SatoModel::train(&corpus, config, SatoVariant::Full).into_predictor();
 
     // Parse the CSV without assuming a header row: every column is unknown.
     let table = table_from_csv(1, &csv_text, false);

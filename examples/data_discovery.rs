@@ -12,6 +12,7 @@
 use sato::{SatoConfig, SatoModel, SatoVariant};
 use sato_tabular::corpus::default_corpus;
 use sato_tabular::split::train_test_split;
+use sato_tabular::table::Corpus;
 use sato_tabular::types::SemanticType;
 
 fn main() {
@@ -19,17 +20,36 @@ fn main() {
     let corpus = default_corpus(350, 99);
     let split = train_test_split(&corpus, 0.25, 3);
     let config = SatoConfig::fast().with_epochs(25);
-    let mut model = SatoModel::train(&split.train, config, SatoVariant::Full);
+    // Train, then freeze: annotating a data lake is a pure serving workload,
+    // so it runs on the immutable `SatoPredictor` across several threads.
+    let predictor = SatoModel::train(&split.train, config, SatoVariant::Full).into_predictor();
 
     // Treat the held-out tables as an unlabelled "data lake": strip labels
-    // and annotate them with the model.
-    let mut annotated: Vec<(u64, Vec<SemanticType>)> = Vec::new();
-    for table in split.test.iter() {
-        let mut unlabelled = table.clone();
-        unlabelled.labels.clear();
-        annotated.push((table.id, model.predict(&unlabelled)));
-    }
-    println!("annotated {} tables in the data lake\n", annotated.len());
+    // and annotate the whole pool in parallel. Unlabelled tables get an
+    // empty `gold` (the empty-gold convention) and per-column predictions.
+    let lake = Corpus::new(
+        split
+            .test
+            .iter()
+            .map(|t| {
+                let mut unlabelled = t.clone();
+                unlabelled.labels.clear();
+                unlabelled
+            })
+            .collect(),
+    );
+    let annotated: Vec<(u64, Vec<SemanticType>)> = predictor
+        .predict_corpus_parallel(&lake, 4)
+        .into_iter()
+        .map(|p| {
+            assert!(p.gold.is_empty(), "unlabelled lake tables carry no gold");
+            (p.table_id, p.predicted)
+        })
+        .collect();
+    println!(
+        "annotated {} tables in the data lake (4 serving threads)\n",
+        annotated.len()
+    );
 
     // Query 1: tables that expose geographic joins (city next to country).
     let query_pairs = [

@@ -1,12 +1,14 @@
-//! Quickstart: train a small Sato model on a synthetic WebTables-style
-//! corpus and annotate a new, unseen table with semantic types.
+//! Quickstart: **train → freeze → serve**. Train a small Sato model on a
+//! synthetic WebTables-style corpus, freeze it into an immutable
+//! `SatoPredictor` artifact, round-trip the artifact through JSON, and
+//! annotate a new, unseen table with semantic types.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use sato::{SatoConfig, SatoModel, SatoVariant};
+use sato::{SatoConfig, SatoModel, SatoPredictor, SatoVariant};
 use sato_tabular::corpus::default_corpus;
 use sato_tabular::split::train_test_split;
 use sato_tabular::table::{Column, Table};
@@ -25,17 +27,37 @@ fn main() {
         split.train.len()
     );
 
-    // 2. Train the full Sato model (topic-aware column-wise network + CRF).
+    // 2. TRAIN (mutable phase): fit the full Sato model (topic-aware
+    //    column-wise network + CRF).
     println!("training Sato (this takes a minute in release mode) ...");
     let config = SatoConfig::fast().with_epochs(25);
-    let mut model = SatoModel::train(&split.train, config, SatoVariant::Full);
+    let model = SatoModel::train(&split.train, config, SatoVariant::Full);
     println!(
         "trained in {:.1}s (column-wise) + {:.1}s (CRF layer)",
         model.timings().columnwise_secs,
         model.timings().crf_secs
     );
 
-    // 3. Annotate a brand-new table that the model has never seen.
+    // 3. FREEZE: turn the trained model into an immutable, Send + Sync
+    //    serving artifact and ship it as JSON. Training-time state
+    //    (optimiser, activation caches, RNG) is gone; the artifact only
+    //    holds weights, running statistics, scalers, topic model and CRF.
+    let artifact = std::env::temp_dir().join("sato_quickstart.json");
+    model
+        .into_predictor()
+        .save(&artifact)
+        .expect("write predictor artifact");
+    println!(
+        "froze model into {} ({} KiB)",
+        artifact.display(),
+        std::fs::metadata(&artifact)
+            .map(|m| m.len() / 1024)
+            .unwrap_or(0)
+    );
+
+    // 4. SERVE: load the artifact (e.g. in a separate serving process) and
+    //    annotate a brand-new table. Every predictor method takes `&self`.
+    let predictor = SatoPredictor::load(&artifact).expect("load predictor artifact");
     let table = Table::unlabelled(
         999_999,
         vec![
@@ -44,7 +66,7 @@ fn main() {
             Column::new(["London", "Manhattan", "London"]),
         ],
     );
-    let types = model.predict(&table);
+    let types = predictor.predict(&table);
     println!("\npredicted column types for the new table:");
     for (i, (ty, col)) in types.iter().zip(&table.columns).enumerate() {
         println!(
@@ -58,8 +80,8 @@ fn main() {
         );
     }
 
-    // 4. Ranked predictions with confidences for the first column.
-    let proba = model.predict_proba(&table);
+    // 5. Ranked predictions with confidences for the first column.
+    let proba = predictor.predict_proba(&table);
     let mut ranked: Vec<(usize, f32)> = proba[0].iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("\ntop-3 candidate types for the first column:");
@@ -68,8 +90,10 @@ fn main() {
         println!("  {ty:<12} {p:.3}");
     }
 
-    // 5. Quick accuracy check on the held-out tables.
-    let predictions = model.predict_corpus(&split.test);
+    // 6. Quick accuracy check on the held-out tables — served from four
+    //    threads at once; the frozen predictor guarantees the output is
+    //    identical to a sequential pass.
+    let predictions = predictor.predict_corpus_parallel(&split.test, 4);
     let (mut correct, mut total) = (0usize, 0usize);
     for p in &predictions {
         correct += p
@@ -81,7 +105,7 @@ fn main() {
         total += p.gold.len();
     }
     println!(
-        "\nheld-out column accuracy: {:.1}% ({} columns)",
+        "\nheld-out column accuracy: {:.1}% ({} columns, served on 4 threads)",
         100.0 * correct as f64 / total as f64,
         total
     );

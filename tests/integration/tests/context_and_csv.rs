@@ -1,7 +1,7 @@
 //! Integration tests for the context-dependent behaviour the paper motivates
 //! (Figure 1) and for the CSV annotation workflow used by the examples.
 
-use sato::{ColumnwisePredictor, SatoConfig, SatoModel, SatoVariant, StructuredLayer};
+use sato::{ColumnwiseInference, SatoConfig, SatoModel, SatoVariant, StructuredLayer};
 use sato_tabular::corpus::{default_corpus, figure1_tables};
 use sato_tabular::csv::{table_from_csv, table_to_csv};
 use sato_tabular::table::Table;
@@ -12,7 +12,7 @@ fn base_model_gives_identical_scores_to_identical_columns_regardless_of_context(
     // The single-column model's defining limitation: the same values always
     // produce the same probability vector, no matter the table.
     let corpus = default_corpus(60, 201);
-    let mut base = SatoModel::train(&corpus, SatoConfig::fast(), SatoVariant::Base);
+    let base = SatoModel::train(&corpus, SatoConfig::fast(), SatoVariant::Base);
     let (table_a, table_b) = figure1_tables();
     let proba_a = base.predict_proba(&table_a);
     let proba_b = base.predict_proba(&table_b);
@@ -31,7 +31,7 @@ fn topic_aware_model_scores_depend_on_table_context() {
     // Sato's topic vector differs between the biography table and the city
     // table, so the shared column's scores must differ.
     let corpus = default_corpus(100, 202);
-    let mut sato = SatoModel::train(&corpus, SatoConfig::fast(), SatoVariant::SatoNoStruct);
+    let sato = SatoModel::train(&corpus, SatoConfig::fast(), SatoVariant::SatoNoStruct);
     let (table_a, table_b) = figure1_tables();
     let proba_a = sato.predict_proba(&table_a);
     let proba_b = sato.predict_proba(&table_b);
@@ -51,8 +51,8 @@ fn topic_aware_model_scores_depend_on_table_context() {
 #[test]
 fn structured_layer_with_confident_gold_unaries_reproduces_gold_labels() {
     struct GoldPredictor;
-    impl ColumnwisePredictor for GoldPredictor {
-        fn predict_proba(&mut self, table: &Table) -> Vec<Vec<f32>> {
+    impl ColumnwiseInference for GoldPredictor {
+        fn predict_proba(&self, table: &Table) -> Vec<Vec<f32>> {
             table
                 .labels
                 .iter()
@@ -68,9 +68,9 @@ fn structured_layer_with_confident_gold_unaries_reproduces_gold_labels() {
     }
     let corpus = default_corpus(40, 203);
     let config = SatoConfig::fast();
-    let layer = StructuredLayer::fit(&mut GoldPredictor, &corpus, &config);
+    let layer = StructuredLayer::fit(&GoldPredictor, &corpus, &config);
     for table in corpus.iter().filter(|t| t.is_multi_column()).take(10) {
-        assert_eq!(layer.predict(&mut GoldPredictor, table), table.labels);
+        assert_eq!(layer.predict(&GoldPredictor, table), table.labels);
     }
 }
 
@@ -96,7 +96,7 @@ fn csv_round_trip_and_annotation_workflow() {
     assert!(!headerless.is_labelled());
     assert_eq!(headerless.num_columns(), source.num_columns());
 
-    let mut model = SatoModel::train(&corpus, SatoConfig::fast(), SatoVariant::Full);
+    let model = SatoModel::train(&corpus, SatoConfig::fast(), SatoVariant::Full);
     let types = model.predict(&headerless);
     assert_eq!(types.len(), source.num_columns());
     assert!(types.iter().all(|t| SemanticType::ALL.contains(t)));

@@ -17,7 +17,7 @@ fn every_variant_trains_and_produces_well_formed_predictions() {
     let corpus = default_corpus(60, 101);
     let split = train_test_split(&corpus, 0.25, 1);
     for variant in SatoVariant::ALL {
-        let mut model = SatoModel::train(&split.train, fast_config(5), variant);
+        let model = SatoModel::train(&split.train, fast_config(5), variant);
         assert_eq!(model.variant(), variant);
         assert_eq!(model.structured().is_some(), variant.uses_structure());
         let predictions = model.predict_corpus(&split.test);
@@ -33,8 +33,8 @@ fn every_variant_trains_and_produces_well_formed_predictions() {
 fn trained_base_model_is_much_better_than_chance_on_held_out_tables() {
     let corpus = default_corpus(150, 103);
     let split = train_test_split(&corpus, 0.2, 2);
-    let mut model = SatoModel::train(&split.train, fast_config(7), SatoVariant::Base);
-    let (all, multi) = evaluate_model(&mut model, &split.test);
+    let model = SatoModel::train(&split.train, fast_config(7), SatoVariant::Base);
+    let (all, multi) = evaluate_model(&model, &split.test);
     // Chance level is 1/78 ≈ 0.013; even the fast configuration should land
     // far above it on the weighted metric.
     assert!(
@@ -55,10 +55,10 @@ fn full_sato_does_not_lose_to_base_on_multi_column_tables() {
     let split = train_test_split(&corpus, 0.2, 3);
     let config = fast_config(11);
 
-    let mut base = SatoModel::train(&split.train, config.clone(), SatoVariant::Base);
-    let (_, base_eval) = evaluate_model(&mut base, &split.test);
-    let mut full = SatoModel::train(&split.train, config, SatoVariant::Full);
-    let (_, full_eval) = evaluate_model(&mut full, &split.test);
+    let base = SatoModel::train(&split.train, config.clone(), SatoVariant::Base);
+    let (_, base_eval) = evaluate_model(&base, &split.test);
+    let full = SatoModel::train(&split.train, config, SatoVariant::Full);
+    let (_, full_eval) = evaluate_model(&full, &split.test);
 
     assert!(
         full_eval.weighted_f1 >= base_eval.weighted_f1 - 0.03,
@@ -80,7 +80,7 @@ fn full_sato_does_not_lose_to_base_on_multi_column_tables() {
 #[test]
 fn prediction_is_deterministic_after_training() {
     let corpus = default_corpus(50, 105);
-    let mut model = SatoModel::train(&corpus, fast_config(13), SatoVariant::Full);
+    let model = SatoModel::train(&corpus, fast_config(13), SatoVariant::Full);
     let table = &corpus.tables[3];
     let a = model.predict(table);
     let b = model.predict(table);

@@ -16,7 +16,7 @@ fn quickstart_runs_end_to_end_for_every_variant() {
     assert!(!split.train.is_empty() && !split.test.is_empty());
 
     for variant in SatoVariant::ALL {
-        let mut model = SatoModel::train(&split.train, SatoConfig::fast(), variant);
+        let model = SatoModel::train(&split.train, SatoConfig::fast(), variant);
         assert_eq!(model.variant(), variant);
         for table in split.test.iter().take(3) {
             let types = model.predict(table);
@@ -37,7 +37,7 @@ fn quickstart_is_deterministic_across_runs() {
     let run = || {
         let corpus = default_corpus(30, 7);
         let split = train_test_split(&corpus, 0.25, 1);
-        let mut model = SatoModel::train(&split.train, SatoConfig::fast(), SatoVariant::Full);
+        let model = SatoModel::train(&split.train, SatoConfig::fast(), SatoVariant::Full);
         split
             .test
             .iter()
