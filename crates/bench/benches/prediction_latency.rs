@@ -8,6 +8,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sato::{SatoConfig, SatoModel, SatoVariant};
 use sato_bench::ExperimentOptions;
+use sato_features::char_dist::char_features_into;
+use sato_features::para_embed::{para_features_into, DEFAULT_PARA_DIM};
+use sato_features::stats::stat_features_into;
+use sato_features::word_embed::{word_features_into, DEFAULT_WORD_DIM};
+use sato_features::{char_dist, stats, FeatureScratch};
 use sato_tabular::corpus::default_corpus;
 
 fn bench_prediction(c: &mut Criterion) {
@@ -49,8 +54,59 @@ fn bench_prediction(c: &mut Criterion) {
             b.iter(|| predictor.predict_corpus_parallel(std::hint::black_box(corp), opts.threads))
         },
     );
+    // Corpus-batched serving: one forward pass per micro-batch of columns.
+    for batch_cols in [16usize, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("predict_corpus_batched", batch_cols),
+            &corpus,
+            |b, corp| {
+                b.iter(|| predictor.predict_corpus_batched(std::hint::black_box(corp), batch_cols))
+            },
+        );
+    }
     group.finish();
 }
 
-criterion_group!(benches, bench_prediction);
+/// Per-group feature extraction cost (single-pass, scratch-reusing path) so
+/// a regression in any one of the four Sherlock groups is visible on its
+/// own, not just through end-to-end latency.
+fn bench_feature_groups(c: &mut Criterion) {
+    let corpus = default_corpus(40, 19);
+    let column = corpus
+        .iter()
+        .flat_map(|t| t.columns.iter())
+        .max_by_key(|col| col.values.len())
+        .expect("corpus has columns")
+        .clone();
+    let mut scratch = FeatureScratch::new();
+    let mut char_out = vec![0.0f32; char_dist::CHAR_FEATURE_DIM];
+    let mut word_out = vec![0.0f32; 2 * DEFAULT_WORD_DIM];
+    let mut para_out = vec![0.0f32; DEFAULT_PARA_DIM];
+    let mut stat_out = vec![0.0f32; stats::STAT_FEATURE_DIM];
+
+    let mut group = c.benchmark_group("feature_groups");
+    group.sample_size(20);
+    group.bench_function("char", |b| {
+        b.iter(|| char_features_into(std::hint::black_box(&column), &mut scratch, &mut char_out))
+    });
+    group.bench_function("word", |b| {
+        b.iter(|| {
+            word_features_into(
+                std::hint::black_box(&column),
+                DEFAULT_WORD_DIM,
+                &mut scratch,
+                &mut word_out,
+            )
+        })
+    });
+    group.bench_function("para", |b| {
+        b.iter(|| para_features_into(std::hint::black_box(&column), &mut para_out))
+    });
+    group.bench_function("stat", |b| {
+        b.iter(|| stat_features_into(std::hint::black_box(&column), &mut scratch, &mut stat_out))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction, bench_feature_groups);
 criterion_main!(benches);

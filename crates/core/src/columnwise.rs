@@ -21,10 +21,10 @@ use crate::dataset::{Standardizer, TableInputs, TrainingData};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use sato_features::{FeatureExtractor, FeatureGroup};
+use sato_features::{FeatureExtractor, FeatureGroup, FeatureScratch};
 use sato_nn::layers::{BatchNorm, Dense, Dropout, Layer, ReLU};
-use sato_nn::loss::{softmax, softmax_cross_entropy};
-use sato_nn::network::{MultiInputNetwork, Sequential};
+use sato_nn::loss::{softmax_cross_entropy, softmax_in_place};
+use sato_nn::network::{InferScratch, MultiInferScratch, MultiInputNetwork, Sequential};
 use sato_nn::optim::Adam;
 use sato_nn::serialize::{LoadError, StateDict};
 use sato_nn::Matrix;
@@ -32,19 +32,30 @@ use sato_tabular::table::{Corpus, Table};
 use sato_tabular::types::{SemanticType, NUM_TYPES};
 use sato_topic::TableIntentEstimator;
 
+/// Index of the maximum probability in one row (ties resolve to the last
+/// maximal entry, matching `Iterator::max_by`).
+#[inline]
+fn argmax_row(row: &[f32]) -> usize {
+    row.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
 /// Per-column hard predictions from probability rows (row-wise argmax).
 pub fn types_from_proba(proba: &[Vec<f32>]) -> Vec<SemanticType> {
     proba
         .iter()
-        .map(|p| {
-            let best = p
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                .map(|(i, _)| i)
-                .unwrap_or(0);
-            SemanticType::from_index(best).expect("class index in range")
-        })
+        .map(|p| SemanticType::from_index(argmax_row(p)).expect("class index in range"))
+        .collect()
+}
+
+/// Per-column hard predictions from a row range of a flat probability
+/// matrix — the batched counterpart of [`types_from_proba`].
+pub(crate) fn types_from_rows(proba: &Matrix, start: usize, end: usize) -> Vec<SemanticType> {
+    (start..end)
+        .map(|r| SemanticType::from_index(argmax_row(proba.row(r))).expect("class index in range"))
         .collect()
 }
 
@@ -312,9 +323,30 @@ impl ColumnwiseInference for ColumnwiseModel {
     }
 }
 
-/// Evaluation-mode forward pass to per-column probability rows, shared by
-/// the live [`ColumnwiseModel`] and its [`FrozenColumnwise`] snapshot so the
-/// two cannot drift apart (freeze parity is structural, not by convention).
+/// Evaluation-mode forward pass to the flat row-major probability matrix
+/// (one row per column), shared by the live [`ColumnwiseModel`] and its
+/// [`FrozenColumnwise`] snapshot so the two cannot drift apart (freeze
+/// parity is structural, not by convention).
+fn infer_proba_matrix(
+    net: &MultiInputNetwork,
+    head: &Sequential,
+    scalers: &[Standardizer],
+    use_topic: bool,
+    inputs: &TableInputs,
+) -> Matrix {
+    if inputs.columns.is_empty() {
+        return Matrix::zeros(0, NUM_TYPES);
+    }
+    let groups = inputs.to_matrices(use_topic);
+    let groups = Standardizer::transform_groups(scalers, &groups);
+    let embedding = net.infer(&groups);
+    let mut probs = head.infer(&embedding);
+    softmax_in_place(&mut probs);
+    probs
+}
+
+/// [`infer_proba_matrix`], split into per-column probability rows (the
+/// compatibility shape of [`ColumnwiseInference::predict_proba`]).
 fn infer_proba(
     net: &MultiInputNetwork,
     head: &Sequential,
@@ -322,14 +354,7 @@ fn infer_proba(
     use_topic: bool,
     inputs: &TableInputs,
 ) -> Vec<Vec<f32>> {
-    if inputs.columns.is_empty() {
-        return Vec::new();
-    }
-    let groups = inputs.to_matrices(use_topic);
-    let groups = Standardizer::transform_groups(scalers, &groups);
-    let embedding = net.infer(&groups);
-    let logits = head.infer(&embedding);
-    let probs = softmax(&logits);
+    let probs = infer_proba_matrix(net, head, scalers, use_topic, inputs);
     (0..probs.rows()).map(|r| probs.row(r).to_vec()).collect()
 }
 
@@ -350,6 +375,33 @@ fn infer_embeddings(
     (0..embedding.rows())
         .map(|r| embedding.row(r).to_vec())
         .collect()
+}
+
+/// Reusable workspace for the corpus-batched serving path: feature
+/// extraction buffers, per-group batch input matrices, the network's
+/// ping-pong activation buffers, the flat probability matrix and the CRF
+/// unary buffer. One scratch serves any number of micro-batches; after the
+/// first batch has warmed the buffers, a batch's only steady-state
+/// allocations are its per-table outputs.
+#[derive(Default)]
+pub struct ServingScratch {
+    features: FeatureScratch,
+    net: MultiInferScratch,
+    head: InferScratch,
+    groups: Vec<Matrix>,
+    embedding: Matrix,
+    /// Flat row-major probability matrix of the last batch (one row per
+    /// column across all tables of the batch).
+    pub(crate) probs: Matrix,
+    /// Flat unary-potential buffer for CRF decoding.
+    pub(crate) unary: Vec<f64>,
+}
+
+impl ServingScratch {
+    /// A fresh workspace with empty (but growable) buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// The immutable, `Send + Sync` inference core of a trained column-wise
@@ -390,6 +442,87 @@ impl FrozenColumnwise {
     /// Evaluation-mode forward pass on pre-extracted inputs.
     pub fn predict_proba_from_inputs(&self, inputs: &TableInputs) -> Vec<Vec<f32>> {
         infer_proba(&self.net, &self.head, &self.scalers, self.use_topic, inputs)
+    }
+
+    /// Per-column class probabilities of one table as a flat row-major
+    /// matrix (one row per column, [`NUM_TYPES`] columns) — the hot-path
+    /// shape; [`ColumnwiseInference::predict_proba`] wraps it.
+    pub fn predict_proba_matrix(&self, table: &Table) -> Matrix {
+        let inputs = self.extract_inputs(table);
+        infer_proba_matrix(
+            &self.net,
+            &self.head,
+            &self.scalers,
+            self.use_topic,
+            &inputs,
+        )
+    }
+
+    /// Run the column-wise network over **many tables at once**: every
+    /// column of every table becomes one row of one input matrix per feature
+    /// group, the network runs a single forward pass, and
+    /// `scratch.probs` ends up holding one probability row per column, table
+    /// after table in order.
+    ///
+    /// Row-major batching is exact: every stage of the eval-mode pipeline
+    /// (standardisation, dense layers, ReLU, BatchNorm running statistics,
+    /// softmax) operates row-independently, so the batch output is
+    /// bit-identical to per-table inference.
+    pub(crate) fn infer_batch(&self, tables: &[&Table], scratch: &mut ServingScratch) {
+        let widths = &self.group_widths;
+        let total_rows: usize = tables.iter().map(|t| t.num_columns()).sum();
+        if total_rows == 0 {
+            scratch.probs.resize(0, NUM_TYPES);
+            return;
+        }
+        scratch.groups.resize_with(widths.len(), Matrix::default);
+        for (group, &w) in scratch.groups.iter_mut().zip(widths) {
+            group.resize(total_rows, w);
+        }
+
+        // Fill the batch matrices: features are extracted straight into the
+        // matrix rows (no per-column feature vectors), the table's topic
+        // vector is replicated across its rows.
+        let mut row = 0usize;
+        for table in tables {
+            let topic = if self.use_topic {
+                let est = self
+                    .intent
+                    .as_ref()
+                    .expect("topic-aware model carries an intent estimator");
+                Some(est.estimate(table))
+            } else {
+                None
+            };
+            for column in &table.columns {
+                let (feature_groups, topic_group) =
+                    scratch.groups.split_at_mut(FeatureGroup::ALL.len());
+                let [g_char, g_word, g_para, g_stat] = feature_groups else {
+                    unreachable!("batch matrices cover the four feature groups");
+                };
+                self.extractor.extract_column_into(
+                    column,
+                    &mut scratch.features,
+                    g_char.row_mut(row),
+                    g_word.row_mut(row),
+                    g_para.row_mut(row),
+                    g_stat.row_mut(row),
+                );
+                if let Some(topic) = &topic {
+                    topic_group[0].row_mut(row).copy_from_slice(topic);
+                }
+                row += 1;
+            }
+        }
+
+        for (scaler, group) in self.scalers.iter().zip(scratch.groups.iter_mut()) {
+            scaler.transform_in_place(group);
+        }
+        self.net
+            .infer_with(&scratch.groups, &mut scratch.net, &mut scratch.embedding);
+        self.head
+            .infer_with(&scratch.embedding, &mut scratch.head, &mut scratch.probs);
+        softmax_in_place(&mut scratch.probs);
     }
 
     /// Column embeddings (the final hidden representation before the output

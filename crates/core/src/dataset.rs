@@ -6,7 +6,7 @@
 //! the `table_of_row` index lets table-level consumers (the CRF layer,
 //! permutation-importance analysis) recover which rows belong together.
 
-use sato_features::{ColumnFeatures, FeatureExtractor, FeatureGroup};
+use sato_features::{ColumnFeatures, FeatureExtractor, FeatureGroup, FeatureScratch};
 use sato_nn::Matrix;
 use sato_tabular::table::{Corpus, Table};
 use sato_topic::TableIntentEstimator;
@@ -60,8 +60,19 @@ impl TableInputs {
         extractor: &FeatureExtractor,
         intent: Option<&TableIntentEstimator>,
     ) -> Self {
+        Self::extract_with(table, extractor, intent, &mut FeatureScratch::new())
+    }
+
+    /// Extract the inputs of a table, reusing a feature-extraction workspace
+    /// across its columns (and, in corpus loops, across tables).
+    pub fn extract_with(
+        table: &Table,
+        extractor: &FeatureExtractor,
+        intent: Option<&TableIntentEstimator>,
+        scratch: &mut FeatureScratch,
+    ) -> Self {
         TableInputs {
-            columns: extractor.extract_table(table),
+            columns: extractor.extract_table_with(table, scratch),
             topic: intent.map(|est| est.estimate(table)),
         }
     }
@@ -141,15 +152,22 @@ impl Standardizer {
 
     /// Standardise a matrix (column count must match the fitted data).
     pub fn transform(&self, data: &Matrix) -> Matrix {
-        assert_eq!(data.cols(), self.mean.len(), "feature width mismatch");
         let mut out = data.clone();
-        for r in 0..out.rows() {
-            let row = out.row_mut(r);
+        self.transform_in_place(&mut out);
+        out
+    }
+
+    /// Standardise a matrix in place — the allocation-free counterpart of
+    /// [`Self::transform`], used by the batched serving path on matrices it
+    /// built itself.
+    pub fn transform_in_place(&self, data: &mut Matrix) {
+        assert_eq!(data.cols(), self.mean.len(), "feature width mismatch");
+        for r in 0..data.rows() {
+            let row = data.row_mut(r);
             for (c, v) in row.iter_mut().enumerate() {
                 *v = (*v - self.mean[c]) / self.std[c];
             }
         }
-        out
     }
 
     /// Fit one standardizer per input-group matrix.
@@ -195,11 +213,12 @@ impl TrainingData {
         let mut labels = Vec::new();
         let mut table_of_row = Vec::new();
 
+        let mut scratch = FeatureScratch::new();
         for (t_idx, table) in corpus.iter().enumerate() {
             if !table.is_labelled() {
                 continue;
             }
-            let inputs = TableInputs::extract(table, extractor, intent);
+            let inputs = TableInputs::extract_with(table, extractor, intent, &mut scratch);
             let matrices = inputs.to_matrices(include_topic);
             if widths.is_empty() {
                 widths = matrices.iter().map(Matrix::cols).collect();

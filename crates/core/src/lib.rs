@@ -75,6 +75,7 @@ pub mod structured;
 pub use bert_like::{BertLikeConfig, BertLikeModel};
 pub use columnwise::{
     types_from_proba, ColumnwiseInference, ColumnwiseModel, ColumnwiseTrainer, FrozenColumnwise,
+    ServingScratch,
 };
 pub use config::{CrfTrainParams, NetworkConfig, SatoConfig};
 pub use dataset::{InputGroup, TableInputs, TrainingData};

@@ -25,7 +25,7 @@
 //! );
 //! ```
 
-use crate::columnwise::{ColumnwiseInference, FrozenColumnwise};
+use crate::columnwise::{types_from_rows, ColumnwiseInference, FrozenColumnwise, ServingScratch};
 use crate::config::SatoConfig;
 use crate::dataset::Standardizer;
 use crate::model::{gold_of, SatoVariant, TablePrediction};
@@ -173,9 +173,12 @@ impl SatoPredictor {
 
     /// Predict the semantic type of every column of a table.
     pub fn predict(&self, table: &Table) -> Vec<SemanticType> {
+        // The probability rows stay in one flat row-major matrix end to end
+        // (no per-column Vec<Vec<f32>> on this path).
+        let probs = self.columnwise.predict_proba_matrix(table);
         match &self.structured {
-            Some(layer) => layer.decode_proba(&self.columnwise.predict_proba(table)),
-            None => self.columnwise.predict_types(table),
+            Some(layer) => layer.decode_matrix(&probs),
+            None => types_from_rows(&probs, 0, probs.rows()),
         }
     }
 
@@ -197,6 +200,129 @@ impl SatoPredictor {
     /// [`TablePrediction::gold`] for the empty-gold convention).
     pub fn predict_corpus(&self, corpus: &Corpus) -> Vec<TablePrediction> {
         corpus.iter().map(|t| self.predict_table(t)).collect()
+    }
+
+    /// Predict every table of a corpus in **column micro-batches**: tables
+    /// are accumulated until they carry at least `batch_cols` columns, the
+    /// whole micro-batch runs through the column-wise network in a single
+    /// forward pass (one input matrix per feature group, with per-table row
+    /// offsets), and the probability rows are split back per table for CRF
+    /// decoding.
+    ///
+    /// The output is exactly — bit for bit — the output of
+    /// [`Self::predict_corpus`]; only the wall-clock time changes. Batching
+    /// is exact because every eval-mode stage operates row-independently.
+    /// `batch_cols` is clamped to at least 1; `1` degenerates to one batch
+    /// per table, and a value larger than the corpus's total column count
+    /// runs the whole corpus as a single batch.
+    pub fn predict_corpus_batched(
+        &self,
+        corpus: &Corpus,
+        batch_cols: usize,
+    ) -> Vec<TablePrediction> {
+        self.predict_tables_batched(&corpus.tables, batch_cols, &mut ServingScratch::new())
+    }
+
+    /// [`Self::predict_corpus_batched`] with a caller-owned
+    /// [`ServingScratch`]: a serving loop that predicts corpus after corpus
+    /// can keep one warm scratch and pay zero steady-state buffer
+    /// allocations across calls. Output is identical.
+    pub fn predict_corpus_batched_with(
+        &self,
+        corpus: &Corpus,
+        batch_cols: usize,
+        scratch: &mut ServingScratch,
+    ) -> Vec<TablePrediction> {
+        self.predict_tables_batched(&corpus.tables, batch_cols, scratch)
+    }
+
+    /// Batched prediction over a slice of tables, reusing one serving
+    /// scratch across all micro-batches (shared by the sequential and
+    /// parallel batched entry points).
+    fn predict_tables_batched(
+        &self,
+        tables: &[Table],
+        batch_cols: usize,
+        scratch: &mut ServingScratch,
+    ) -> Vec<TablePrediction> {
+        let batch_cols = batch_cols.max(1);
+        let mut out = Vec::with_capacity(tables.len());
+        let mut batch: Vec<&Table> = Vec::new();
+        let mut pending_cols = 0usize;
+        for table in tables {
+            batch.push(table);
+            pending_cols += table.num_columns();
+            if pending_cols >= batch_cols {
+                self.flush_batch(&batch, scratch, &mut out);
+                batch.clear();
+                pending_cols = 0;
+            }
+        }
+        if !batch.is_empty() {
+            self.flush_batch(&batch, scratch, &mut out);
+        }
+        out
+    }
+
+    /// Run one micro-batch through the network and split the probability
+    /// rows back per table for decoding.
+    fn flush_batch(
+        &self,
+        batch: &[&Table],
+        scratch: &mut ServingScratch,
+        out: &mut Vec<TablePrediction>,
+    ) {
+        self.columnwise.infer_batch(batch, scratch);
+        // Disjoint borrows: the probability matrix is read row-range by row
+        // range while the unary buffer is reused per table.
+        let ServingScratch { probs, unary, .. } = scratch;
+        let mut row = 0usize;
+        for table in batch {
+            let end = row + table.num_columns();
+            let predicted = match &self.structured {
+                Some(layer) => layer.decode_rows(probs, row, end, unary),
+                None => types_from_rows(probs, row, end),
+            };
+            out.push(TablePrediction {
+                table_id: table.id,
+                gold: gold_of(table),
+                predicted,
+            });
+            row = end;
+        }
+    }
+
+    /// Batched prediction sharded over `n_threads` scoped OS threads: each
+    /// thread serves a contiguous chunk of the corpus with
+    /// [`Self::predict_corpus_batched`]'s micro-batching and its own
+    /// scratch. Output is bit-identical to [`Self::predict_corpus`] (and
+    /// therefore to every other serving entry point), in corpus order.
+    pub fn predict_corpus_parallel_batched(
+        &self,
+        corpus: &Corpus,
+        batch_cols: usize,
+        n_threads: usize,
+    ) -> Vec<TablePrediction> {
+        let n_threads = n_threads.max(1);
+        let tables = &corpus.tables;
+        if n_threads == 1 || tables.len() < 2 {
+            return self.predict_tables_batched(tables, batch_cols, &mut ServingScratch::new());
+        }
+        let chunk_size = tables.len().div_ceil(n_threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = tables
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        self.predict_tables_batched(chunk, batch_cols, &mut ServingScratch::new())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("prediction thread panicked"))
+                .collect()
+        })
     }
 
     /// Predict every table of a corpus on `n_threads` scoped OS threads,
@@ -408,6 +534,71 @@ mod tests {
             SatoPredictor::from_json(&json),
             Err(PredictorError::Inconsistent(_))
         ));
+    }
+
+    #[test]
+    fn batched_prediction_matches_sequential_exactly() {
+        // All four variants, several micro-batch widths including the
+        // degenerate ones (1 column per batch, whole corpus in one batch).
+        let corpus = default_corpus(25, 9);
+        let total_cols: usize = corpus.iter().map(|t| t.num_columns()).sum();
+        for variant in SatoVariant::ALL {
+            let predictor = SatoModel::train(&corpus, tiny_config(), variant).into_predictor();
+            let sequential = predictor.predict_corpus(&corpus);
+            for batch_cols in [1, 3, 16, total_cols, total_cols + 100] {
+                let batched = predictor.predict_corpus_batched(&corpus, batch_cols);
+                assert_eq!(
+                    sequential,
+                    batched,
+                    "variant {} batch_cols {batch_cols}",
+                    variant.name()
+                );
+            }
+            // Batching composes with thread sharding.
+            assert_eq!(
+                sequential,
+                predictor.predict_corpus_parallel_batched(&corpus, 8, 3),
+                "variant {} parallel batched",
+                variant.name()
+            );
+        }
+    }
+
+    #[test]
+    fn batched_prediction_handles_degenerate_corpora() {
+        use sato_tabular::table::{Column, Table};
+        let corpus = default_corpus(20, 12);
+        let predictor =
+            SatoModel::train(&corpus, tiny_config(), SatoVariant::Full).into_predictor();
+        // Zero-column and single-column tables mixed between normal ones,
+        // plus an unlabelled table (empty-gold convention).
+        let ragged = Corpus::new(vec![
+            Table::unlabelled(900, vec![]),
+            corpus.tables[0].clone(),
+            Table::unlabelled(901, vec![Column::new(["Warsaw", "London"])]),
+            Table::unlabelled(902, vec![]),
+            corpus.tables[1].clone(),
+        ]);
+        let sequential = predictor.predict_corpus(&ragged);
+        // One warm caller-owned scratch across every batch width.
+        let mut scratch = ServingScratch::new();
+        for batch_cols in [1, 2, 1000] {
+            assert_eq!(
+                sequential,
+                predictor.predict_corpus_batched(&ragged, batch_cols),
+                "batch_cols {batch_cols}"
+            );
+            assert_eq!(
+                sequential,
+                predictor.predict_corpus_batched_with(&ragged, batch_cols, &mut scratch),
+                "warm-scratch batch_cols {batch_cols}"
+            );
+        }
+        assert!(sequential[0].predicted.is_empty());
+        assert!(sequential[0].gold.is_empty());
+        // An entirely empty corpus also works.
+        let empty = Corpus::new(vec![]);
+        assert!(predictor.predict_corpus_batched(&empty, 8).is_empty());
     }
 
     #[test]

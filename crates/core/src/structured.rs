@@ -116,6 +116,41 @@ impl StructuredLayer {
             .collect()
     }
 
+    /// Joint MAP decoding of one table's row range `[start, end)` of a flat
+    /// probability matrix, reusing `unary_scratch` for the log potentials —
+    /// the batched-serving counterpart of [`Self::decode_proba`], bit
+    /// identical to it.
+    pub fn decode_rows(
+        &self,
+        proba: &sato_nn::Matrix,
+        start: usize,
+        end: usize,
+        unary_scratch: &mut Vec<f64>,
+    ) -> Vec<SemanticType> {
+        if start == end {
+            return Vec::new();
+        }
+        unary_scratch.clear();
+        for r in start..end {
+            unary_scratch.extend(
+                proba
+                    .row(r)
+                    .iter()
+                    .map(|&p| (f64::from(p).max(PROB_FLOOR)).ln()),
+            );
+        }
+        self.crf
+            .viterbi_flat(unary_scratch)
+            .into_iter()
+            .map(|i| SemanticType::from_index(i).expect("state index in range"))
+            .collect()
+    }
+
+    /// Joint MAP decoding of a whole flat probability matrix (one table).
+    pub fn decode_matrix(&self, proba: &sato_nn::Matrix) -> Vec<SemanticType> {
+        self.decode_rows(proba, 0, proba.rows(), &mut Vec::new())
+    }
+
     /// Predict the types of a table: column-wise scores followed by Viterbi.
     pub fn predict<P: ColumnwiseInference>(
         &self,

@@ -112,9 +112,12 @@ impl LinearChainCrf {
         let k = self.num_states;
         let mut alpha: Vec<f64> = unary[0].clone();
         let mut next = vec![0.0f64; k];
+        let mut terms = vec![0.0f64; k];
         for u in &unary[1..] {
             for (b, nb) in next.iter_mut().enumerate() {
-                let terms: Vec<f64> = (0..k).map(|a| alpha[a] + self.pair(a, b)).collect();
+                for (a, term) in terms.iter_mut().enumerate() {
+                    *term = alpha[a] + self.pair(a, b);
+                }
                 *nb = log_sum_exp(&terms) + u[b];
             }
             std::mem::swap(&mut alpha, &mut next);
@@ -128,36 +131,51 @@ impl LinearChainCrf {
     }
 
     /// Forward–backward: node and edge marginals plus `log Z`.
+    ///
+    /// The forward/backward message tables are flat `m × k` buffers (one
+    /// allocation each, not one per position).
     pub fn marginals(&self, unary: &[Vec<f64>]) -> Marginals {
         self.check_unary(unary);
         let k = self.num_states;
         let m = unary.len();
 
-        // Forward messages alpha[i][s] (log space, including unary of i).
-        let mut alpha = vec![vec![0.0f64; k]; m];
-        alpha[0].clone_from(&unary[0]);
+        // One reusable term buffer for every log-sum-exp reduction below
+        // (the naive version allocated a fresh Vec per (position, state)).
+        let mut terms = vec![0.0f64; k];
+
+        // Forward messages alpha[i * k + s] (log space, including unary of i).
+        let mut alpha = vec![0.0f64; m * k];
+        alpha[..k].copy_from_slice(&unary[0]);
         for i in 1..m {
-            for b in 0..k {
-                let terms: Vec<f64> = (0..k).map(|a| alpha[i - 1][a] + self.pair(a, b)).collect();
-                alpha[i][b] = log_sum_exp(&terms) + unary[i][b];
+            let (prev, cur) = alpha.split_at_mut(i * k);
+            let prev = &prev[(i - 1) * k..];
+            let cur = &mut cur[..k];
+            for (b, cur_b) in cur.iter_mut().enumerate() {
+                for (a, term) in terms.iter_mut().enumerate() {
+                    *term = prev[a] + self.pair(a, b);
+                }
+                *cur_b = log_sum_exp(&terms) + unary[i][b];
             }
         }
-        // Backward messages beta[i][s] (log space, excluding unary of i).
-        let mut beta = vec![vec![0.0f64; k]; m];
+        // Backward messages beta[i * k + s] (log space, excluding unary of i).
+        let mut beta = vec![0.0f64; m * k];
         for i in (0..m - 1).rev() {
-            for a in 0..k {
-                let terms: Vec<f64> = (0..k)
-                    .map(|b| self.pair(a, b) + unary[i + 1][b] + beta[i + 1][b])
-                    .collect();
-                beta[i][a] = log_sum_exp(&terms);
+            let (cur, next) = beta.split_at_mut((i + 1) * k);
+            let cur = &mut cur[i * k..];
+            let next = &next[..k];
+            for (a, cur_a) in cur.iter_mut().enumerate() {
+                for (b, term) in terms.iter_mut().enumerate() {
+                    *term = self.pair(a, b) + unary[i + 1][b] + next[b];
+                }
+                *cur_a = log_sum_exp(&terms);
             }
         }
-        let log_z = log_sum_exp(&alpha[m - 1]);
+        let log_z = log_sum_exp(&alpha[(m - 1) * k..]);
 
         let node: Vec<Vec<f64>> = (0..m)
             .map(|i| {
                 (0..k)
-                    .map(|s| (alpha[i][s] + beta[i][s] - log_z).exp())
+                    .map(|s| (alpha[i * k + s] + beta[i * k + s] - log_z).exp())
                     .collect()
             })
             .collect();
@@ -167,10 +185,12 @@ impl LinearChainCrf {
                 let mut e = vec![0.0f64; k * k];
                 for a in 0..k {
                     for b in 0..k {
-                        e[a * k + b] =
-                            (alpha[i][a] + self.pair(a, b) + unary[i + 1][b] + beta[i + 1][b]
-                                - log_z)
-                                .exp();
+                        e[a * k + b] = (alpha[i * k + a]
+                            + self.pair(a, b)
+                            + unary[i + 1][b]
+                            + beta[(i + 1) * k + b]
+                            - log_z)
+                            .exp();
                     }
                 }
                 e
@@ -188,29 +208,52 @@ impl LinearChainCrf {
     pub fn viterbi(&self, unary: &[Vec<f64>]) -> Vec<usize> {
         self.check_unary(unary);
         let k = self.num_states;
-        let m = unary.len();
-        let mut delta = vec![vec![f64::NEG_INFINITY; k]; m];
-        let mut backptr = vec![vec![0usize; k]; m];
-        delta[0].clone_from(&unary[0]);
+        let mut flat = vec![0.0f64; unary.len() * k];
+        for (row, u) in flat.chunks_mut(k).zip(unary) {
+            row.copy_from_slice(u);
+        }
+        self.viterbi_flat(&flat)
+    }
+
+    /// Viterbi MAP decoding over a flat row-major `m × k` unary buffer —
+    /// the serving hot path (no per-position `Vec`s anywhere).
+    ///
+    /// Panics when `unary` is empty or not a multiple of the state count.
+    pub fn viterbi_flat(&self, unary: &[f64]) -> Vec<usize> {
+        let k = self.num_states;
+        assert!(!unary.is_empty(), "empty chain");
+        assert_eq!(
+            unary.len() % k,
+            0,
+            "flat unary length must be a multiple of {k}"
+        );
+        let m = unary.len() / k;
+        // DP tables as flat m × k buffers.
+        let mut delta = vec![f64::NEG_INFINITY; m * k];
+        let mut backptr = vec![0usize; m * k];
+        delta[..k].copy_from_slice(&unary[..k]);
         for i in 1..m {
-            for b in 0..k {
+            let (prev, cur) = delta.split_at_mut(i * k);
+            let prev = &prev[(i - 1) * k..];
+            let cur = &mut cur[..k];
+            for (b, cur_b) in cur.iter_mut().enumerate() {
                 let mut best = f64::NEG_INFINITY;
                 let mut best_a = 0;
-                for (a, &prev) in delta[i - 1].iter().enumerate() {
-                    let s = prev + self.pair(a, b);
+                for (a, &prev_a) in prev.iter().enumerate() {
+                    let s = prev_a + self.pair(a, b);
                     if s > best {
                         best = s;
                         best_a = a;
                     }
                 }
-                delta[i][b] = best + unary[i][b];
-                backptr[i][b] = best_a;
+                *cur_b = best + unary[i * k + b];
+                backptr[i * k + b] = best_a;
             }
         }
         let mut labels = vec![0usize; m];
-        labels[m - 1] = argmax(&delta[m - 1]);
+        labels[m - 1] = argmax(&delta[(m - 1) * k..]);
         for i in (0..m - 1).rev() {
-            labels[i] = backptr[i + 1][labels[i + 1]];
+            labels[i] = backptr[(i + 1) * k + labels[i + 1]];
         }
         labels
     }
@@ -385,6 +428,27 @@ mod tests {
     fn empty_chain_panics() {
         let crf = LinearChainCrf::new(2);
         crf.log_partition(&[]);
+    }
+
+    #[test]
+    fn viterbi_flat_matches_nested_unary() {
+        let (crf, unary) = sample_crf();
+        let flat: Vec<f64> = unary.iter().flatten().copied().collect();
+        assert_eq!(crf.viterbi_flat(&flat), crf.viterbi(&unary));
+        // Single-position chain through the flat path.
+        assert_eq!(crf.viterbi_flat(&[0.1, 2.0, -1.0]), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty chain")]
+    fn viterbi_flat_rejects_empty_unary() {
+        LinearChainCrf::new(2).viterbi_flat(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of")]
+    fn viterbi_flat_rejects_ragged_unary() {
+        LinearChainCrf::new(3).viterbi_flat(&[0.0; 5]);
     }
 
     #[test]

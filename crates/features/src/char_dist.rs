@@ -10,6 +10,7 @@
 //! different surface shapes (codes vs names vs dates vs free text) land in
 //! clearly different regions of the feature space.
 
+use crate::scratch::FeatureScratch;
 use sato_tabular::table::Column;
 
 /// The characters whose per-cell distributions are summarised.
@@ -29,31 +30,59 @@ pub const CHAR_FEATURE_DIM: usize = CHARSET.len() * STATS_PER_CHAR;
 ///
 /// Empty columns (or columns whose cells are all empty) produce an all-zero
 /// vector, mirroring Sherlock's handling of missing data.
+///
+/// Convenience wrapper around [`char_features_into`] that allocates its own
+/// workspace; batch callers should reuse a [`FeatureScratch`] instead.
 pub fn char_features(column: &Column) -> Vec<f32> {
-    let cells: Vec<&str> = column
-        .values
-        .iter()
-        .map(String::as_str)
-        .filter(|v| !v.trim().is_empty())
-        .collect();
     let mut out = vec![0.0f32; CHAR_FEATURE_DIM];
-    if cells.is_empty() {
-        return out;
+    let mut scratch = FeatureScratch::new();
+    scratch.scan(column);
+    char_features_from_scan(&scratch, &mut out);
+    out
+}
+
+/// Extract the Char features into `out` (length [`CHAR_FEATURE_DIM`]),
+/// reusing `scratch` for the single cell pass.
+pub fn char_features_into(column: &Column, scratch: &mut FeatureScratch, out: &mut [f32]) {
+    scratch.scan(column);
+    char_features_from_scan(scratch, out);
+}
+
+/// Aggregate the Char features from an already-scanned column.
+///
+/// The scan visits every cell's characters exactly once (instead of once per
+/// alphabet character, each with its own lower-cased copy of the cell); this
+/// aggregation then reads the per-cell histograms in cell order so the f32
+/// accumulation is bit-identical to the naive per-character recipe.
+pub(crate) fn char_features_from_scan(scratch: &FeatureScratch, out: &mut [f32]) {
+    assert_eq!(out.len(), CHAR_FEATURE_DIM, "Char output width mismatch");
+    out.fill(0.0);
+    let cells = scratch.n_cells;
+    if cells == 0 {
+        return;
     }
-    let n = cells.len() as f32;
-    for (ci, &ch) in CHARSET.iter().enumerate() {
-        let counts: Vec<f32> = cells
-            .iter()
-            .map(|cell| cell.to_lowercase().chars().filter(|&c| c == ch).count() as f32)
-            .collect();
-        let mean = counts.iter().sum::<f32>() / n;
-        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f32>() / n;
-        let present = counts.iter().filter(|&&c| c > 0.0).count() as f32 / n;
+    let n = cells as f32;
+    for ci in 0..CHARSET.len() {
+        let mut sum = 0.0f32;
+        let mut present = 0usize;
+        for cell in 0..cells {
+            let c = scratch.char_count(cell, ci) as f32;
+            sum += c;
+            if c > 0.0 {
+                present += 1;
+            }
+        }
+        let mean = sum / n;
+        let mut var = 0.0f32;
+        for cell in 0..cells {
+            let d = scratch.char_count(cell, ci) as f32 - mean;
+            var += d * d;
+        }
+        var /= n;
         out[ci * STATS_PER_CHAR] = mean;
         out[ci * STATS_PER_CHAR + 1] = var.sqrt();
-        out[ci * STATS_PER_CHAR + 2] = present;
+        out[ci * STATS_PER_CHAR + 2] = present as f32 / n;
     }
-    out
 }
 
 #[cfg(test)]

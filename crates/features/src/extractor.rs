@@ -2,10 +2,11 @@
 //! groups (**Char**, **Word**, **Para**, **Stat**) into per-column feature
 //! vectors for whole tables, in the layout the Sato models consume.
 
-use crate::char_dist::{char_features, CHAR_FEATURE_DIM};
-use crate::para_embed::para_features;
-use crate::stats::{stat_features, STAT_FEATURE_DIM};
-use crate::word_embed::word_features;
+use crate::char_dist::{char_features_from_scan, CHAR_FEATURE_DIM};
+use crate::para_embed::para_features_into;
+use crate::scratch::FeatureScratch;
+use crate::stats::{stat_features_from_scan, STAT_FEATURE_DIM};
+use crate::word_embed::word_features_into;
 use sato_tabular::table::{Column, Table};
 use serde::{Deserialize, Serialize};
 
@@ -160,21 +161,80 @@ impl FeatureExtractor {
     }
 
     /// Extract the features of one column.
+    ///
+    /// Allocates a fresh [`FeatureScratch`] per call; loops over many
+    /// columns should use [`Self::extract_column_with`] or
+    /// [`Self::extract_table_with`] to reuse one.
     pub fn extract_column(&self, column: &Column) -> ColumnFeatures {
-        ColumnFeatures {
-            char: char_features(column),
-            word: word_features(column, self.config.word_dim),
-            para: para_features(column, self.config.para_dim),
-            stat: stat_features(column),
-        }
+        self.extract_column_with(column, &mut FeatureScratch::new())
+    }
+
+    /// Extract the features of one column, reusing `scratch` for every
+    /// intermediate buffer (single pass over the cells for Char + Stat, no
+    /// per-token allocations for Word).
+    pub fn extract_column_with(
+        &self,
+        column: &Column,
+        scratch: &mut FeatureScratch,
+    ) -> ColumnFeatures {
+        let mut features = ColumnFeatures {
+            char: vec![0.0; CHAR_FEATURE_DIM],
+            word: vec![0.0; 2 * self.config.word_dim],
+            para: vec![0.0; self.config.para_dim],
+            stat: vec![0.0; STAT_FEATURE_DIM],
+        };
+        self.extract_column_into(
+            column,
+            scratch,
+            &mut features.char,
+            &mut features.word,
+            &mut features.para,
+            &mut features.stat,
+        );
+        features
+    }
+
+    /// Extract all four groups of one column directly into caller-provided
+    /// slices (e.g. rows of a pre-allocated batch matrix) — the zero-copy
+    /// entry point of the batched serving path. Slice lengths must match
+    /// [`Self::group_dims`].
+    pub fn extract_column_into(
+        &self,
+        column: &Column,
+        scratch: &mut FeatureScratch,
+        char_out: &mut [f32],
+        word_out: &mut [f32],
+        para_out: &mut [f32],
+        stat_out: &mut [f32],
+    ) {
+        assert_eq!(para_out.len(), self.config.para_dim, "Para width mismatch");
+        // One shared pass over the cells feeds both Char and Stat.
+        scratch.scan(column);
+        char_features_from_scan(scratch, char_out);
+        stat_features_from_scan(column, scratch, stat_out);
+        word_features_into(column, self.config.word_dim, scratch, word_out);
+        para_features_into(column, para_out);
     }
 
     /// Extract the features of every column of a table.
+    ///
+    /// Allocates a fresh [`FeatureScratch`] for the table; corpus loops
+    /// should use [`Self::extract_table_with`] to reuse one across tables.
     pub fn extract_table(&self, table: &Table) -> Vec<ColumnFeatures> {
+        self.extract_table_with(table, &mut FeatureScratch::new())
+    }
+
+    /// Extract the features of every column of a table, reusing `scratch`
+    /// across the columns.
+    pub fn extract_table_with(
+        &self,
+        table: &Table,
+        scratch: &mut FeatureScratch,
+    ) -> Vec<ColumnFeatures> {
         table
             .columns
             .iter()
-            .map(|c| self.extract_column(c))
+            .map(|c| self.extract_column_with(c, scratch))
             .collect()
     }
 }

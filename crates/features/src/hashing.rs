@@ -8,15 +8,48 @@
 //! n-grams and therefore land near each other — the distributional property
 //! the downstream classifier actually exploits.
 
+/// Streaming FNV-1a state, so n-gram windows can be hashed char by char
+/// without materialising the gram as a `String` first.
+#[derive(Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Start a seeded hash stream.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Absorb raw bytes.
+    #[inline]
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// Absorb a character's UTF-8 encoding (identical to hashing the bytes
+    /// of a string containing it).
+    #[inline]
+    pub fn write_char(&mut self, c: char) {
+        let mut buf = [0u8; 4];
+        self.write(c.encode_utf8(&mut buf).as_bytes());
+    }
+
+    /// The accumulated hash value.
+    #[inline]
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
 /// A simple, stable 64-bit FNV-1a hash (so features do not depend on the
 /// platform's `DefaultHasher` seed and stay identical across runs).
 pub fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
+    let mut h = Fnv1a::new(seed);
+    h.write(bytes);
+    h.finish()
 }
 
 /// Hash a token's character n-grams into a `dim`-bucket signed vector.
@@ -24,25 +57,80 @@ pub fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
 /// * `ngram_range` controls which n-gram lengths are used (inclusive).
 /// * `seed` decorrelates different embedding spaces (the word and paragraph
 ///   groups use different seeds so they are not identical features).
+///
+/// Convenience wrapper around [`hash_token_into`] that allocates the output
+/// and its window buffer; hot paths should reuse both.
 pub fn hash_token(token: &str, dim: usize, ngram_range: (usize, usize), seed: u64) -> Vec<f32> {
     let mut v = vec![0.0f32; dim];
-    let token = token.to_lowercase();
-    let chars: Vec<char> = format!("<{token}>").chars().collect();
-    let (lo, hi) = ngram_range;
-    for n in lo..=hi {
-        if chars.len() < n {
-            continue;
-        }
-        for window in chars.windows(n) {
-            let gram: String = window.iter().collect();
-            let h = fnv1a(gram.as_bytes(), seed);
-            let bucket = (h % dim as u64) as usize;
-            let sign = if (h >> 63) & 1 == 0 { 1.0 } else { -1.0 };
-            v[bucket] += sign;
+    let mut chars = Vec::new();
+    hash_token_into(token, ngram_range, seed, &mut chars, &mut v);
+    v
+}
+
+/// Hash a token's character n-grams into `out` (one bucket per element),
+/// reusing `chars_buf` for the `<token>` character window.
+///
+/// Case is folded per character (no lower-cased `String` copy of the token,
+/// no `format!` for the boundary marks). Per-character folding matches
+/// `str::to_lowercase` except for context-sensitive mappings (the Greek
+/// final sigma is the only one), so tokens containing a non-ASCII uppercase
+/// character take a rare exact-fold fallback — keeping the output
+/// bit-identical to the reference implementation for every input.
+pub fn hash_token_into(
+    token: &str,
+    ngram_range: (usize, usize),
+    seed: u64,
+    chars_buf: &mut Vec<char>,
+    out: &mut [f32],
+) {
+    let dim = out.len();
+    assert!(dim > 0, "embedding width must be positive");
+    out.fill(0.0);
+    chars_buf.clear();
+    chars_buf.push('<');
+    if token.chars().any(|c| !c.is_ascii() && c.is_uppercase()) {
+        // Context-sensitive case mapping possible: defer to the exact
+        // whole-string fold.
+        chars_buf.extend(token.to_lowercase().chars());
+    } else {
+        for c in token.chars() {
+            if c.is_ascii() {
+                chars_buf.push(c.to_ascii_lowercase());
+            } else {
+                chars_buf.extend(c.to_lowercase());
+            }
         }
     }
-    l2_normalize(&mut v);
-    v
+    chars_buf.push('>');
+    let (lo, hi) = ngram_range;
+    for n in lo..=hi {
+        if chars_buf.len() < n {
+            continue;
+        }
+        for window in chars_buf.windows(n) {
+            let mut hasher = Fnv1a::new(seed);
+            for &c in window {
+                hasher.write_char(c);
+            }
+            let h = hasher.finish();
+            let bucket = (h % dim as u64) as usize;
+            let sign = if (h >> 63) & 1 == 0 { 1.0 } else { -1.0 };
+            out[bucket] += sign;
+        }
+    }
+    l2_normalize(out);
+}
+
+/// Visit every word token of a cell (maximal alphanumeric runs) without
+/// allocating per-token `String`s. Tokens are passed through in their
+/// original case; the n-gram hasher folds case per character.
+#[inline]
+pub fn for_each_token(cell: &str, mut f: impl FnMut(&str)) {
+    for token in cell.split(|c: char| !c.is_alphanumeric()) {
+        if !token.is_empty() {
+            f(token);
+        }
+    }
 }
 
 /// Normalise a vector to unit L2 norm in place (no-op for the zero vector).

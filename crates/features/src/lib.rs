@@ -26,7 +26,10 @@ pub mod char_dist;
 pub mod extractor;
 pub mod hashing;
 pub mod para_embed;
+pub mod reference;
+pub mod scratch;
 pub mod stats;
 pub mod word_embed;
 
 pub use extractor::{ColumnFeatures, FeatureConfig, FeatureExtractor, FeatureGroup};
+pub use scratch::FeatureScratch;

@@ -22,15 +22,24 @@ pub const DEFAULT_PARA_DIM: usize = 100;
 /// Token counts are dampened with `ln(1 + tf)` before hashing so that a few
 /// extremely frequent cell values do not dominate the representation.
 pub fn para_features(column: &Column, dim: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; dim];
+    para_features_into(column, &mut out);
+    out
+}
+
+/// Compute the Para features into `out` (whose length sets the embedding
+/// width).
+pub fn para_features_into(column: &Column, out: &mut [f32]) {
+    let dim = out.len();
+    out.fill(0.0);
     let mut term_freq: HashMap<String, usize> = HashMap::new();
     for cell in column.iter() {
         for token in tokenize(cell) {
             *term_freq.entry(token).or_insert(0) += 1;
         }
     }
-    let mut out = vec![0.0f32; dim];
     if term_freq.is_empty() {
-        return out;
+        return;
     }
     // Accumulate in sorted token order: f32 addition is not associative, so
     // HashMap iteration order would leak into the features (and break
@@ -43,8 +52,7 @@ pub fn para_features(column: &Column, dim: usize) -> Vec<f32> {
         let sign = if (h >> 63) & 1 == 0 { 1.0 } else { -1.0 };
         out[bucket] += sign * (1.0 + tf as f32).ln();
     }
-    l2_normalize(&mut out);
-    out
+    l2_normalize(out);
 }
 
 /// Compute the Para features of an entire table's values — used as the LDA

@@ -1,0 +1,251 @@
+//! Reusable extraction workspace: one pass over a column's cells fills
+//! everything the Char and Stat feature groups need (per-cell character
+//! histograms, length/token/numeric statistics, character-class flags), so
+//! the extractor never re-reads a cell once per alphabet character and never
+//! allocates per-cell intermediates.
+//!
+//! A [`FeatureScratch`] owns every buffer the single-pass extractors touch.
+//! Thread one through [`FeatureExtractor::extract_table_with`]
+//! (or the column-level `*_into` functions) and, after the first column has
+//! warmed the buffers up, feature extraction performs no heap allocation
+//! beyond the output vectors themselves.
+//!
+//! [`FeatureExtractor::extract_table_with`]: crate::extractor::FeatureExtractor::extract_table_with
+
+use crate::char_dist::CHARSET;
+use sato_tabular::table::Column;
+
+/// Number of characters in the Char-group alphabet.
+pub(crate) const CHARSET_LEN: usize = CHARSET.len();
+
+/// ASCII code point → index into [`CHARSET`], 255 when absent.
+const CHAR_LUT: [u8; 128] = build_char_lut();
+
+const fn build_char_lut() -> [u8; 128] {
+    let mut lut = [255u8; 128];
+    let mut i = 0;
+    while i < CHARSET.len() {
+        lut[CHARSET[i] as usize] = i as u8;
+        i += 1;
+    }
+    lut
+}
+
+/// Index of `c` in the Char alphabet (`c` must already be lower-cased).
+#[inline]
+pub(crate) fn charset_index(c: char) -> Option<usize> {
+    let code = c as usize;
+    if code < 128 {
+        let idx = CHAR_LUT[code];
+        (idx != 255).then_some(idx as usize)
+    } else {
+        None
+    }
+}
+
+// Per-cell character-class flags gathered during the scan.
+pub(crate) const FLAG_ALL_NUMISH: u8 = 1 << 0; // digits and . , - only
+pub(crate) const FLAG_ANY_DIGIT: u8 = 1 << 1;
+pub(crate) const FLAG_ALL_ALPHA_WS: u8 = 1 << 2; // alphabetic / whitespace only
+pub(crate) const FLAG_ANY_UPPER: u8 = 1 << 3;
+pub(crate) const FLAG_HAS_SPACE: u8 = 1 << 4; // literal ' '
+pub(crate) const FLAG_ANY_SPECIAL: u8 = 1 << 5; // non-alphanumeric, non-whitespace
+
+/// Reusable workspace for single-pass column feature extraction.
+///
+/// All buffers keep their capacity between columns; `Default::default()`
+/// starts empty and grows on first use.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureScratch {
+    /// Total cell count of the scanned column (including blank cells).
+    pub(crate) total_cells: usize,
+    /// Number of non-blank cells (the cells the statistics run over).
+    pub(crate) n_cells: usize,
+    /// `n_cells * CHARSET_LEN` per-cell character counts, cell-major.
+    pub(crate) char_counts: Vec<u32>,
+    /// Per non-blank cell: length in characters.
+    pub(crate) lengths: Vec<f32>,
+    /// Per non-blank cell: whitespace-separated token count.
+    pub(crate) token_counts: Vec<f32>,
+    /// Per non-blank cell: character-class flag bits.
+    pub(crate) flags: Vec<u8>,
+    /// Per non-blank cell: digit fraction (digits / chars).
+    pub(crate) digit_fracs: Vec<f32>,
+    /// Numeric values of the parseable cells, in cell order.
+    pub(crate) numeric: Vec<f32>,
+    /// Indices (into `column.values`) of the non-blank cells, for the
+    /// sort-based distinct count.
+    pub(crate) sort_idx: Vec<u32>,
+    /// Reusable buffer for the cleaned numeric form of one cell.
+    pub(crate) parse_buf: String,
+    /// Reusable `<token>` character window for the n-gram hasher.
+    pub(crate) token_chars: Vec<char>,
+    /// Reusable per-token embedding accumulator.
+    pub(crate) token_vec: Vec<f32>,
+}
+
+impl FeatureScratch {
+    /// A fresh, empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scan every cell of `column` once, filling the per-cell histograms and
+    /// statistics the Char and Stat groups aggregate.
+    ///
+    /// Blank cells (empty or whitespace-only) are recorded in `total_cells`
+    /// but excluded from every per-cell buffer, mirroring how the feature
+    /// definitions treat missing data.
+    pub(crate) fn scan(&mut self, column: &Column) {
+        self.total_cells = column.values.len();
+        self.n_cells = 0;
+        self.char_counts.clear();
+        self.lengths.clear();
+        self.token_counts.clear();
+        self.flags.clear();
+        self.digit_fracs.clear();
+        self.numeric.clear();
+        self.sort_idx.clear();
+
+        for (cell_idx, cell) in column.iter().enumerate() {
+            if cell.trim().is_empty() {
+                continue;
+            }
+            self.sort_idx.push(cell_idx as u32);
+            let base = self.n_cells * CHARSET_LEN;
+            self.n_cells += 1;
+            self.char_counts.resize(base + CHARSET_LEN, 0);
+            let counts = &mut self.char_counts[base..base + CHARSET_LEN];
+
+            let mut chars = 0usize;
+            let mut digits = 0usize;
+            let mut non_ws = 0usize;
+            let mut tokens = 0usize;
+            let mut prev_ws = true;
+            let mut flags = FLAG_ALL_NUMISH | FLAG_ALL_ALPHA_WS;
+            self.parse_buf.clear();
+            for c in cell.chars() {
+                chars += 1;
+                // Char histogram over the lower-cased cell. Non-ASCII
+                // characters may lower-case into the ASCII alphabet (e.g. the
+                // Kelvin sign), so expand the full case mapping for them.
+                if c.is_ascii() {
+                    if let Some(idx) = charset_index(c.to_ascii_lowercase()) {
+                        counts[idx] += 1;
+                    }
+                } else {
+                    for lc in c.to_lowercase() {
+                        if let Some(idx) = charset_index(lc) {
+                            counts[idx] += 1;
+                        }
+                    }
+                }
+                // Stat flags and counters, same predicates as the Stat group
+                // used to apply in separate passes.
+                let ws = c.is_whitespace();
+                if !ws {
+                    non_ws += 1;
+                    if prev_ws {
+                        tokens += 1;
+                    }
+                }
+                prev_ws = ws;
+                if c.is_ascii_digit() {
+                    digits += 1;
+                    flags |= FLAG_ANY_DIGIT;
+                }
+                if !(c.is_ascii_digit() || c == '.' || c == ',' || c == '-') {
+                    flags &= !FLAG_ALL_NUMISH;
+                }
+                if !(c.is_alphabetic() || ws) {
+                    flags &= !FLAG_ALL_ALPHA_WS;
+                }
+                if c.is_uppercase() {
+                    flags |= FLAG_ANY_UPPER;
+                }
+                if c == ' ' {
+                    flags |= FLAG_HAS_SPACE;
+                }
+                if !c.is_alphanumeric() && !ws {
+                    flags |= FLAG_ANY_SPECIAL;
+                }
+                if c.is_ascii_digit() || c == '.' || c == '-' {
+                    self.parse_buf.push(c);
+                }
+            }
+            self.lengths.push(chars as f32);
+            self.token_counts.push(tokens as f32);
+            self.flags.push(flags);
+            self.digit_fracs.push(digits as f32 / chars.max(1) as f32);
+
+            // Numeric parse, tolerating separators and unit suffixes: the
+            // cell counts as numeric when it has digits, they make up a
+            // substantial part of it, and the cleaned form parses.
+            if !self.parse_buf.is_empty() && digits > 0 && digits as f32 >= 0.4 * non_ws as f32 {
+                if let Ok(v) = self.parse_buf.parse::<f32>() {
+                    self.numeric.push(v);
+                }
+            }
+        }
+    }
+
+    /// Per-cell character counts of the `ci`-th alphabet character, in cell
+    /// order (`n_cells` entries, stride [`CHARSET_LEN`]).
+    #[inline]
+    pub(crate) fn char_count(&self, cell: usize, ci: usize) -> u32 {
+        self.char_counts[cell * CHARSET_LEN + ci]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_skips_blank_cells_but_counts_them() {
+        let mut s = FeatureScratch::new();
+        s.scan(&Column::new(["ab", "  ", "", "c d"]));
+        assert_eq!(s.total_cells, 4);
+        assert_eq!(s.n_cells, 2);
+        assert_eq!(s.lengths, vec![2.0, 3.0]);
+        assert_eq!(s.token_counts, vec![1.0, 2.0]);
+        assert_eq!(s.sort_idx, vec![0, 3]);
+    }
+
+    #[test]
+    fn char_counts_are_case_folded() {
+        let mut s = FeatureScratch::new();
+        s.scan(&Column::new(["AbA"]));
+        let a = CHARSET.iter().position(|&c| c == 'a').unwrap();
+        let b = CHARSET.iter().position(|&c| c == 'b').unwrap();
+        assert_eq!(s.char_count(0, a), 2);
+        assert_eq!(s.char_count(0, b), 1);
+    }
+
+    #[test]
+    fn kelvin_sign_folds_into_ascii_k() {
+        // U+212A KELVIN SIGN lower-cases to 'k'; the single-pass scan must
+        // agree with `str::to_lowercase` here.
+        let mut s = FeatureScratch::new();
+        s.scan(&Column::new(["\u{212A}"]));
+        let k = CHARSET.iter().position(|&c| c == 'k').unwrap();
+        assert_eq!(s.char_count(0, k), 1);
+    }
+
+    #[test]
+    fn numeric_parse_matches_cleaned_form() {
+        let mut s = FeatureScratch::new();
+        s.scan(&Column::new(["1,777,972", "75 kg", "Warsaw", "-1.5"]));
+        assert_eq!(s.numeric, vec![1_777_972.0, 75.0, -1.5]);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_columns() {
+        let mut s = FeatureScratch::new();
+        s.scan(&Column::new(["abcdef", "ghij"]));
+        s.scan(&Column::new(["x"]));
+        assert_eq!(s.n_cells, 1);
+        assert_eq!(s.lengths, vec![1.0]);
+        assert_eq!(s.char_counts.len(), CHARSET_LEN);
+    }
+}

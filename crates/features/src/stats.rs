@@ -7,23 +7,46 @@
 //! network directly, without a compression subnetwork, because of their low
 //! dimensionality.
 
+use crate::scratch::{
+    FeatureScratch, FLAG_ALL_ALPHA_WS, FLAG_ALL_NUMISH, FLAG_ANY_DIGIT, FLAG_ANY_SPECIAL,
+    FLAG_ANY_UPPER, FLAG_HAS_SPACE,
+};
 use sato_tabular::table::Column;
 
 /// Number of statistics in the Stat group (kept at the paper's 27).
 pub const STAT_FEATURE_DIM: usize = 27;
 
 /// Compute the 27 global statistics of a column.
+///
+/// Convenience wrapper around [`stat_features_into`] that allocates its own
+/// workspace; batch callers should reuse a [`FeatureScratch`] instead.
 pub fn stat_features(column: &Column) -> Vec<f32> {
-    let total = column.values.len();
-    let non_empty: Vec<&str> = column
-        .values
-        .iter()
-        .map(String::as_str)
-        .filter(|v| !v.trim().is_empty())
-        .collect();
-    let n = non_empty.len();
-
     let mut out = vec![0.0f32; STAT_FEATURE_DIM];
+    let mut scratch = FeatureScratch::new();
+    scratch.scan(column);
+    stat_features_from_scan(column, &mut scratch, &mut out);
+    out
+}
+
+/// Compute the Stat features into `out` (length [`STAT_FEATURE_DIM`]),
+/// reusing `scratch` for the single cell pass.
+pub fn stat_features_into(column: &Column, scratch: &mut FeatureScratch, out: &mut [f32]) {
+    scratch.scan(column);
+    stat_features_from_scan(column, scratch, out);
+}
+
+/// Aggregate the 27 statistics from an already-scanned column. The per-cell
+/// counters all come from the shared single pass; only the distinct count
+/// re-reads cell values (through a sorted index, without copying them).
+pub(crate) fn stat_features_from_scan(
+    column: &Column,
+    scratch: &mut FeatureScratch,
+    out: &mut [f32],
+) {
+    assert_eq!(out.len(), STAT_FEATURE_DIM, "Stat output width mismatch");
+    out.fill(0.0);
+    let total = scratch.total_cells;
+    let n = scratch.n_cells;
     out[0] = total as f32;
     out[1] = n as f32;
     out[2] = if total > 0 {
@@ -32,54 +55,53 @@ pub fn stat_features(column: &Column) -> Vec<f32> {
         0.0
     }; // fraction missing
     if n == 0 {
-        return out;
+        return;
     }
 
-    // Distinctness.
-    let mut distinct: Vec<&str> = non_empty.clone();
-    distinct.sort_unstable();
-    distinct.dedup();
-    out[3] = distinct.len() as f32;
-    out[4] = distinct.len() as f32 / n as f32; // fraction unique
+    // Distinctness, via a sort of cell *indices* by value (no `&str` copies).
+    scratch
+        .sort_idx
+        .sort_unstable_by(|&a, &b| column.values[a as usize].cmp(&column.values[b as usize]));
+    let mut distinct = 0usize;
+    let mut prev: Option<&str> = None;
+    for &i in &scratch.sort_idx {
+        let v = column.values[i as usize].as_str();
+        if prev != Some(v) {
+            distinct += 1;
+            prev = Some(v);
+        }
+    }
+    out[3] = distinct as f32;
+    out[4] = distinct as f32 / n as f32; // fraction unique
 
     // Length statistics (in characters).
-    let lengths: Vec<f32> = non_empty.iter().map(|v| v.chars().count() as f32).collect();
-    let (len_mean, len_std, len_min, len_max) = moments(&lengths);
+    let (len_mean, len_std, len_min, len_max) = moments(&scratch.lengths);
     out[5] = len_mean;
     out[6] = len_std;
     out[7] = len_min;
     out[8] = len_max;
 
     // Token statistics (words per cell).
-    let token_counts: Vec<f32> = non_empty
-        .iter()
-        .map(|v| v.split_whitespace().count() as f32)
-        .collect();
-    let (tok_mean, tok_std, tok_min, tok_max) = moments(&token_counts);
+    let (tok_mean, tok_std, tok_min, tok_max) = moments(&scratch.token_counts);
     out[9] = tok_mean;
     out[10] = tok_std;
     out[11] = tok_min;
     out[12] = tok_max;
 
-    // Character-class fractions (cell level).
-    let frac = |pred: &dyn Fn(&str) -> bool| {
-        non_empty.iter().filter(|v| pred(v)).count() as f32 / n as f32
-    };
-    out[13] = frac(&|v| {
-        v.chars()
-            .all(|c| c.is_ascii_digit() || c == '.' || c == ',' || c == '-')
-    });
-    out[14] = frac(&|v| v.chars().any(|c| c.is_ascii_digit()));
-    out[15] = frac(&|v| v.chars().all(|c| c.is_alphabetic() || c.is_whitespace()));
-    out[16] = frac(&|v| v.chars().any(|c| c.is_uppercase()));
-    out[17] = frac(&|v| v.contains(' '));
-    out[18] = frac(&|v| v.contains(|c: char| !c.is_alphanumeric() && !c.is_whitespace()));
+    // Character-class fractions (cell level), from the scan's flag bits.
+    let frac = |bit: u8| scratch.flags.iter().filter(|&&f| f & bit != 0).count() as f32 / n as f32;
+    out[13] = frac(FLAG_ALL_NUMISH);
+    out[14] = frac(FLAG_ANY_DIGIT);
+    out[15] = frac(FLAG_ALL_ALPHA_WS);
+    out[16] = frac(FLAG_ANY_UPPER);
+    out[17] = frac(FLAG_HAS_SPACE);
+    out[18] = frac(FLAG_ANY_SPECIAL);
 
     // Numeric value statistics (over parseable cells).
-    let numeric: Vec<f32> = non_empty.iter().filter_map(|v| parse_numeric(v)).collect();
+    let numeric = &scratch.numeric;
     out[19] = numeric.len() as f32 / n as f32; // fraction numeric-parseable
     if !numeric.is_empty() {
-        let (num_mean, num_std, num_min, num_max) = moments(&numeric);
+        let (num_mean, num_std, num_min, num_max) = moments(numeric);
         out[20] = num_mean;
         out[21] = num_std;
         out[22] = num_min;
@@ -89,33 +111,7 @@ pub fn stat_features(column: &Column) -> Vec<f32> {
             numeric.iter().filter(|&&x| x.fract() != 0.0).count() as f32 / numeric.len() as f32;
     }
     // Mean digit fraction per cell.
-    out[26] = non_empty
-        .iter()
-        .map(|v| {
-            let chars = v.chars().count().max(1) as f32;
-            v.chars().filter(|c| c.is_ascii_digit()).count() as f32 / chars
-        })
-        .sum::<f32>()
-        / n as f32;
-    out
-}
-
-/// Parse a cell into a number, tolerating thousands separators, currency-ish
-/// prefixes and unit suffixes ("1,777,972", "35 kg", "4.2 MB").
-fn parse_numeric(v: &str) -> Option<f32> {
-    let cleaned: String = v
-        .chars()
-        .filter(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
-        .collect();
-    if cleaned.is_empty() || !v.chars().any(|c| c.is_ascii_digit()) {
-        return None;
-    }
-    // Only treat as numeric if digits form a substantial part of the cell.
-    let digits = v.chars().filter(|c| c.is_ascii_digit()).count();
-    if (digits as f32) < 0.4 * v.chars().filter(|c| !c.is_whitespace()).count() as f32 {
-        return None;
-    }
-    cleaned.parse::<f32>().ok()
+    out[26] = scratch.digit_fracs.iter().sum::<f32>() / n as f32;
 }
 
 fn moments(values: &[f32]) -> (f32, f32, f32, f32) {

@@ -7,7 +7,8 @@
 //! element-wise mean and standard deviation of the token vectors, matching
 //! Sherlock's mean/std aggregation.
 
-use crate::hashing::{hash_token, tokenize};
+use crate::hashing::{for_each_token, hash_token_into};
+use crate::scratch::FeatureScratch;
 use sato_tabular::table::Column;
 
 /// Hash seed that defines the word-embedding space.
@@ -18,32 +19,60 @@ pub const DEFAULT_WORD_DIM: usize = 50;
 
 /// Compute the Word feature group for a column: `[mean || std]` of the
 /// hashed token embeddings, `2 * dim` values in total.
+///
+/// Convenience wrapper around [`word_features_into`] that allocates its own
+/// workspace; batch callers should reuse a [`FeatureScratch`] instead.
 pub fn word_features(column: &Column, dim: usize) -> Vec<f32> {
-    let mut sum = vec![0.0f32; dim];
-    let mut sum_sq = vec![0.0f32; dim];
+    let mut out = vec![0.0f32; 2 * dim];
+    let mut scratch = FeatureScratch::new();
+    word_features_into(column, dim, &mut scratch, &mut out);
+    out
+}
+
+/// Compute the Word features into `out` (length `2 * dim`), reusing
+/// `scratch` for the per-token embedding buffers.
+///
+/// The output slice doubles as the accumulator — `out[..dim]` holds the
+/// running sum and `out[dim..]` the running sum of squares until the final
+/// mean/std fix-up — so the only working storage is the per-token embedding
+/// in the scratch.
+pub fn word_features_into(
+    column: &Column,
+    dim: usize,
+    scratch: &mut FeatureScratch,
+    out: &mut [f32],
+) {
+    assert_eq!(out.len(), 2 * dim, "Word output width mismatch");
+    out.fill(0.0);
+    scratch.token_vec.resize(dim, 0.0);
     let mut count = 0usize;
     for cell in column.iter() {
-        for token in tokenize(cell) {
-            let v = hash_token(&token, dim, (3, 5), WORD_EMBED_SEED);
-            for i in 0..dim {
-                sum[i] += v[i];
-                sum_sq[i] += v[i] * v[i];
+        for_each_token(cell, |token| {
+            hash_token_into(
+                token,
+                (3, 5),
+                WORD_EMBED_SEED,
+                &mut scratch.token_chars,
+                &mut scratch.token_vec,
+            );
+            let (sum, sum_sq) = out.split_at_mut(dim);
+            for (i, &v) in scratch.token_vec.iter().enumerate() {
+                sum[i] += v;
+                sum_sq[i] += v * v;
             }
             count += 1;
-        }
+        });
     }
-    let mut out = vec![0.0f32; 2 * dim];
     if count == 0 {
-        return out;
+        return;
     }
     let n = count as f32;
     for i in 0..dim {
-        let mean = sum[i] / n;
-        let var = (sum_sq[i] / n - mean * mean).max(0.0);
+        let mean = out[i] / n;
+        let var = (out[dim + i] / n - mean * mean).max(0.0);
         out[i] = mean;
         out[dim + i] = var.sqrt();
     }
-    out
 }
 
 #[cfg(test)]

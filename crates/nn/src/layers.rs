@@ -58,6 +58,25 @@ pub trait Layer: Send + Sync {
     /// called concurrently on a shared reference.
     fn infer(&self, input: &Matrix) -> Matrix;
 
+    /// Evaluation-mode forward pass into a caller-provided output buffer:
+    /// bit-identical to [`Layer::infer`], but `out` is resized in place, so
+    /// a warm buffer makes the call allocation-free. This is the building
+    /// block of the ping-pong scratch path used by
+    /// [`Sequential::infer_with`](crate::network::Sequential::infer_with).
+    ///
+    /// `input` and `out` must be distinct buffers (guaranteed by the
+    /// `&`/`&mut` signature).
+    fn infer_into(&self, input: &Matrix, out: &mut Matrix) {
+        *out = self.infer(input);
+    }
+
+    /// Whether the evaluation-mode forward pass is the identity function
+    /// (e.g. inverted dropout). The ping-pong scratch path skips such layers
+    /// outright instead of copying the activations through them.
+    fn infer_is_identity(&self) -> bool {
+        false
+    }
+
     /// Back-propagate `grad_output` (dL/d output) and return dL/d input.
     /// Must be called after a `forward` with `training = true`.
     fn backward(&mut self, grad_output: &Matrix) -> Matrix;
@@ -132,6 +151,12 @@ impl Layer for Dense {
     }
 
     fn infer(&self, input: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.infer_into(input, &mut out);
+        out
+    }
+
+    fn infer_into(&self, input: &Matrix, out: &mut Matrix) {
         assert_eq!(
             input.cols(),
             self.in_dim(),
@@ -139,9 +164,8 @@ impl Layer for Dense {
             self.in_dim(),
             input.cols()
         );
-        let mut out = input.matmul(&self.weight.value);
+        input.matmul_into(&self.weight.value, out);
         out.add_row_broadcast(&self.bias.value);
-        out
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
@@ -197,6 +221,13 @@ impl Layer for ReLU {
 
     fn infer(&self, input: &Matrix) -> Matrix {
         input.map(|x| x.max(0.0))
+    }
+
+    fn infer_into(&self, input: &Matrix, out: &mut Matrix) {
+        out.resize(input.rows(), input.cols());
+        for (o, &x) in out.data_mut().iter_mut().zip(input.data()) {
+            *o = x.max(0.0);
+        }
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
@@ -264,6 +295,16 @@ impl Layer for Dropout {
     fn infer(&self, input: &Matrix) -> Matrix {
         // Inverted dropout is the identity at evaluation time.
         input.clone()
+    }
+
+    fn infer_into(&self, input: &Matrix, out: &mut Matrix) {
+        // Identity at evaluation time: a buffer copy rather than a clone
+        // (and `Sequential::infer_with` skips the layer entirely).
+        out.copy_from(input);
+    }
+
+    fn infer_is_identity(&self) -> bool {
+        true
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
@@ -378,25 +419,27 @@ impl Layer for BatchNorm {
     }
 
     fn infer(&self, input: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.infer_into(input, &mut out);
+        out
+    }
+
+    fn infer_into(&self, input: &Matrix, out: &mut Matrix) {
         assert_eq!(input.cols(), self.dim(), "BatchNorm feature mismatch");
         let dim = self.dim();
-        let std_inv: Vec<f32> = self
-            .running_var
-            .iter()
-            .map(|&v| 1.0 / (v + self.eps).sqrt())
-            .collect();
-        let mut out = Matrix::zeros(input.rows(), dim);
-        for r in 0..input.rows() {
-            for (c, &std_inv_c) in std_inv.iter().enumerate() {
-                let x_hat = (input.get(r, c) - self.running_mean[c]) * std_inv_c;
-                out.set(
-                    r,
-                    c,
-                    x_hat * self.gamma.value.get(0, c) + self.beta.value.get(0, c),
-                );
+        out.resize(input.rows(), dim);
+        // Column-outer so each feature's 1/sqrt(var + eps) is computed once
+        // without a temporary std_inv vector.
+        for c in 0..dim {
+            let std_inv_c = 1.0 / (self.running_var[c] + self.eps).sqrt();
+            let mean_c = self.running_mean[c];
+            let gamma_c = self.gamma.value.get(0, c);
+            let beta_c = self.beta.value.get(0, c);
+            for r in 0..input.rows() {
+                let x_hat = (input.get(r, c) - mean_c) * std_inv_c;
+                out.set(r, c, x_hat * gamma_c + beta_c);
             }
         }
-        out
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {

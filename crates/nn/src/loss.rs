@@ -5,18 +5,25 @@ use crate::matrix::Matrix;
 
 /// Row-wise numerically stable softmax.
 pub fn softmax(logits: &Matrix) -> Matrix {
-    let mut out = Matrix::zeros(logits.rows(), logits.cols());
+    let mut out = logits.clone();
+    softmax_in_place(&mut out);
+    out
+}
+
+/// Row-wise numerically stable softmax, overwriting the logits in place (no
+/// temporary per-row buffers). Bit-identical to [`softmax`].
+pub fn softmax_in_place(logits: &mut Matrix) {
     for r in 0..logits.rows() {
-        let row = logits.row(r);
+        let row = logits.row_mut(r);
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
-        let sum: f32 = exps.iter().sum();
-        let dst = out.row_mut(r);
-        for (d, e) in dst.iter_mut().zip(exps) {
-            *d = e / sum;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+        }
+        let sum: f32 = row.iter().sum();
+        for x in row.iter_mut() {
+            *x /= sum;
         }
     }
-    out
 }
 
 /// Row-wise log-softmax (more stable than `softmax().map(ln)`).

@@ -133,8 +133,33 @@ impl Matrix {
         self.data.iter_mut().for_each(|x| *x = value);
     }
 
+    /// Reshape in place to `rows × cols`, reusing the existing allocation
+    /// whenever its capacity suffices. Element values are unspecified
+    /// afterwards; callers overwrite them.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Make `self` an element-wise copy of `other`, reusing the existing
+    /// allocation whenever its capacity suffices.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.resize(other.rows, other.cols);
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// `self @ other` — standard matrix product.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self @ other`, written into `out` (resized as needed) without
+    /// allocating once `out`'s capacity suffices. Produces exactly the
+    /// values of [`Matrix::matmul`].
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols,
             other.rows,
@@ -142,9 +167,10 @@ impl Matrix {
             self.shape(),
             other.shape()
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.resize(self.rows, other.cols);
+        out.fill(0.0);
         for i in 0..self.rows {
-            let a_row = self.row(i);
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
             for (k, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
@@ -156,7 +182,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// `selfᵀ @ other` without materialising the transpose.
@@ -297,19 +322,31 @@ impl Matrix {
 
     /// Horizontally concatenate matrices with equal row counts.
     pub fn hconcat(parts: &[&Matrix]) -> Matrix {
+        let mut out = Matrix::default();
+        Matrix::hconcat_into(parts, &mut out);
+        out
+    }
+
+    /// Horizontally concatenate into `out` (resized as needed) without
+    /// allocating once `out`'s capacity suffices. Accepts both `&[Matrix]`
+    /// and `&[&Matrix]`.
+    pub fn hconcat_into<M: std::borrow::Borrow<Matrix>>(parts: &[M], out: &mut Matrix) {
         assert!(!parts.is_empty(), "hconcat of nothing");
-        let rows = parts[0].rows;
-        assert!(parts.iter().all(|p| p.rows == rows), "hconcat row mismatch");
-        let cols: usize = parts.iter().map(|p| p.cols).sum();
-        let mut out = Matrix::zeros(rows, cols);
+        let rows = parts[0].borrow().rows;
+        assert!(
+            parts.iter().all(|p| p.borrow().rows == rows),
+            "hconcat row mismatch"
+        );
+        let cols: usize = parts.iter().map(|p| p.borrow().cols).sum();
+        out.resize(rows, cols);
         for r in 0..rows {
             let mut offset = 0;
             for p in parts {
+                let p = p.borrow();
                 out.data[r * cols + offset..r * cols + offset + p.cols].copy_from_slice(p.row(r));
                 offset += p.cols;
             }
         }
-        out
     }
 
     /// Split a matrix horizontally into chunks of the given widths

@@ -7,6 +7,39 @@ use crate::layers::{Layer, Param};
 use crate::matrix::Matrix;
 use crate::serialize::{LoadError, StateDict};
 
+/// Ping-pong workspace for [`Sequential::infer_with`]: two reusable
+/// activation buffers that alternate as layer input/output, so an eval-mode
+/// forward pass of any depth allocates nothing once the buffers are warm.
+#[derive(Default)]
+pub struct InferScratch {
+    ping: Matrix,
+    pong: Matrix,
+}
+
+impl InferScratch {
+    /// A fresh workspace with empty (but growable) buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Workspace for [`MultiInputNetwork::infer_with`]: per-branch output
+/// buffers, the concatenated trunk input, and the ping-pong pair shared by
+/// the branch and primary sub-networks.
+#[derive(Default)]
+pub struct MultiInferScratch {
+    branch_out: Vec<Matrix>,
+    concat: Matrix,
+    seq: InferScratch,
+}
+
+impl MultiInferScratch {
+    /// A fresh workspace with empty (but growable) buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// An ordered stack of layers applied one after another.
 ///
 /// An empty `Sequential` is the identity function, which is how the `Stat`
@@ -65,6 +98,54 @@ impl Sequential {
         crate::serialize::copy_buffers(&mut self.buffers_mut(), state);
         Ok(())
     }
+
+    /// Evaluation-mode forward pass through the stack into `out`, ping-pong
+    /// alternating between the two scratch buffers so no per-layer matrix is
+    /// allocated (or cloned) once the buffers are warm. Layers whose eval
+    /// forward is the identity (dropout) are skipped outright — not even a
+    /// buffer copy. Bit-identical to [`Layer::infer`].
+    pub fn infer_with(&self, input: &Matrix, scratch: &mut InferScratch, out: &mut Matrix) {
+        #[derive(Clone, Copy)]
+        enum Src {
+            Input,
+            Ping,
+            Pong,
+        }
+        let n_active = self
+            .layers
+            .iter()
+            .filter(|l| !l.infer_is_identity())
+            .count();
+        if n_active == 0 {
+            out.copy_from(input);
+            return;
+        }
+        let mut src = Src::Input;
+        let mut seen = 0usize;
+        for layer in &self.layers {
+            if layer.infer_is_identity() {
+                continue;
+            }
+            seen += 1;
+            if seen == n_active {
+                match src {
+                    Src::Input => layer.infer_into(input, out),
+                    Src::Ping => layer.infer_into(&scratch.ping, out),
+                    Src::Pong => layer.infer_into(&scratch.pong, out),
+                }
+            } else {
+                match src {
+                    Src::Input => layer.infer_into(input, &mut scratch.ping),
+                    Src::Ping => layer.infer_into(&scratch.ping, &mut scratch.pong),
+                    Src::Pong => layer.infer_into(&scratch.pong, &mut scratch.ping),
+                }
+                src = match src {
+                    Src::Input | Src::Pong => Src::Ping,
+                    Src::Ping => Src::Pong,
+                };
+            }
+        }
+    }
 }
 
 impl Layer for Sequential {
@@ -77,11 +158,19 @@ impl Layer for Sequential {
     }
 
     fn infer(&self, input: &Matrix) -> Matrix {
-        let mut x = input.clone();
-        for layer in &self.layers {
-            x = layer.infer(&x);
-        }
-        x
+        let mut out = Matrix::default();
+        self.infer_with(input, &mut InferScratch::new(), &mut out);
+        out
+    }
+
+    fn infer_into(&self, input: &Matrix, out: &mut Matrix) {
+        // A transient ping-pong pair; callers wanting a fully warm path use
+        // `infer_with` directly.
+        self.infer_with(input, &mut InferScratch::new(), out);
+    }
+
+    fn infer_is_identity(&self) -> bool {
+        self.layers.iter().all(|l| l.infer_is_identity())
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
@@ -186,6 +275,16 @@ impl MultiInputNetwork {
     /// identical output without touching any layer state. Safe to call
     /// concurrently from many threads on the same network.
     pub fn infer(&self, inputs: &[Matrix]) -> Matrix {
+        let mut out = Matrix::default();
+        self.infer_with(inputs, &mut MultiInferScratch::new(), &mut out);
+        out
+    }
+
+    /// Evaluation-mode forward pass into `out`, reusing `scratch` for every
+    /// intermediate activation (branch outputs, the concatenated trunk
+    /// input, the ping-pong pair), so a warm call performs zero heap
+    /// allocations. Bit-identical to [`Self::infer`].
+    pub fn infer_with(&self, inputs: &[Matrix], scratch: &mut MultiInferScratch, out: &mut Matrix) {
         assert_eq!(
             inputs.len(),
             self.branches.len(),
@@ -198,15 +297,20 @@ impl MultiInputNetwork {
             inputs.iter().all(|m| m.rows() == rows),
             "all input groups must have the same batch size"
         );
-        let branch_outputs: Vec<Matrix> = self
+        scratch
+            .branch_out
+            .resize_with(self.branches.len(), Matrix::default);
+        for ((branch, input), branch_out) in self
             .branches
             .iter()
             .zip(inputs)
-            .map(|(b, x)| b.infer(x))
-            .collect();
-        let concat_refs: Vec<&Matrix> = branch_outputs.iter().collect();
-        let concatenated = Matrix::hconcat(&concat_refs);
-        self.primary.infer(&concatenated)
+            .zip(scratch.branch_out.iter_mut())
+        {
+            branch.infer_with(input, &mut scratch.seq, branch_out);
+        }
+        Matrix::hconcat_into(&scratch.branch_out, &mut scratch.concat);
+        self.primary
+            .infer_with(&scratch.concat, &mut scratch.seq, out);
     }
 
     /// Backward pass; returns the gradient with respect to every input group

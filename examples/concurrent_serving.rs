@@ -46,6 +46,33 @@ fn main() {
         sequential.len() as f64 / sequential_secs
     );
 
+    // Corpus-batched serving: micro-batches of columns share one forward
+    // pass per batch. Batching is exact, so the output is bit-identical.
+    for batch_cols in [64, 256] {
+        let start = Instant::now();
+        let batched = predictor.predict_corpus_batched(&split.test, batch_cols);
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(
+            sequential, batched,
+            "batched serving must be bit-for-bit identical to sequential"
+        );
+        println!(
+            "batched({batch_cols}): {} tables in {:.2}s ({:.0} tables/s, {:.2}x)",
+            batched.len(),
+            secs,
+            batched.len() as f64 / secs,
+            sequential_secs / secs
+        );
+    }
+
+    // Batching composes with thread sharding: each thread serves contiguous
+    // micro-batches with its own scratch.
+    assert_eq!(
+        sequential,
+        predictor.predict_corpus_parallel_batched(&split.test, 128, 4),
+        "sharded batched serving must be bit-for-bit identical too"
+    );
+
     // The built-in corpus fan-out: same output, more threads.
     for n_threads in [2, 4, 8] {
         let start = Instant::now();
