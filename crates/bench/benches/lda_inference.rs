@@ -1,9 +1,12 @@
 //! Criterion micro-benchmark: LDA table-intent inference (the per-table cost
-//! Sato adds on top of Sherlock for the global context signal).
+//! Sato adds on top of Sherlock for the global context signal), on both the
+//! reference path (`estimate`: mega-string document, per-token `String`s,
+//! fresh Gibbs buffers) and the allocation-lean scratch path
+//! (`estimate_with`: streaming encoder + reused [`TopicScratch`]).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sato_tabular::corpus::default_corpus;
-use sato_topic::{LdaConfig, TableIntentEstimator};
+use sato_topic::{LdaConfig, TableIntentEstimator, TopicScratch};
 
 fn bench_lda(c: &mut Criterion) {
     let corpus = default_corpus(200, 7);
@@ -23,6 +26,12 @@ fn bench_lda(c: &mut Criterion) {
             BenchmarkId::new("infer_table_topic_vector", topics),
             &estimator,
             |b, est| b.iter(|| est.estimate(std::hint::black_box(table))),
+        );
+        let mut scratch = TopicScratch::new();
+        group.bench_with_input(
+            BenchmarkId::new("infer_table_topic_vector_scratch", topics),
+            &estimator,
+            |b, est| b.iter(|| est.estimate_with(std::hint::black_box(table), &mut scratch)),
         );
     }
     group.finish();

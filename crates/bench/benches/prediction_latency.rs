@@ -100,7 +100,7 @@ fn bench_feature_groups(c: &mut Criterion) {
         })
     });
     group.bench_function("para", |b| {
-        b.iter(|| para_features_into(std::hint::black_box(&column), &mut para_out))
+        b.iter(|| para_features_into(std::hint::black_box(&column), &mut scratch, &mut para_out))
     });
     group.bench_function("stat", |b| {
         b.iter(|| stat_features_into(std::hint::black_box(&column), &mut scratch, &mut stat_out))

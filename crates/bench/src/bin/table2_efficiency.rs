@@ -10,18 +10,19 @@
 //!
 //! Besides the human-readable table, the run writes `BENCH_serving.json`
 //! (all single-threaded measurements, so the numbers are valid on a 1-CPU
-//! container): per-table vs batched serving throughput and single-pass vs
-//! reference (per-alphabet-character) feature extraction µs/column, each
-//! with its speedup recorded from the same run.
+//! container): per-table vs batched serving throughput, single-pass vs
+//! reference (per-alphabet-character) feature extraction µs/column, and
+//! scratch (streaming) vs reference (mega-string) LDA topic estimation
+//! µs/table, each with its speedup recorded from the same run.
 
-use sato::{SatoModel, SatoVariant};
+use sato::{SatoModel, SatoPredictor, SatoVariant};
 use sato_bench::{banner, ExperimentOptions};
 use sato_eval::metrics::mean_and_ci95;
 use sato_eval::report::TextTable;
-use sato_features::para_embed::para_features;
 use sato_features::{reference, FeatureExtractor, FeatureScratch};
 use sato_tabular::split::train_test_split;
 use sato_tabular::table::Corpus;
+use sato_topic::{TableIntentEstimator, TopicScratch};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -68,6 +69,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut full_predict_times = Vec::new();
     let mut full_batched_times = Vec::new();
+    let mut full_predictor: Option<SatoPredictor> = None;
     for variant in [SatoVariant::Base, SatoVariant::Full] {
         let mut feature_times = Vec::new();
         let mut crf_times = Vec::new();
@@ -110,6 +112,9 @@ fn main() {
                 sequential, parallel,
                 "parallel serving must reproduce sequential output exactly"
             );
+            if variant == SatoVariant::Full {
+                full_predictor = Some(predictor);
+            }
         }
         if variant == SatoVariant::Full {
             full_predict_times.clone_from(&predict_times);
@@ -171,6 +176,21 @@ fn main() {
         baseline_us / single_pass_us.max(1e-9)
     );
 
+    // Scratch (streaming encoder + reused Gibbs buffers) vs reference
+    // (mega-string document + fresh buffers) topic estimation, on the Full
+    // model's intent estimator over the same held-out tables (µs per table,
+    // single-threaded).
+    let intent = full_predictor
+        .as_ref()
+        .and_then(|p| p.columnwise().intent_estimator())
+        .expect("the Full model carries an intent estimator");
+    let (topic_scratch_us, topic_reference_us) =
+        time_topic_estimation(intent, &split.test, opts.trials);
+    println!(
+        "topic estimation: scratch {topic_scratch_us:.1} µs/table vs reference {topic_reference_us:.1} µs/table ({:.2}x)",
+        topic_reference_us / topic_scratch_us.max(1e-9)
+    );
+
     write_serving_json(
         &opts,
         &split.test,
@@ -178,6 +198,8 @@ fn main() {
         &full_batched_times,
         single_pass_us,
         baseline_us,
+        topic_scratch_us,
+        topic_reference_us,
     );
 
     println!("paper reference (64-core machine, 26K training tables): Base 596.9s / N/A / 3.8s,");
@@ -218,7 +240,7 @@ fn time_feature_extraction(
             for column in &table.columns {
                 black_box(reference::char_features(black_box(column)));
                 black_box(reference::word_features(column, features.word_dim));
-                black_box(para_features(column, features.para_dim));
+                black_box(reference::para_features(column, features.para_dim));
                 black_box(reference::stat_features(column));
             }
         }
@@ -228,8 +250,39 @@ fn time_feature_extraction(
     (mean(&single_pass), mean(&baseline))
 }
 
+/// Time the scratch (streaming) and reference (mega-string) topic-estimation
+/// paths over every table of `corpus`; returns mean µs/table for each, over
+/// `trials` repetitions. Asserts bit-for-bit parity on the side.
+fn time_topic_estimation(
+    intent: &TableIntentEstimator,
+    corpus: &Corpus,
+    trials: usize,
+) -> (f64, f64) {
+    let tables = corpus.len().max(1) as f64;
+    let mut scratch = TopicScratch::new();
+    assert_eq!(
+        intent.estimate_corpus_with(corpus, &mut scratch),
+        intent.estimate_corpus(corpus),
+        "scratch topic estimation must reproduce the reference exactly"
+    );
+    let mut scratch_times = Vec::new();
+    let mut reference_times = Vec::new();
+    for _ in 0..trials.max(1) {
+        let start = Instant::now();
+        black_box(intent.estimate_corpus_with(black_box(corpus), &mut scratch));
+        scratch_times.push(start.elapsed().as_secs_f64() * 1e6 / tables);
+
+        let start = Instant::now();
+        black_box(intent.estimate_corpus(black_box(corpus)));
+        reference_times.push(start.elapsed().as_secs_f64() * 1e6 / tables);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    (mean(&scratch_times), mean(&reference_times))
+}
+
 /// Emit `BENCH_serving.json`: the machine-readable perf trajectory of the
 /// serving path (all single-threaded numbers).
+#[allow(clippy::too_many_arguments)]
 fn write_serving_json(
     opts: &ExperimentOptions,
     test: &Corpus,
@@ -237,6 +290,8 @@ fn write_serving_json(
     batched_secs: &[f64],
     single_pass_us: f64,
     baseline_us: f64,
+    topic_scratch_us: f64,
+    topic_reference_us: f64,
 ) {
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     let tables = test.len().max(1) as f64;
@@ -244,7 +299,7 @@ fn write_serving_json(
     let per_table = mean(per_table_secs);
     let batched = mean(batched_secs);
     let json = format!(
-        "{{\n  \"schema\": \"sato-bench/serving-v1\",\n  \"single_threaded\": true,\n  \"model\": \"Sato (Full)\",\n  \"corpus\": {{ \"tables\": {}, \"columns\": {}, \"seed\": {}, \"trials\": {} }},\n  \"serving\": {{\n    \"batch_cols\": {BATCH_COLS},\n    \"per_table_secs\": {per_table:.6},\n    \"batched_secs\": {batched:.6},\n    \"per_table_tables_per_sec\": {:.2},\n    \"batched_tables_per_sec\": {:.2},\n    \"batched_speedup\": {:.3}\n  }},\n  \"feature_extraction\": {{\n    \"single_pass_us_per_column\": {single_pass_us:.2},\n    \"baseline_us_per_column\": {baseline_us:.2},\n    \"single_pass_speedup\": {:.3}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"sato-bench/serving-v1\",\n  \"single_threaded\": true,\n  \"model\": \"Sato (Full)\",\n  \"corpus\": {{ \"tables\": {}, \"columns\": {}, \"seed\": {}, \"trials\": {} }},\n  \"serving\": {{\n    \"batch_cols\": {BATCH_COLS},\n    \"per_table_secs\": {per_table:.6},\n    \"batched_secs\": {batched:.6},\n    \"per_table_tables_per_sec\": {:.2},\n    \"batched_tables_per_sec\": {:.2},\n    \"batched_speedup\": {:.3}\n  }},\n  \"feature_extraction\": {{\n    \"single_pass_us_per_column\": {single_pass_us:.2},\n    \"baseline_us_per_column\": {baseline_us:.2},\n    \"single_pass_speedup\": {:.3}\n  }},\n  \"topic_estimation\": {{\n    \"scratch_us_per_table\": {topic_scratch_us:.2},\n    \"reference_us_per_table\": {topic_reference_us:.2},\n    \"topic_speedup\": {:.3}\n  }}\n}}\n",
         test.len(),
         columns,
         opts.seed,
@@ -253,6 +308,7 @@ fn write_serving_json(
         tables / batched.max(1e-12),
         per_table / batched.max(1e-12),
         baseline_us / single_pass_us.max(1e-9),
+        topic_reference_us / topic_scratch_us.max(1e-9),
     );
     std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
     println!("wrote BENCH_serving.json:\n{json}");

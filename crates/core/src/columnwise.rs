@@ -30,7 +30,8 @@ use sato_nn::serialize::{LoadError, StateDict};
 use sato_nn::Matrix;
 use sato_tabular::table::{Corpus, Table};
 use sato_tabular::types::{SemanticType, NUM_TYPES};
-use sato_topic::TableIntentEstimator;
+use sato_topic::{TableIntentEstimator, TopicScratch};
+use std::collections::HashMap;
 
 /// Index of the maximum probability in one row (ties resolve to the last
 /// maximal entry, matching `Iterator::max_by`).
@@ -386,6 +387,14 @@ fn infer_embeddings(
 #[derive(Default)]
 pub struct ServingScratch {
     features: FeatureScratch,
+    /// Streaming table-topic estimation workspace (token ids, token buffer,
+    /// Gibbs-inference buffers).
+    topic: TopicScratch,
+    /// The current table's topic vector, reused across tables.
+    topic_vec: Vec<f32>,
+    /// Opt-in memo of table id → topic vector (see
+    /// [`Self::with_topic_memo`]).
+    topic_memo: Option<HashMap<u64, Vec<f32>>>,
     net: MultiInferScratch,
     head: InferScratch,
     groups: Vec<Matrix>,
@@ -401,6 +410,31 @@ impl ServingScratch {
     /// A fresh workspace with empty (but growable) buffers.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enable the per-table topic memo: the topic vector of every table id
+    /// is cached in this scratch and reused when the same id is served
+    /// again, skipping the (comparatively expensive) LDA Gibbs inference for
+    /// repeated tables — the common shape of a serving loop that re-predicts
+    /// a slowly-changing corpus.
+    ///
+    /// The memo is keyed by [`Table::id`] alone and lives as long as the
+    /// scratch, so it must only be used where (a) a table id uniquely
+    /// identifies the table's content — serving a *different* table under a
+    /// previously seen id would reuse the stale topic vector — and (b) the
+    /// scratch stays with **one predictor**: the cached vectors belong to
+    /// that predictor's LDA model, and replaying them into a different
+    /// predictor would silently feed it the wrong topics. The default (no
+    /// memo) has neither requirement.
+    pub fn with_topic_memo(mut self) -> Self {
+        self.topic_memo = Some(HashMap::new());
+        self
+    }
+
+    /// Number of distinct table ids currently memoised (0 when the memo is
+    /// disabled).
+    pub fn topic_memo_len(&self) -> usize {
+        self.topic_memo.as_ref().map_or(0, HashMap::len)
     }
 }
 
@@ -482,18 +516,28 @@ impl FrozenColumnwise {
 
         // Fill the batch matrices: features are extracted straight into the
         // matrix rows (no per-column feature vectors), the table's topic
-        // vector is replicated across its rows.
+        // vector is estimated through the scratch (streaming encoder + Gibbs
+        // buffers, bit-identical to `TableIntentEstimator::estimate`) and
+        // replicated across its rows.
         let mut row = 0usize;
         for table in tables {
-            let topic = if self.use_topic {
+            if self.use_topic {
                 let est = self
                     .intent
                     .as_ref()
                     .expect("topic-aware model carries an intent estimator");
-                Some(est.estimate(table))
-            } else {
-                None
-            };
+                if let Some(hit) = scratch.topic_memo.as_ref().and_then(|m| m.get(&table.id)) {
+                    scratch.topic_vec.clear();
+                    scratch.topic_vec.extend_from_slice(hit);
+                } else {
+                    scratch.topic_vec.clear();
+                    scratch.topic_vec.resize(est.num_topics(), 0.0);
+                    est.estimate_into(table, &mut scratch.topic, &mut scratch.topic_vec);
+                    if let Some(memo) = &mut scratch.topic_memo {
+                        memo.insert(table.id, scratch.topic_vec.clone());
+                    }
+                }
+            }
             for column in &table.columns {
                 let (feature_groups, topic_group) =
                     scratch.groups.split_at_mut(FeatureGroup::ALL.len());
@@ -508,8 +552,10 @@ impl FrozenColumnwise {
                     g_para.row_mut(row),
                     g_stat.row_mut(row),
                 );
-                if let Some(topic) = &topic {
-                    topic_group[0].row_mut(row).copy_from_slice(topic);
+                if self.use_topic {
+                    topic_group[0]
+                        .row_mut(row)
+                        .copy_from_slice(&scratch.topic_vec);
                 }
                 row += 1;
             }

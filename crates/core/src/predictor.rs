@@ -602,6 +602,26 @@ mod tests {
     }
 
     #[test]
+    fn topic_memo_preserves_batched_parity_across_repeated_serves() {
+        let corpus = default_corpus(20, 8);
+        let predictor =
+            SatoModel::train(&corpus, tiny_config(), SatoVariant::Full).into_predictor();
+        let sequential = predictor.predict_corpus(&corpus);
+        let mut scratch = ServingScratch::new().with_topic_memo();
+        assert_eq!(scratch.topic_memo_len(), 0);
+        // First serve fills the memo, later serves hit it — output must stay
+        // bit-identical to the per-table path every time.
+        for pass in 0..3 {
+            assert_eq!(
+                sequential,
+                predictor.predict_corpus_batched_with(&corpus, 64, &mut scratch),
+                "memoised serve diverged on pass {pass}"
+            );
+        }
+        assert_eq!(scratch.topic_memo_len(), corpus.len());
+    }
+
+    #[test]
     fn parallel_prediction_matches_sequential_exactly() {
         let corpus = default_corpus(30, 7);
         let predictor =

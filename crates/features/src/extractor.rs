@@ -213,7 +213,7 @@ impl FeatureExtractor {
         char_features_from_scan(scratch, char_out);
         stat_features_from_scan(column, scratch, stat_out);
         word_features_into(column, self.config.word_dim, scratch, word_out);
-        para_features_into(column, para_out);
+        para_features_into(column, scratch, para_out);
     }
 
     /// Extract the features of every column of a table.

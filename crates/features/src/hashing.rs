@@ -133,6 +133,38 @@ pub fn for_each_token(cell: &str, mut f: impl FnMut(&str)) {
     }
 }
 
+/// Visit every **lower-cased** word token of a cell, folding each token into
+/// the reusable `buf` instead of allocating a `String` per token.
+///
+/// The tokens handed to `f` are bit-identical to [`tokenize`]'s output:
+/// case is folded per character (which matches `str::to_lowercase` except
+/// for context-sensitive mappings), and tokens containing a non-ASCII
+/// uppercase character take the rare exact whole-string fold, exactly as in
+/// [`hash_token_into`]. `sato_topic::vocab::for_each_token_lower` carries
+/// the same fold logic (that crate cannot depend on this one); a Unicode
+/// fix here must be mirrored there.
+#[inline]
+pub fn for_each_token_lower(cell: &str, buf: &mut String, mut f: impl FnMut(&str)) {
+    for token in cell.split(|c: char| !c.is_alphanumeric()) {
+        if token.is_empty() {
+            continue;
+        }
+        buf.clear();
+        if token.chars().any(|c| !c.is_ascii() && c.is_uppercase()) {
+            buf.push_str(&token.to_lowercase());
+        } else {
+            for c in token.chars() {
+                if c.is_ascii() {
+                    buf.push(c.to_ascii_lowercase());
+                } else {
+                    buf.extend(c.to_lowercase());
+                }
+            }
+        }
+        f(buf.as_str());
+    }
+}
+
 /// Normalise a vector to unit L2 norm in place (no-op for the zero vector).
 pub fn l2_normalize(v: &mut [f32]) {
     let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
@@ -211,6 +243,27 @@ mod tests {
         assert_eq!(tokenize("Warsaw, Poland"), vec!["warsaw", "poland"]);
         assert_eq!(tokenize("3.5 MB"), vec!["3", "5", "mb"]);
         assert!(tokenize("--- ").is_empty());
+    }
+
+    #[test]
+    fn streaming_lowercase_tokens_match_tokenize_bit_for_bit() {
+        let cases = [
+            "Warsaw, Poland",
+            "3.5 MB",
+            "--- ",
+            "",
+            "MiXeD CaSe ALLCAPS 123-456",
+            "Kelvin \u{212A} \u{00C9}clair na\u{00EF}ve",
+            // Word-final Greek capital sigma: the one context-sensitive
+            // lower-case mapping (Σ → ς at word end).
+            "ΟΔΟΣ Οδός ΣΟΦΙΑ",
+        ];
+        let mut buf = String::new();
+        for cell in cases {
+            let mut streamed = Vec::new();
+            for_each_token_lower(cell, &mut buf, |t| streamed.push(t.to_string()));
+            assert_eq!(streamed, tokenize(cell), "tokens diverged on {cell:?}");
+        }
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! captures column-level co-occurrence information that the per-token Word
 //! group does not, which is the role the Para group plays in Sherlock.
 
-use crate::hashing::{fnv1a, l2_normalize, tokenize};
+use crate::hashing::{fnv1a, for_each_token_lower, l2_normalize};
+use crate::scratch::{FeatureScratch, ParaEntry};
 use sato_tabular::table::Column;
-use std::collections::HashMap;
 
 /// Hash seed that defines the paragraph-embedding space.
 pub const PARA_EMBED_SEED: u64 = 0x5a70_0002;
@@ -17,40 +17,114 @@ pub const PARA_EMBED_SEED: u64 = 0x5a70_0002;
 /// Default paragraph embedding width.
 pub const DEFAULT_PARA_DIM: usize = 100;
 
+/// Probe stride for open addressing on the term-frequency map key (a 64-bit
+/// FNV collision between distinct tokens must not merge their counts).
+const PARA_PROBE_STRIDE: u64 = 0x9e37_79b9_7f4a_7c15;
+
 /// Compute the Para feature group for a column.
 ///
 /// Token counts are dampened with `ln(1 + tf)` before hashing so that a few
 /// extremely frequent cell values do not dominate the representation.
+///
+/// Convenience wrapper around [`para_features_into`] that allocates its own
+/// workspace; batch callers should reuse a [`FeatureScratch`] instead.
 pub fn para_features(column: &Column, dim: usize) -> Vec<f32> {
     let mut out = vec![0.0f32; dim];
-    para_features_into(column, &mut out);
+    para_features_into(column, &mut FeatureScratch::new(), &mut out);
     out
 }
 
 /// Compute the Para features into `out` (whose length sets the embedding
-/// width).
-pub fn para_features_into(column: &Column, out: &mut [f32]) {
+/// width), reusing `scratch` for the term-frequency counting state.
+pub fn para_features_into(column: &Column, scratch: &mut FeatureScratch, out: &mut [f32]) {
+    para_features_from_cells(column.iter(), scratch, out);
+}
+
+/// The Para core over any stream of cell values: term-frequency counting
+/// keyed by the seeded FNV token hash (no per-token `String`, no
+/// `HashMap<String, usize>`), with the distinct tokens' lower-cased bytes
+/// kept in a reusable arena.
+///
+/// The drain sorts entries by those token bytes, so the `out[bucket]`
+/// accumulation runs in exactly the lexicographic token order of the
+/// reference implementation — f32 addition is not associative, and trained
+/// artifacts rely on the features staying bit-for-bit identical
+/// ([`crate::reference::para_features`] is the oracle).
+pub fn para_features_from_cells<'a>(
+    cells: impl Iterator<Item = &'a str>,
+    scratch: &mut FeatureScratch,
+    out: &mut [f32],
+) {
     let dim = out.len();
     out.fill(0.0);
-    let mut term_freq: HashMap<String, usize> = HashMap::new();
-    for cell in column.iter() {
-        for token in tokenize(cell) {
-            *term_freq.entry(token).or_insert(0) += 1;
-        }
+    let FeatureScratch {
+        para_map,
+        para_entries,
+        para_arena,
+        para_order,
+        para_token,
+        ..
+    } = scratch;
+    para_map.clear();
+    para_entries.clear();
+    para_arena.clear();
+    for cell in cells {
+        for_each_token_lower(cell, para_token, |token| {
+            let bytes = token.as_bytes();
+            let hash = fnv1a(bytes, PARA_EMBED_SEED);
+            // Open-address on the map key: on the (astronomically rare)
+            // 64-bit hash collision between distinct tokens, step to the
+            // next key instead of merging their counts.
+            let mut key = hash;
+            loop {
+                match para_map.get(&key) {
+                    Some(&idx) => {
+                        let entry = &mut para_entries[idx as usize];
+                        if &para_arena[entry.start as usize..entry.end as usize] == bytes {
+                            entry.tf += 1;
+                            break;
+                        }
+                        key = key.wrapping_add(PARA_PROBE_STRIDE);
+                    }
+                    None => {
+                        let start = para_arena.len() as u32;
+                        para_arena.extend_from_slice(bytes);
+                        para_map.insert(key, para_entries.len() as u32);
+                        para_entries.push(ParaEntry {
+                            start,
+                            end: para_arena.len() as u32,
+                            hash,
+                            tf: 1,
+                        });
+                        break;
+                    }
+                }
+            }
+        });
     }
-    if term_freq.is_empty() {
+    if para_entries.is_empty() {
         return;
     }
     // Accumulate in sorted token order: f32 addition is not associative, so
-    // HashMap iteration order would leak into the features (and break
+    // map iteration order would leak into the features (and break
     // bit-for-bit reproducibility of trained models).
-    let mut term_freq: Vec<(String, usize)> = term_freq.into_iter().collect();
-    term_freq.sort_unstable();
-    for (token, tf) in term_freq {
-        let h = fnv1a(token.as_bytes(), PARA_EMBED_SEED);
-        let bucket = (h % dim as u64) as usize;
-        let sign = if (h >> 63) & 1 == 0 { 1.0 } else { -1.0 };
-        out[bucket] += sign * (1.0 + tf as f32).ln();
+    para_order.clear();
+    para_order.extend(0..para_entries.len() as u32);
+    para_order.sort_unstable_by(|&a, &b| {
+        let ea = &para_entries[a as usize];
+        let eb = &para_entries[b as usize];
+        para_arena[ea.start as usize..ea.end as usize]
+            .cmp(&para_arena[eb.start as usize..eb.end as usize])
+    });
+    for &i in para_order.iter() {
+        let entry = &para_entries[i as usize];
+        let bucket = (entry.hash % dim as u64) as usize;
+        let sign = if (entry.hash >> 63) & 1 == 0 {
+            1.0
+        } else {
+            -1.0
+        };
+        out[bucket] += sign * (1.0 + entry.tf as f32).ln();
     }
     l2_normalize(out);
 }
@@ -58,12 +132,17 @@ pub fn para_features_into(column: &Column, out: &mut [f32]) {
 /// Compute the Para features of an entire table's values — used as the LDA
 /// fall-back "table fingerprint" in some ablations and by the BERT-like
 /// encoder, which consumes raw value text rather than per-column features.
+///
+/// Iterates the columns' values directly (no merged-column clone of every
+/// cell); bit-identical to running [`para_features`] on the concatenation.
 pub fn table_para_features(columns: &[Column], dim: usize) -> Vec<f32> {
-    let mut merged = Column::default();
-    for c in columns {
-        merged.values.extend(c.values.iter().cloned());
-    }
-    para_features(&merged, dim)
+    let mut out = vec![0.0f32; dim];
+    para_features_from_cells(
+        columns.iter().flat_map(|c| c.iter()),
+        &mut FeatureScratch::new(),
+        &mut out,
+    );
+    out
 }
 
 #[cfg(test)]

@@ -16,9 +16,11 @@
 
 use crate::char_dist::{CHARSET, CHAR_FEATURE_DIM, STATS_PER_CHAR};
 use crate::hashing::{fnv1a, l2_normalize, tokenize};
+use crate::para_embed::PARA_EMBED_SEED;
 use crate::stats::STAT_FEATURE_DIM;
 use crate::word_embed::WORD_EMBED_SEED;
 use sato_tabular::table::Column;
+use std::collections::HashMap;
 
 /// Reference Char features: one pass over the column *per alphabet
 /// character*, with a lower-cased copy of every cell in each pass.
@@ -209,6 +211,44 @@ pub fn word_features(column: &Column, dim: usize) -> Vec<f32> {
     out
 }
 
+/// Reference Para features: a `String` allocation per token into a
+/// `HashMap<String, usize>` term-frequency map, drained in sorted token
+/// order.
+pub fn para_features(column: &Column, dim: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; dim];
+    let mut term_freq: HashMap<String, usize> = HashMap::new();
+    for cell in column.iter() {
+        for token in tokenize(cell) {
+            *term_freq.entry(token).or_insert(0) += 1;
+        }
+    }
+    if term_freq.is_empty() {
+        return out;
+    }
+    // Accumulate in sorted token order: f32 addition is not associative, so
+    // HashMap iteration order would leak into the features.
+    let mut term_freq: Vec<(String, usize)> = term_freq.into_iter().collect();
+    term_freq.sort_unstable();
+    for (token, tf) in term_freq {
+        let h = fnv1a(token.as_bytes(), PARA_EMBED_SEED);
+        let bucket = (h % dim as u64) as usize;
+        let sign = if (h >> 63) & 1 == 0 { 1.0 } else { -1.0 };
+        out[bucket] += sign * (1.0 + tf as f32).ln();
+    }
+    l2_normalize(&mut out);
+    out
+}
+
+/// Reference whole-table Para features: clones every cell of every column
+/// into one merged column before counting.
+pub fn table_para_features(columns: &[Column], dim: usize) -> Vec<f32> {
+    let mut merged = Column::default();
+    for c in columns {
+        merged.values.extend(c.values.iter().cloned());
+    }
+    para_features(&merged, dim)
+}
+
 #[cfg(test)]
 mod single_pass_parity {
     use super::*;
@@ -245,6 +285,13 @@ mod single_pass_parity {
                 let mut word_out = vec![0.0f32; 64];
                 crate::word_embed::word_features_into(column, 32, &mut scratch, &mut word_out);
                 assert_eq!(word_out, word_features(column, 32));
+                assert_eq!(
+                    crate::para_embed::para_features(column, 100),
+                    para_features(column, 100)
+                );
+                let mut para_out = vec![0.0f32; 100];
+                crate::para_embed::para_features_into(column, &mut scratch, &mut para_out);
+                assert_eq!(para_out, para_features(column, 100));
                 checked += 1;
             }
         }
@@ -274,6 +321,47 @@ mod single_pass_parity {
             assert_eq!(
                 crate::word_embed::word_features(column, 16),
                 word_features(column, 16)
+            );
+            assert_eq!(
+                crate::para_embed::para_features(column, 32),
+                para_features(column, 32)
+            );
+        }
+    }
+
+    /// The hash-keyed Para counting must reproduce the sorted `String`-map
+    /// drain bit for bit even when many distinct tokens collide in the same
+    /// embedding *bucket* (the case where f32 accumulation order matters):
+    /// dim = 2 forces roughly half the vocabulary into each bucket.
+    #[test]
+    fn para_bucket_collisions_accumulate_in_reference_order() {
+        use sato_tabular::table::Column;
+        let cells: Vec<String> = (0..60)
+            .map(|i| format!("tok{i} tok{} shared repeated", i % 7))
+            .collect();
+        let column = Column::new(cells);
+        for dim in [1, 2, 3, 100] {
+            assert_eq!(
+                crate::para_embed::para_features(&column, dim),
+                para_features(&column, dim),
+                "Para parity broke at dim {dim}"
+            );
+        }
+    }
+
+    /// `table_para_features` no longer clones every cell into a merged
+    /// column, but the output must not change.
+    #[test]
+    fn table_para_features_match_merged_column_reference() {
+        use sato_tabular::table::Column;
+        let a = Column::new(["Rock", "Jazz", ""]);
+        let b = Column::new(["Warsaw", "rock jazz", "1,777"]);
+        let c = Column::new(Vec::<String>::new());
+        let sets: Vec<Vec<Column>> = vec![vec![a, b, c.clone()], vec![], vec![c]];
+        for cols in &sets {
+            assert_eq!(
+                crate::para_embed::table_para_features(cols, 64),
+                table_para_features(cols, 64)
             );
         }
     }

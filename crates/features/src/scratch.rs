@@ -14,6 +14,8 @@
 
 use crate::char_dist::CHARSET;
 use sato_tabular::table::Column;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Number of characters in the Char-group alphabet.
 pub(crate) const CHARSET_LEN: usize = CHARSET.len();
@@ -82,6 +84,58 @@ pub struct FeatureScratch {
     pub(crate) token_chars: Vec<char>,
     /// Reusable per-token embedding accumulator.
     pub(crate) token_vec: Vec<f32>,
+    /// Para group: map key (FNV token hash, open-addressed on collision) →
+    /// index into [`Self::para_entries`]. The keys are already well-mixed
+    /// 64-bit hashes, so the map uses a passthrough hasher instead of
+    /// re-hashing every key through SipHash.
+    pub(crate) para_map: HashMap<u64, u32, BuildHasherDefault<PassthroughHasher>>,
+    /// Para group: one term-frequency entry per distinct token.
+    pub(crate) para_entries: Vec<ParaEntry>,
+    /// Para group: lower-cased token bytes of all distinct tokens, back to
+    /// back (the arena [`ParaEntry`] ranges index into).
+    pub(crate) para_arena: Vec<u8>,
+    /// Para group: entry indices sorted by token bytes for the deterministic
+    /// drain.
+    pub(crate) para_order: Vec<u32>,
+    /// Para group: reusable lower-cased token buffer.
+    pub(crate) para_token: String,
+}
+
+/// Term-frequency entry of one distinct Para token: its lower-cased bytes
+/// live in the shared arena (`start..end`), `hash` is its seeded FNV-1a hash
+/// (which also determines the embedding bucket and sign), `tf` the count.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ParaEntry {
+    pub(crate) start: u32,
+    pub(crate) end: u32,
+    pub(crate) hash: u64,
+    pub(crate) tf: u32,
+}
+
+/// Identity hasher for map keys that are already uniform 64-bit hashes
+/// (the Para term-frequency map): `write_u64` passes the key straight
+/// through, avoiding a per-token SipHash round.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PassthroughHasher(u64);
+
+impl Hasher for PassthroughHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 keys are expected, but stay total for any input.
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
 }
 
 impl FeatureScratch {

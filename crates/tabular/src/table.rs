@@ -129,6 +129,21 @@ impl Table {
         self.columns.iter().flat_map(|c| c.iter())
     }
 
+    /// Visit every cell value in column order — the same order as
+    /// [`Self::all_values`] — without materializing anything.
+    ///
+    /// This is the visitor the streaming topic encoder walks instead of
+    /// building the [`Self::as_document`] mega-string: cell boundaries act as
+    /// token separators (exactly like the space `as_document` inserts), so a
+    /// per-value tokenizer sees the identical token stream.
+    pub fn for_each_value(&self, mut f: impl FnMut(&str)) {
+        for column in &self.columns {
+            for value in column.iter() {
+                f(value);
+            }
+        }
+    }
+
     /// Concatenate every cell into a single whitespace-separated "document"
     /// string, the exact representation used to train/query the LDA model.
     pub fn as_document(&self) -> String {
@@ -251,6 +266,16 @@ mod tests {
         let t = sample_table();
         assert_eq!(t.as_document(), "Florence Warsaw London Italy Poland UK");
         assert_eq!(t.all_values().count(), 6);
+    }
+
+    #[test]
+    fn for_each_value_visits_all_values_in_document_order() {
+        let t = sample_table();
+        let mut seen = Vec::new();
+        t.for_each_value(|v| seen.push(v.to_string()));
+        let expected: Vec<String> = t.all_values().map(str::to_string).collect();
+        assert_eq!(seen, expected);
+        assert_eq!(seen.join(" "), t.as_document());
     }
 
     #[test]

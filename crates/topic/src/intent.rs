@@ -2,9 +2,30 @@
 //! model that maps a table's values to a fixed-length *table topic vector*
 //! shared by every column of the table.
 
-use crate::lda::{LdaConfig, LdaModel};
+use crate::lda::{LdaConfig, LdaInferScratch, LdaModel};
 use sato_tabular::table::{Corpus, Table};
 use serde::{Deserialize, Serialize};
+
+/// Reusable workspace for streaming table-topic estimation: the encoded
+/// token ids of one table, the lower-cased token buffer of the streaming
+/// encoder, and the Gibbs-inference buffers. One scratch serves any number
+/// of tables; warm estimation allocates nothing beyond the caller's output.
+#[derive(Debug, Clone, Default)]
+pub struct TopicScratch {
+    /// Encoded token ids of the table under estimation.
+    tokens: Vec<usize>,
+    /// Reusable lower-cased token buffer for the streaming encoder.
+    token_buf: String,
+    /// Gibbs-inference working buffers.
+    infer: LdaInferScratch,
+}
+
+impl TopicScratch {
+    /// A fresh workspace with empty (but growable) buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// The table intent estimator: wraps a pre-trained [`LdaModel`] and exposes
 /// table-level inference.
@@ -35,13 +56,60 @@ impl TableIntentEstimator {
 
     /// Estimate the topic vector of a table (the paper's "table topic
     /// vector"), shared by all of the table's columns.
+    ///
+    /// This is the **reference path**: it materializes the table as one
+    /// document string ([`Table::as_document`]), re-tokenizes it with
+    /// per-token `String`s and allocates fresh inference buffers. It is kept
+    /// as the parity oracle (and benchmark baseline) for the streaming
+    /// [`Self::estimate_with`] path, like `sato_features::reference`.
     pub fn estimate(&self, table: &Table) -> Vec<f32> {
         self.model.infer(&table.as_document())
     }
 
-    /// Estimate topic vectors for every table of a corpus.
+    /// Estimate topic vectors for every table of a corpus (reference path;
+    /// see [`Self::estimate`]).
     pub fn estimate_corpus(&self, corpus: &Corpus) -> Vec<Vec<f32>> {
         corpus.iter().map(|t| self.estimate(t)).collect()
+    }
+
+    /// Streaming, allocation-lean estimate: walks the table's cell values
+    /// directly (no `as_document` mega-string), encodes tokens by `&str`
+    /// lookup (no per-token `String`) and runs Gibbs inference in the
+    /// caller's scratch. Output is **bit-identical** to [`Self::estimate`].
+    pub fn estimate_with(&self, table: &Table, scratch: &mut TopicScratch) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.num_topics()];
+        self.estimate_into(table, scratch, &mut out);
+        out
+    }
+
+    /// [`Self::estimate_with`] writing into a caller-provided slice of
+    /// length [`Self::num_topics`]: a warm call performs zero heap
+    /// allocations (rare exact-case-fold fallback aside).
+    pub fn estimate_into(&self, table: &Table, scratch: &mut TopicScratch, out: &mut [f32]) {
+        let TopicScratch {
+            tokens,
+            token_buf,
+            infer,
+        } = scratch;
+        tokens.clear();
+        let vocab = self.model.vocabulary();
+        table.for_each_value(|value| vocab.encode_value_into(value, token_buf, tokens));
+        self.model
+            .infer_tokens_into(tokens, self.model.default_infer_seed(), infer, out);
+    }
+
+    /// Estimate topic vectors for every table of a corpus through one shared
+    /// scratch — the corpus-batched counterpart of [`Self::estimate_corpus`],
+    /// bit-identical to it.
+    pub fn estimate_corpus_with(
+        &self,
+        corpus: &Corpus,
+        scratch: &mut TopicScratch,
+    ) -> Vec<Vec<f32>> {
+        corpus
+            .iter()
+            .map(|t| self.estimate_with(t, scratch))
+            .collect()
     }
 
     /// Borrow the underlying LDA model (for topic interpretation).
@@ -81,6 +149,33 @@ mod tests {
         let t1 = est.estimate(&a);
         let t2 = est.estimate(&a);
         assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn streaming_estimate_is_bit_identical_to_reference() {
+        use sato_tabular::table::{Column, Table};
+        let est = estimator();
+        let corpus = default_corpus(12, 5);
+        let mut scratch = TopicScratch::new();
+        assert_eq!(
+            est.estimate_corpus(&corpus),
+            est.estimate_corpus_with(&corpus, &mut scratch)
+        );
+        // Edge cases: empty table, one-token table, OOV-only table.
+        let edge_tables = [
+            Table::unlabelled(900, vec![]),
+            Table::unlabelled(901, vec![Column::new(["Warsaw"])]),
+            Table::unlabelled(902, vec![Column::new(["zzzzqq", "xxyyzz"])]),
+            Table::unlabelled(903, vec![Column::new(["", "  "]), Column::new(["ΟΔΟΣ"])]),
+        ];
+        for table in &edge_tables {
+            assert_eq!(
+                est.estimate(table),
+                est.estimate_with(table, &mut scratch),
+                "streaming estimate diverged on table {}",
+                table.id
+            );
+        }
     }
 
     #[test]

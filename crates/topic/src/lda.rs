@@ -51,6 +51,25 @@ impl LdaConfig {
             ..LdaConfig::default()
         }
     }
+
+    /// Panic unless the configuration describes a well-defined Gibbs
+    /// sampler: at least two topics and strictly positive, finite Dirichlet
+    /// priors. `alpha <= 0` or `beta <= 0` (or a NaN/infinite prior) would
+    /// let NaN weights flow through the discrete sampler and silently
+    /// produce garbage topic vectors.
+    pub fn validate(&self) {
+        assert!(self.num_topics >= 2, "need at least 2 topics");
+        assert!(
+            self.alpha.is_finite() && self.alpha > 0.0,
+            "alpha must be a positive finite Dirichlet prior (got {})",
+            self.alpha
+        );
+        assert!(
+            self.beta.is_finite() && self.beta > 0.0,
+            "beta must be a positive finite Dirichlet prior (got {})",
+            self.beta
+        );
+    }
 }
 
 /// A trained LDA model: frozen topic–word counts plus the vocabulary.
@@ -67,7 +86,7 @@ pub struct LdaModel {
 impl LdaModel {
     /// Train an LDA model on the given documents (one string per table).
     pub fn train(documents: &[String], vocab: Vocabulary, config: LdaConfig) -> Self {
-        assert!(config.num_topics >= 2, "need at least 2 topics");
+        config.validate();
         let k = config.num_topics;
         let v = vocab.len().max(1);
         let mut rng = StdRng::seed_from_u64(config.seed);
@@ -173,6 +192,13 @@ impl LdaModel {
         scored
     }
 
+    /// The seed [`Self::infer`] derives from the training seed for serving
+    /// inference (shared with the streaming estimate path so both are
+    /// bit-identical).
+    pub(crate) fn default_infer_seed(&self) -> u64 {
+        self.config.seed ^ 0x9e3779b97f4a7c15
+    }
+
     /// Infer the topic distribution ("table topic vector") of an unseen
     /// document by Gibbs sampling against the frozen topic–word counts.
     ///
@@ -180,7 +206,7 @@ impl LdaModel {
     /// with no known tokens return the uniform distribution.
     pub fn infer(&self, document: &str) -> Vec<f32> {
         let tokens = self.vocab.encode(document);
-        self.infer_tokens(&tokens, self.config.seed ^ 0x9e3779b97f4a7c15)
+        self.infer_tokens(&tokens, self.default_infer_seed())
     }
 
     /// Deterministic inference with an explicit seed (used by property tests).
@@ -189,10 +215,35 @@ impl LdaModel {
         self.infer_tokens(&tokens, seed)
     }
 
-    fn infer_tokens(&self, tokens: &[usize], seed: u64) -> Vec<f32> {
+    /// Infer the topic distribution of a pre-encoded document.
+    ///
+    /// Allocates fresh working buffers per call; hot loops should reuse an
+    /// [`LdaInferScratch`] via [`Self::infer_tokens_into`], which this wraps.
+    pub fn infer_tokens(&self, tokens: &[usize], seed: u64) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.config.num_topics];
+        self.infer_tokens_into(tokens, seed, &mut LdaInferScratch::new(), &mut out);
+        out
+    }
+
+    /// [`Self::infer_tokens`] with caller-owned working buffers: every
+    /// Gibbs-sampling intermediate lives in `scratch` and the theta vector is
+    /// written into `out` (length [`Self::num_topics`]), so a warm call
+    /// performs **zero** heap allocations (enforced by the counting-allocator
+    /// test `crates/topic/tests/alloc_free_infer.rs`). Output is bit-identical
+    /// to [`Self::infer_tokens`].
+    pub fn infer_tokens_into(
+        &self,
+        tokens: &[usize],
+        seed: u64,
+        scratch: &mut LdaInferScratch,
+        out: &mut [f32],
+    ) {
+        self.config.validate();
         let k = self.config.num_topics;
+        assert_eq!(out.len(), k, "topic output width mismatch");
         if tokens.is_empty() {
-            return vec![1.0 / k as f32; k];
+            out.fill(1.0 / k as f32);
+            return;
         }
         let v = self.vocab.len().max(1);
         let alpha = self.config.alpha;
@@ -200,13 +251,24 @@ impl LdaModel {
         let v_beta = beta * v as f64;
         let mut rng = StdRng::seed_from_u64(seed);
 
-        let mut doc_topic = vec![0u32; k];
-        let mut assignments: Vec<usize> = tokens.iter().map(|_| rng.gen_range(0..k)).collect();
-        for &z in &assignments {
+        let LdaInferScratch {
+            doc_topic,
+            assignments,
+            weights,
+            accum,
+        } = scratch;
+        doc_topic.clear();
+        doc_topic.resize(k, 0);
+        assignments.clear();
+        assignments.extend(tokens.iter().map(|_| rng.gen_range(0..k)));
+        for &z in assignments.iter() {
             doc_topic[z] += 1;
         }
-        let mut weights = vec![0.0f64; k];
-        let mut accum = vec![0.0f64; k];
+        weights.clear();
+        weights.resize(k, 0.0);
+        accum.clear();
+        accum.resize(k, 0.0);
+        let denom = tokens.len() as f64 + alpha * k as f64;
         let burn_in = self.config.infer_iterations / 2;
 
         for iter in 0..self.config.infer_iterations {
@@ -221,19 +283,52 @@ impl LdaModel {
                     *wt = phi * theta;
                     total += *wt;
                 }
-                let new = sample_discrete(&weights, total, &mut rng);
+                let new = sample_discrete(weights, total, &mut rng);
                 assignments[i] = new;
                 doc_topic[new] += 1;
             }
             if iter >= burn_in {
-                let denom = tokens.len() as f64 + alpha * k as f64;
                 for t in 0..k {
                     accum[t] += (doc_topic[t] as f64 + alpha) / denom;
                 }
             }
         }
+        if self.config.infer_iterations == 0 {
+            // No sweep ran, so `accum` never collected a sample. Report the
+            // theta implied by the initial random assignment instead of the
+            // all-zero vector the `samples.max(1)` division used to hide.
+            for (o, &d) in out.iter_mut().zip(doc_topic.iter()) {
+                *o = ((d as f64 + alpha) / denom) as f32;
+            }
+            return;
+        }
         let samples = (self.config.infer_iterations - burn_in).max(1) as f64;
-        accum.iter().map(|&x| (x / samples) as f32).collect()
+        for (o, &x) in out.iter_mut().zip(accum.iter()) {
+            *o = (x / samples) as f32;
+        }
+    }
+}
+
+/// Caller-owned working buffers for [`LdaModel::infer_tokens_into`]: the
+/// document–topic counts, per-token assignments, full-conditional weights and
+/// the theta accumulator of one Gibbs inference run. Buffers keep their
+/// capacity between documents, so a warm inference allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct LdaInferScratch {
+    /// `doc_topic[k]`: tokens of the document currently assigned to topic `k`.
+    doc_topic: Vec<u32>,
+    /// Current topic assignment of every token.
+    assignments: Vec<usize>,
+    /// Full-conditional sampling weights, one per topic.
+    weights: Vec<f64>,
+    /// Post-burn-in theta accumulator, one per topic.
+    accum: Vec<f64>,
+}
+
+impl LdaInferScratch {
+    /// A fresh workspace with empty (but growable) buffers.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -358,5 +453,80 @@ mod tests {
             ..LdaConfig::tiny()
         };
         LdaModel::fit(&themed_documents(), 1, cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be a positive finite Dirichlet prior")]
+    fn rejects_non_positive_alpha() {
+        let cfg = LdaConfig {
+            alpha: 0.0,
+            ..LdaConfig::tiny()
+        };
+        LdaModel::fit(&themed_documents(), 1, cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be a positive finite Dirichlet prior")]
+    fn rejects_negative_beta() {
+        let cfg = LdaConfig {
+            beta: -0.01,
+            ..LdaConfig::tiny()
+        };
+        LdaModel::fit(&themed_documents(), 1, cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn rejects_nan_prior() {
+        let cfg = LdaConfig {
+            alpha: f64::NAN,
+            ..LdaConfig::tiny()
+        };
+        cfg.validate();
+    }
+
+    /// Regression: with `infer_iterations == 0` the burn-in loop never
+    /// sampled, `accum` stayed all-zero, and the `samples.max(1)` division
+    /// hid it — inference returned the zero vector instead of a probability
+    /// distribution.
+    #[test]
+    fn zero_infer_iterations_still_returns_a_distribution() {
+        let cfg = LdaConfig {
+            infer_iterations: 0,
+            ..LdaConfig::tiny()
+        };
+        let model = LdaModel::fit(&themed_documents(), 1, cfg);
+        let theta = model.infer("rock jazz album");
+        assert_eq!(theta.len(), model.num_topics());
+        let sum: f32 = theta.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "theta does not sum to one: {sum}");
+        assert!(theta.iter().all(|&x| x > 0.0), "theta has zero entries");
+        // Still deterministic for the fixed serving seed.
+        assert_eq!(theta, model.infer("rock jazz album"));
+    }
+
+    #[test]
+    fn scratch_inference_is_bit_identical_and_reusable() {
+        let model = LdaModel::fit(&themed_documents(), 1, LdaConfig::tiny());
+        let mut scratch = LdaInferScratch::new();
+        let mut out = vec![0.0f32; model.num_topics()];
+        let docs = [
+            "rock jazz blues artist album",
+            "warsaw",                     // one-token document
+            "zzzz qqqq entirely unknown", // OOV-only → empty token list
+            "",                           // empty document
+            "warsaw london paris rock jazz city",
+        ];
+        for doc in docs {
+            let tokens = model.vocabulary().encode(doc);
+            for seed in [0u64, 7, 12345] {
+                model.infer_tokens_into(&tokens, seed, &mut scratch, &mut out);
+                assert_eq!(
+                    out,
+                    model.infer_tokens(&tokens, seed),
+                    "scratch path diverged on {doc:?} seed {seed}"
+                );
+            }
+        }
     }
 }

@@ -23,7 +23,7 @@ pub mod lda;
 pub mod saliency;
 pub mod vocab;
 
-pub use intent::TableIntentEstimator;
-pub use lda::{LdaConfig, LdaModel};
+pub use intent::{TableIntentEstimator, TopicScratch};
+pub use lda::{LdaConfig, LdaInferScratch, LdaModel};
 pub use saliency::{analyze_topics, TopicSummary, TopicTypeAnalysis};
 pub use vocab::Vocabulary;

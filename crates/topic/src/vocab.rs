@@ -25,6 +25,45 @@ pub fn tokenize(text: &str) -> Vec<String> {
         .collect()
 }
 
+/// Visit the lower-cased tokens of `text` without allocating a `String` per
+/// token: each alphanumeric run is case-folded into the reusable `buf` and
+/// handed to `f` as a `&str`.
+///
+/// The token stream is bit-identical to [`tokenize`]. Case is folded per
+/// character (ASCII fast path, `char::to_lowercase` expansion otherwise);
+/// per-character folding matches `str::to_lowercase` except for
+/// context-sensitive mappings (the Greek final sigma is the only one), so
+/// tokens containing a non-ASCII uppercase character take a rare exact-fold
+/// fallback.
+///
+/// The fold logic is deliberately identical to
+/// `sato_features::hashing::for_each_token_lower` / `hash_token_into`
+/// (this crate cannot depend on `sato-features`); a Unicode fix in one
+/// copy must be mirrored in the others or the streaming-vs-reference
+/// bit-parity contracts break.
+pub fn for_each_token_lower(text: &str, buf: &mut String, mut f: impl FnMut(&str)) {
+    for token in text.split(|c: char| !c.is_alphanumeric()) {
+        if token.is_empty() {
+            continue;
+        }
+        buf.clear();
+        if token.chars().any(|c| !c.is_ascii() && c.is_uppercase()) {
+            // Context-sensitive case mapping possible: defer to the exact
+            // whole-string fold.
+            buf.push_str(&token.to_lowercase());
+        } else {
+            for c in token.chars() {
+                if c.is_ascii() {
+                    buf.push(c.to_ascii_lowercase());
+                } else {
+                    buf.extend(c.to_lowercase());
+                }
+            }
+        }
+        f(buf.as_str());
+    }
+}
+
 impl Vocabulary {
     /// Build a vocabulary from an iterator of documents, keeping tokens that
     /// appear at least `min_count` times in total.
@@ -78,6 +117,22 @@ impl Vocabulary {
             .filter_map(|t| self.id(&t))
             .collect()
     }
+
+    /// Append the known-token ids of `text` to `out`, reusing `buf` for the
+    /// lower-cased token — the streaming counterpart of [`Self::encode`]
+    /// (ids are looked up by `&str`, no per-token `String`).
+    ///
+    /// Feeding a table's cell values through this one by one yields exactly
+    /// the ids [`Self::encode`] produces for the concatenated
+    /// `Table::as_document` string, because cell boundaries and whitespace
+    /// are both token separators.
+    pub fn encode_value_into(&self, text: &str, buf: &mut String, out: &mut Vec<usize>) {
+        for_each_token_lower(text, buf, |token| {
+            if let Some(&id) = self.token_to_id.get(token) {
+                out.push(id);
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +184,45 @@ mod tests {
         let vocab = Vocabulary::build(["warsaw london"].iter().copied(), 1);
         let ids = vocab.encode("Warsaw unknown London");
         assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn streaming_tokenizer_matches_tokenize_bit_for_bit() {
+        let cases = [
+            "Warsaw, 1,777,972",
+            "",
+            "--",
+            "MiXeD CaSe ALLCAPS",
+            "Kelvin \u{212A} \u{00C9}clair na\u{00EF}ve",
+            // Greek capital sigma: the one context-sensitive lower-case
+            // mapping in Unicode (word-final Σ folds to ς, not σ).
+            "ΟΔΟΣ Οδός ΣΟΦΙΑ",
+            "3.5 MB $12.50",
+        ];
+        let mut buf = String::new();
+        for text in cases {
+            let mut streamed = Vec::new();
+            for_each_token_lower(text, &mut buf, |t| streamed.push(t.to_string()));
+            assert_eq!(streamed, tokenize(text), "tokens diverged on {text:?}");
+        }
+    }
+
+    #[test]
+    fn encode_value_into_matches_encode() {
+        let vocab = Vocabulary::build(["warsaw london 12 οδος rock"].iter().copied(), 1);
+        let mut buf = String::new();
+        for text in ["Warsaw unknown London", "ΟΔΟΣ 12, rock&roll", ""] {
+            let mut streamed = Vec::new();
+            vocab.encode_value_into(text, &mut buf, &mut streamed);
+            assert_eq!(streamed, vocab.encode(text), "ids diverged on {text:?}");
+        }
+        // Value-by-value streaming equals encoding the joined document.
+        let values = ["Warsaw", "", "rock London"];
+        let mut streamed = Vec::new();
+        for v in values {
+            vocab.encode_value_into(v, &mut buf, &mut streamed);
+        }
+        assert_eq!(streamed, vocab.encode("Warsaw rock London"));
     }
 
     #[test]
