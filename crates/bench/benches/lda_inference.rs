@@ -1,12 +1,14 @@
 //! Criterion micro-benchmark: LDA table-intent inference (the per-table cost
-//! Sato adds on top of Sherlock for the global context signal), on both the
+//! Sato adds on top of Sherlock for the global context signal), on the
 //! reference path (`estimate`: mega-string document, per-token `String`s,
-//! fresh Gibbs buffers) and the allocation-lean scratch path
-//! (`estimate_with`: streaming encoder + reused [`TopicScratch`]).
+//! fresh Gibbs buffers), the allocation-lean scratch path (`estimate_with` +
+//! dense sampler: streaming encoder + reused [`TopicScratch`]) and the
+//! sparse/alias sampler (`estimate_with` + [`SamplerKind::SparseAlias`]:
+//! `O(k_d)` per token against pre-built per-word alias tables).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sato_tabular::corpus::default_corpus;
-use sato_topic::{LdaConfig, TableIntentEstimator, TopicScratch};
+use sato_topic::{LdaConfig, SamplerKind, TableIntentEstimator, TopicSampler, TopicScratch};
 
 fn bench_lda(c: &mut Criterion) {
     let corpus = default_corpus(200, 7);
@@ -31,7 +33,25 @@ fn bench_lda(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("infer_table_topic_vector_scratch", topics),
             &estimator,
-            |b, est| b.iter(|| est.estimate_with(std::hint::black_box(table), &mut scratch)),
+            |b, est| {
+                b.iter(|| {
+                    est.estimate_with(
+                        std::hint::black_box(table),
+                        &TopicSampler::Dense,
+                        &mut scratch,
+                    )
+                })
+            },
+        );
+        // Sparse/alias sampler: alias tables built once (freeze time), the
+        // timed loop is the O(k_d)-per-token warm sampling path.
+        let sparse = estimator.build_sampler(SamplerKind::SparseAlias);
+        group.bench_with_input(
+            BenchmarkId::new("infer_table_topic_vector_sparse_alias", topics),
+            &estimator,
+            |b, est| {
+                b.iter(|| est.estimate_with(std::hint::black_box(table), &sparse, &mut scratch))
+            },
         );
     }
     group.finish();

@@ -11,11 +11,17 @@
 //! Besides the human-readable table, the run writes `BENCH_serving.json`
 //! (all single-threaded measurements, so the numbers are valid on a 1-CPU
 //! container): per-table vs batched serving throughput, single-pass vs
-//! reference (per-alphabet-character) feature extraction µs/column, and
-//! scratch (streaming) vs reference (mega-string) LDA topic estimation
-//! µs/table, each with its speedup recorded from the same run.
+//! reference (per-alphabet-character) feature extraction µs/column, scratch
+//! (streaming) vs reference (mega-string) LDA topic estimation µs/table,
+//! and the `gibbs_sampler` section — dense vs sparse/alias topic sampling
+//! µs/table with the mean L1 theta drift of the approximate sampler — each
+//! with its speedup recorded from the same run.
+//!
+//! `--sampler {dense,sparse}` selects the topic sampler the serving
+//! throughput measurements run with (the sampler comparison section always
+//! measures both).
 
-use sato::{SatoModel, SatoPredictor, SatoVariant};
+use sato::{SamplerKind, SatoModel, SatoPredictor, SatoVariant, TopicSampler};
 use sato_bench::{banner, ExperimentOptions};
 use sato_eval::metrics::mean_and_ci95;
 use sato_eval::report::TextTable;
@@ -48,6 +54,11 @@ fn best_of<T>(mut f: impl FnMut() -> T) -> (T, f64) {
     (warmup, best)
 }
 
+/// Mean of a (possibly empty) sample of timings.
+fn mean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len().max(1) as f64
+}
+
 fn main() {
     let opts = ExperimentOptions::from_env();
     banner(
@@ -60,10 +71,11 @@ fn main() {
     let config = opts.sato_config();
     let split = train_test_split(&corpus, 0.2, opts.seed);
     println!(
-        "training on {} multi-column tables, predicting {} held-out tables (serving with {} threads)",
+        "training on {} multi-column tables, predicting {} held-out tables (serving with {} threads, {} sampler)",
         split.train.len(),
         split.test.len(),
-        opts.threads
+        opts.threads,
+        opts.sampler.name()
     );
 
     let mut rows = Vec::new();
@@ -90,8 +102,8 @@ fn main() {
             crf_times.push(model.timings().crf_secs);
 
             // Freeze into the immutable serving artifact; all timing paths
-            // share the same weights.
-            let predictor = model.into_predictor();
+            // share the same weights and the configured topic sampler.
+            let predictor = model.into_predictor().with_sampler(opts.sampler);
 
             let (sequential, secs) = best_of(|| predictor.predict_corpus(&split.test));
             predict_times.push(secs);
@@ -191,6 +203,18 @@ fn main() {
         topic_reference_us / topic_scratch_us.max(1e-9)
     );
 
+    // Dense vs sparse/alias Gibbs sampling on the same intent estimator and
+    // held-out tables: µs/table for each sampler plus the mean L1 theta
+    // drift the approximate sampler introduces.
+    let gibbs = time_gibbs_samplers(intent, &split.test, opts.trials);
+    println!(
+        "gibbs sampler: dense {:.1} µs/table vs sparse-alias {:.1} µs/table ({:.2}x), mean L1 drift {:.4}",
+        gibbs.dense_us,
+        gibbs.sparse_us,
+        gibbs.dense_us / gibbs.sparse_us.max(1e-9),
+        gibbs.mean_l1_drift
+    );
+
     write_serving_json(
         &opts,
         &split.test,
@@ -200,6 +224,7 @@ fn main() {
         baseline_us,
         topic_scratch_us,
         topic_reference_us,
+        &gibbs,
     );
 
     println!("paper reference (64-core machine, 26K training tables): Base 596.9s / N/A / 3.8s,");
@@ -246,7 +271,6 @@ fn time_feature_extraction(
         }
         baseline.push(start.elapsed().as_secs_f64() * 1e6 / total_cols as f64);
     }
-    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     (mean(&single_pass), mean(&baseline))
 }
 
@@ -261,7 +285,7 @@ fn time_topic_estimation(
     let tables = corpus.len().max(1) as f64;
     let mut scratch = TopicScratch::new();
     assert_eq!(
-        intent.estimate_corpus_with(corpus, &mut scratch),
+        intent.estimate_corpus_with(corpus, &TopicSampler::Dense, &mut scratch),
         intent.estimate_corpus(corpus),
         "scratch topic estimation must reproduce the reference exactly"
     );
@@ -269,15 +293,80 @@ fn time_topic_estimation(
     let mut reference_times = Vec::new();
     for _ in 0..trials.max(1) {
         let start = Instant::now();
-        black_box(intent.estimate_corpus_with(black_box(corpus), &mut scratch));
+        black_box(intent.estimate_corpus_with(
+            black_box(corpus),
+            &TopicSampler::Dense,
+            &mut scratch,
+        ));
         scratch_times.push(start.elapsed().as_secs_f64() * 1e6 / tables);
 
         let start = Instant::now();
         black_box(intent.estimate_corpus(black_box(corpus)));
         reference_times.push(start.elapsed().as_secs_f64() * 1e6 / tables);
     }
-    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     (mean(&scratch_times), mean(&reference_times))
+}
+
+/// Dense vs sparse/alias sampler comparison recorded in the
+/// `gibbs_sampler` section of `BENCH_serving.json`.
+struct GibbsSamplerBench {
+    /// Mean µs/table of the dense sampler (scratch path).
+    dense_us: f64,
+    /// Mean µs/table of the sparse/alias sampler (scratch path; the alias
+    /// tables are pre-built outside the timed loop, as at freeze time).
+    sparse_us: f64,
+    /// Mean (over tables) L1 distance between the dense and sparse thetas —
+    /// the quantified approximation cost of the fast sampler.
+    mean_l1_drift: f64,
+}
+
+/// Time the dense and sparse/alias topic samplers over every table of
+/// `corpus` through one warm scratch each, and measure the mean L1 theta
+/// drift between them; returns mean µs/table per sampler, over `trials`
+/// repetitions.
+fn time_gibbs_samplers(
+    intent: &TableIntentEstimator,
+    corpus: &Corpus,
+    trials: usize,
+) -> GibbsSamplerBench {
+    let tables = corpus.len().max(1) as f64;
+    let sparse = intent.build_sampler(SamplerKind::SparseAlias);
+    let mut scratch = TopicScratch::new();
+
+    let dense_thetas = intent.estimate_corpus_with(corpus, &TopicSampler::Dense, &mut scratch);
+    let sparse_thetas = intent.estimate_corpus_with(corpus, &sparse, &mut scratch);
+    let mean_l1_drift = dense_thetas
+        .iter()
+        .zip(&sparse_thetas)
+        .map(|(a, b)| {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs() as f64)
+                .sum::<f64>()
+        })
+        .sum::<f64>()
+        / tables;
+
+    let mut dense_times = Vec::new();
+    let mut sparse_times = Vec::new();
+    for _ in 0..trials.max(1) {
+        let start = Instant::now();
+        black_box(intent.estimate_corpus_with(
+            black_box(corpus),
+            &TopicSampler::Dense,
+            &mut scratch,
+        ));
+        dense_times.push(start.elapsed().as_secs_f64() * 1e6 / tables);
+
+        let start = Instant::now();
+        black_box(intent.estimate_corpus_with(black_box(corpus), &sparse, &mut scratch));
+        sparse_times.push(start.elapsed().as_secs_f64() * 1e6 / tables);
+    }
+    GibbsSamplerBench {
+        dense_us: mean(&dense_times),
+        sparse_us: mean(&sparse_times),
+        mean_l1_drift,
+    }
 }
 
 /// Emit `BENCH_serving.json`: the machine-readable perf trajectory of the
@@ -292,23 +381,28 @@ fn write_serving_json(
     baseline_us: f64,
     topic_scratch_us: f64,
     topic_reference_us: f64,
+    gibbs: &GibbsSamplerBench,
 ) {
-    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     let tables = test.len().max(1) as f64;
     let columns: usize = test.iter().map(|t| t.num_columns()).sum();
     let per_table = mean(per_table_secs);
     let batched = mean(batched_secs);
     let json = format!(
-        "{{\n  \"schema\": \"sato-bench/serving-v1\",\n  \"single_threaded\": true,\n  \"model\": \"Sato (Full)\",\n  \"corpus\": {{ \"tables\": {}, \"columns\": {}, \"seed\": {}, \"trials\": {} }},\n  \"serving\": {{\n    \"batch_cols\": {BATCH_COLS},\n    \"per_table_secs\": {per_table:.6},\n    \"batched_secs\": {batched:.6},\n    \"per_table_tables_per_sec\": {:.2},\n    \"batched_tables_per_sec\": {:.2},\n    \"batched_speedup\": {:.3}\n  }},\n  \"feature_extraction\": {{\n    \"single_pass_us_per_column\": {single_pass_us:.2},\n    \"baseline_us_per_column\": {baseline_us:.2},\n    \"single_pass_speedup\": {:.3}\n  }},\n  \"topic_estimation\": {{\n    \"scratch_us_per_table\": {topic_scratch_us:.2},\n    \"reference_us_per_table\": {topic_reference_us:.2},\n    \"topic_speedup\": {:.3}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"sato-bench/serving-v1\",\n  \"single_threaded\": true,\n  \"model\": \"Sato (Full)\",\n  \"corpus\": {{ \"tables\": {}, \"columns\": {}, \"seed\": {}, \"trials\": {} }},\n  \"serving\": {{\n    \"batch_cols\": {BATCH_COLS},\n    \"sampler\": \"{}\",\n    \"per_table_secs\": {per_table:.6},\n    \"batched_secs\": {batched:.6},\n    \"per_table_tables_per_sec\": {:.2},\n    \"batched_tables_per_sec\": {:.2},\n    \"batched_speedup\": {:.3}\n  }},\n  \"feature_extraction\": {{\n    \"single_pass_us_per_column\": {single_pass_us:.2},\n    \"baseline_us_per_column\": {baseline_us:.2},\n    \"single_pass_speedup\": {:.3}\n  }},\n  \"topic_estimation\": {{\n    \"scratch_us_per_table\": {topic_scratch_us:.2},\n    \"reference_us_per_table\": {topic_reference_us:.2},\n    \"topic_speedup\": {:.3}\n  }},\n  \"gibbs_sampler\": {{\n    \"dense_us_per_table\": {:.2},\n    \"sparse_us_per_table\": {:.2},\n    \"sparse_speedup\": {:.3},\n    \"mean_l1_drift_vs_dense\": {:.4}\n  }}\n}}\n",
         test.len(),
         columns,
         opts.seed,
         opts.trials,
+        opts.sampler.name(),
         tables / per_table.max(1e-12),
         tables / batched.max(1e-12),
         per_table / batched.max(1e-12),
         baseline_us / single_pass_us.max(1e-9),
         topic_reference_us / topic_scratch_us.max(1e-9),
+        gibbs.dense_us,
+        gibbs.sparse_us,
+        gibbs.dense_us / gibbs.sparse_us.max(1e-9),
+        gibbs.mean_l1_drift,
     );
     std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
     println!("wrote BENCH_serving.json:\n{json}");

@@ -30,8 +30,8 @@ use sato_nn::serialize::{LoadError, StateDict};
 use sato_nn::Matrix;
 use sato_tabular::table::{Corpus, Table};
 use sato_tabular::types::{SemanticType, NUM_TYPES};
-use sato_topic::{TableIntentEstimator, TopicScratch};
-use std::collections::HashMap;
+use sato_topic::{SamplerKind, TableIntentEstimator, TopicSampler, TopicScratch};
+use std::collections::{HashMap, VecDeque};
 
 /// Index of the maximum probability in one row (ties resolve to the last
 /// maximal entry, matching `Iterator::max_by`).
@@ -242,6 +242,7 @@ impl ColumnwiseModel {
             self.group_widths.clone(),
             &net.state_dict(),
             &head.state_dict(),
+            SamplerKind::Dense,
         )
         .expect("snapshot of an identical architecture cannot fail")
     }
@@ -261,6 +262,8 @@ impl ColumnwiseModel {
             head,
             scalers: self.scalers,
             group_widths: self.group_widths,
+            sampler_kind: SamplerKind::Dense,
+            sampler: TopicSampler::Dense,
         }
     }
 }
@@ -378,6 +381,47 @@ fn infer_embeddings(
         .collect()
 }
 
+/// Default capacity (distinct table ids) of the opt-in topic memo enabled
+/// by [`ServingScratch::with_topic_memo`].
+pub const DEFAULT_TOPIC_MEMO_CAPACITY: usize = 4096;
+
+/// Bounded per-table-id topic cache: a hash map plus an insertion-order
+/// queue. When a new id would exceed the capacity, the **oldest inserted**
+/// id is evicted (FIFO — O(1), deterministic, no recency bookkeeping on the
+/// hit path). An unbounded memo would grow without limit on long-lived
+/// serving over ever-fresh table ids.
+struct TopicMemo {
+    map: HashMap<u64, Vec<f32>>,
+    order: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl TopicMemo {
+    fn new(capacity: usize) -> Self {
+        TopicMemo {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn get(&self, id: u64) -> Option<&Vec<f32>> {
+        self.map.get(&id)
+    }
+
+    fn insert(&mut self, id: u64, theta: Vec<f32>) {
+        if self.map.insert(id, theta).is_some() {
+            return; // refreshed an existing id; insertion order unchanged
+        }
+        if self.map.len() > self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+            }
+        }
+        self.order.push_back(id);
+    }
+}
+
 /// Reusable workspace for the corpus-batched serving path: feature
 /// extraction buffers, per-group batch input matrices, the network's
 /// ping-pong activation buffers, the flat probability matrix and the CRF
@@ -388,13 +432,13 @@ fn infer_embeddings(
 pub struct ServingScratch {
     features: FeatureScratch,
     /// Streaming table-topic estimation workspace (token ids, token buffer,
-    /// Gibbs-inference buffers).
+    /// Gibbs-inference buffers — including the sparse-sampler structures).
     topic: TopicScratch,
     /// The current table's topic vector, reused across tables.
     topic_vec: Vec<f32>,
-    /// Opt-in memo of table id → topic vector (see
+    /// Opt-in bounded memo of table id → topic vector (see
     /// [`Self::with_topic_memo`]).
-    topic_memo: Option<HashMap<u64, Vec<f32>>>,
+    topic_memo: Option<TopicMemo>,
     net: MultiInferScratch,
     head: InferScratch,
     groups: Vec<Matrix>,
@@ -412,29 +456,44 @@ impl ServingScratch {
         Self::default()
     }
 
-    /// Enable the per-table topic memo: the topic vector of every table id
-    /// is cached in this scratch and reused when the same id is served
-    /// again, skipping the (comparatively expensive) LDA Gibbs inference for
-    /// repeated tables — the common shape of a serving loop that re-predicts
-    /// a slowly-changing corpus.
+    /// Enable the per-table topic memo with the default capacity
+    /// ([`DEFAULT_TOPIC_MEMO_CAPACITY`] distinct ids): the topic vector of
+    /// every table id is cached in this scratch and reused when the same id
+    /// is served again, skipping the (comparatively expensive) LDA Gibbs
+    /// inference for repeated tables — the common shape of a serving loop
+    /// that re-predicts a slowly-changing corpus.
     ///
     /// The memo is keyed by [`Table::id`] alone and lives as long as the
     /// scratch, so it must only be used where (a) a table id uniquely
     /// identifies the table's content — serving a *different* table under a
     /// previously seen id would reuse the stale topic vector — and (b) the
-    /// scratch stays with **one predictor**: the cached vectors belong to
-    /// that predictor's LDA model, and replaying them into a different
-    /// predictor would silently feed it the wrong topics. The default (no
-    /// memo) has neither requirement.
-    pub fn with_topic_memo(mut self) -> Self {
-        self.topic_memo = Some(HashMap::new());
+    /// scratch stays with **one predictor** (and one sampler choice): the
+    /// cached vectors belong to that predictor's LDA model and sampler, and
+    /// replaying them into a different predictor would silently feed it the
+    /// wrong topics. The default (no memo) has neither requirement.
+    pub fn with_topic_memo(self) -> Self {
+        self.with_topic_memo_capacity(DEFAULT_TOPIC_MEMO_CAPACITY)
+    }
+
+    /// [`Self::with_topic_memo`] with an explicit capacity (clamped to at
+    /// least 1). When a new table id would exceed it, the oldest *inserted*
+    /// id is evicted (FIFO), bounding memory on long-lived serving loops
+    /// that see an unbounded stream of distinct ids; evicted tables are
+    /// simply re-estimated on their next serve.
+    pub fn with_topic_memo_capacity(mut self, capacity: usize) -> Self {
+        self.topic_memo = Some(TopicMemo::new(capacity));
         self
     }
 
     /// Number of distinct table ids currently memoised (0 when the memo is
     /// disabled).
     pub fn topic_memo_len(&self) -> usize {
-        self.topic_memo.as_ref().map_or(0, HashMap::len)
+        self.topic_memo.as_ref().map_or(0, |m| m.map.len())
+    }
+
+    /// The memo's id capacity (0 when the memo is disabled).
+    pub fn topic_memo_capacity(&self) -> usize {
+        self.topic_memo.as_ref().map_or(0, |m| m.capacity)
     }
 }
 
@@ -450,6 +509,13 @@ pub struct FrozenColumnwise {
     head: Sequential,
     scalers: Vec<Standardizer>,
     group_widths: Vec<usize>,
+    /// The configured topic-sampler axis (serialized into artifacts).
+    sampler_kind: SamplerKind,
+    /// The ready-to-run sampling strategy, pre-built from `sampler_kind`
+    /// against the intent estimator's frozen model at freeze/load time
+    /// (`TopicSampler::Dense` for non-topic models, where the choice is
+    /// moot).
+    sampler: TopicSampler,
 }
 
 impl FrozenColumnwise {
@@ -463,14 +529,39 @@ impl FrozenColumnwise {
         self.intent.as_ref()
     }
 
+    /// The configured topic-sampler variant.
+    pub fn sampler_kind(&self) -> SamplerKind {
+        self.sampler_kind
+    }
+
+    /// The pre-built sampling strategy serving inference runs with.
+    pub fn sampler(&self) -> &TopicSampler {
+        &self.sampler
+    }
+
+    /// Reconfigure the topic-sampler axis, rebuilding whatever pre-computed
+    /// state the strategy needs (per-word alias tables for
+    /// [`SamplerKind::SparseAlias`]) from the frozen intent model. For
+    /// models without a topic estimator the kind is recorded (and
+    /// serialized) but has no effect on predictions.
+    pub(crate) fn with_sampler_kind(mut self, kind: SamplerKind) -> Self {
+        self.sampler_kind = kind;
+        self.sampler = self
+            .intent
+            .as_ref()
+            .map_or(TopicSampler::Dense, |est| est.build_sampler(kind));
+        self
+    }
+
     /// The per-group input widths the network was trained with.
     pub fn group_widths(&self) -> &[usize] {
         &self.group_widths
     }
 
-    /// Extract the network inputs for a table (features + topic vector).
+    /// Extract the network inputs for a table (features + topic vector,
+    /// estimated with the configured sampler).
     pub fn extract_inputs(&self, table: &Table) -> TableInputs {
-        TableInputs::extract(table, &self.extractor, self.intent.as_ref())
+        TableInputs::extract_sampled(table, &self.extractor, self.intent.as_ref(), &self.sampler)
     }
 
     /// Evaluation-mode forward pass on pre-extracted inputs.
@@ -526,13 +617,18 @@ impl FrozenColumnwise {
                     .intent
                     .as_ref()
                     .expect("topic-aware model carries an intent estimator");
-                if let Some(hit) = scratch.topic_memo.as_ref().and_then(|m| m.get(&table.id)) {
+                if let Some(hit) = scratch.topic_memo.as_ref().and_then(|m| m.get(table.id)) {
                     scratch.topic_vec.clear();
                     scratch.topic_vec.extend_from_slice(hit);
                 } else {
                     scratch.topic_vec.clear();
                     scratch.topic_vec.resize(est.num_topics(), 0.0);
-                    est.estimate_into(table, &mut scratch.topic, &mut scratch.topic_vec);
+                    est.estimate_into(
+                        table,
+                        &self.sampler,
+                        &mut scratch.topic,
+                        &mut scratch.topic_vec,
+                    );
                     if let Some(memo) = &mut scratch.topic_memo {
                         memo.insert(table.id, scratch.topic_vec.clone());
                     }
@@ -594,8 +690,10 @@ impl FrozenColumnwise {
     }
 
     /// Rebuild a frozen core from its serialized parts: the architecture is
-    /// reconstructed from `config` + `group_widths` and the weights (and
-    /// BatchNorm running statistics) loaded from the state dicts.
+    /// reconstructed from `config` + `group_widths`, the weights (and
+    /// BatchNorm running statistics) loaded from the state dicts, and the
+    /// sampler's pre-computed state rebuilt from its serialized kind.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_state(
         config: &SatoConfig,
         use_topic: bool,
@@ -604,6 +702,7 @@ impl FrozenColumnwise {
         group_widths: Vec<usize>,
         net_state: &StateDict,
         head_state: &StateDict,
+        sampler_kind: SamplerKind,
     ) -> Result<Self, LoadError> {
         let (mut net, mut head) = build_network(config, &group_widths);
         net.load_state_dict(net_state)?;
@@ -616,7 +715,10 @@ impl FrozenColumnwise {
             head,
             scalers,
             group_widths,
-        })
+            sampler_kind: SamplerKind::Dense,
+            sampler: TopicSampler::Dense,
+        }
+        .with_sampler_kind(sampler_kind))
     }
 }
 

@@ -9,7 +9,7 @@
 use sato_features::{ColumnFeatures, FeatureExtractor, FeatureGroup, FeatureScratch};
 use sato_nn::Matrix;
 use sato_tabular::table::{Corpus, Table};
-use sato_topic::TableIntentEstimator;
+use sato_topic::{TableIntentEstimator, TopicSampler};
 
 /// The input groups of the column-wise network, in branch order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,7 +54,7 @@ pub struct TableInputs {
 }
 
 impl TableInputs {
-    /// Extract the inputs of a table.
+    /// Extract the inputs of a table (topic vector via the dense sampler).
     pub fn extract(
         table: &Table,
         extractor: &FeatureExtractor,
@@ -64,16 +64,48 @@ impl TableInputs {
     }
 
     /// Extract the inputs of a table, reusing a feature-extraction workspace
-    /// across its columns (and, in corpus loops, across tables).
+    /// across its columns (and, in corpus loops, across tables). The topic
+    /// vector uses the dense sampler (training and analysis paths are
+    /// sampler-agnostic; serving threads its configured sampler through
+    /// [`Self::extract_sampled`]).
     pub fn extract_with(
         table: &Table,
         extractor: &FeatureExtractor,
         intent: Option<&TableIntentEstimator>,
         scratch: &mut FeatureScratch,
     ) -> Self {
+        Self::extract_sampled_with(table, extractor, intent, &TopicSampler::Dense, scratch)
+    }
+
+    /// [`Self::extract`] with an explicit topic-sampling strategy — the
+    /// serving-side entry point; with [`TopicSampler::Dense`] the output is
+    /// bit-identical to [`Self::extract`].
+    pub fn extract_sampled(
+        table: &Table,
+        extractor: &FeatureExtractor,
+        intent: Option<&TableIntentEstimator>,
+        sampler: &TopicSampler,
+    ) -> Self {
+        Self::extract_sampled_with(
+            table,
+            extractor,
+            intent,
+            sampler,
+            &mut FeatureScratch::new(),
+        )
+    }
+
+    /// [`Self::extract_sampled`] reusing a feature-extraction workspace.
+    pub fn extract_sampled_with(
+        table: &Table,
+        extractor: &FeatureExtractor,
+        intent: Option<&TableIntentEstimator>,
+        sampler: &TopicSampler,
+        scratch: &mut FeatureScratch,
+    ) -> Self {
         TableInputs {
             columns: extractor.extract_table_with(table, scratch),
-            topic: intent.map(|est| est.estimate(table)),
+            topic: intent.map(|est| est.estimate_sampled(table, sampler)),
         }
     }
 

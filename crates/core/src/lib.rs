@@ -75,10 +75,15 @@ pub mod structured;
 pub use bert_like::{BertLikeConfig, BertLikeModel};
 pub use columnwise::{
     types_from_proba, ColumnwiseInference, ColumnwiseModel, ColumnwiseTrainer, FrozenColumnwise,
-    ServingScratch,
+    ServingScratch, DEFAULT_TOPIC_MEMO_CAPACITY,
 };
 pub use config::{CrfTrainParams, NetworkConfig, SatoConfig};
 pub use dataset::{InputGroup, TableInputs, TrainingData};
 pub use model::{SatoModel, SatoVariant, TablePrediction, TrainTimings};
 pub use predictor::{PredictorError, SatoPredictor};
 pub use structured::{unary_from_proba, StructuredLayer};
+
+// The topic-sampler axis is part of the serving API surface
+// ([`SatoPredictor::with_sampler`]); re-export it so serving code does not
+// need a direct `sato_topic` dependency.
+pub use sato_topic::{SamplerKind, TopicSampler};

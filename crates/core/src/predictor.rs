@@ -35,7 +35,7 @@ use sato_features::FeatureGroup;
 use sato_nn::serialize::{LoadError, StateDict};
 use sato_tabular::table::{Corpus, Table};
 use sato_tabular::types::SemanticType;
-use sato_topic::TableIntentEstimator;
+use sato_topic::{SamplerKind, TableIntentEstimator};
 use serde::{Deserialize, Serialize};
 
 /// Version tag written into serialized predictor artifacts.
@@ -102,6 +102,11 @@ struct PredictorArtifact {
     variant: SatoVariant,
     config: SatoConfig,
     use_topic: bool,
+    /// The topic-sampler axis ([`SatoPredictor::with_sampler`]). Artifacts
+    /// written before this field existed deserialize as `Dense` (see
+    /// [`SatoPredictor::from_json`]), which is bit-identical to their
+    /// historical behaviour.
+    sampler: SamplerKind,
     group_widths: Vec<usize>,
     scalers: Vec<Standardizer>,
     net: StateDict,
@@ -153,6 +158,33 @@ impl SatoPredictor {
     /// Whether this predictor consumes the table topic vector.
     pub fn uses_topic(&self) -> bool {
         self.columnwise.uses_topic()
+    }
+
+    /// The configured topic-sampler variant (see [`Self::with_sampler`]).
+    pub fn sampler_kind(&self) -> SamplerKind {
+        self.columnwise.sampler_kind()
+    }
+
+    /// Reconfigure the serving-time topic sampler, the accuracy/speed axis
+    /// of topic estimation:
+    ///
+    /// * [`SamplerKind::Dense`] (default) — the exact collapsed sweep,
+    ///   bit-identical to historical predictions and to every saved
+    ///   artifact that predates the sampler field.
+    /// * [`SamplerKind::SparseAlias`] — `O(k_d)`-per-token sparse/alias
+    ///   sampling; statistically close but not bit-identical. The per-word
+    ///   alias tables are pre-built **here** (freeze time), never on the
+    ///   serving hot path.
+    ///
+    /// The choice is respected by every serving entry point (`predict`,
+    /// `predict_corpus`, `predict_corpus_batched`,
+    /// `predict_corpus_parallel_batched`, …) and serialized into the JSON
+    /// artifact, so a loaded predictor reproduces the saved one bit for
+    /// bit. For variants without a topic estimator the kind is recorded but
+    /// predictions are unaffected.
+    pub fn with_sampler(mut self, kind: SamplerKind) -> Self {
+        self.columnwise = self.columnwise.with_sampler_kind(kind);
+        self
     }
 
     /// The CRF layer, if the frozen variant has one.
@@ -373,6 +405,7 @@ impl SatoPredictor {
             variant: self.variant,
             config: self.config.clone(),
             use_topic: self.columnwise.uses_topic(),
+            sampler: self.columnwise.sampler_kind(),
             group_widths: self.columnwise.group_widths().to_vec(),
             scalers: self.columnwise.scalers().to_vec(),
             net: self.columnwise.net_state(),
@@ -386,8 +419,26 @@ impl SatoPredictor {
     /// Rebuild a predictor from a JSON artifact written by
     /// [`Self::to_json`]. The loaded predictor reproduces the predictions of
     /// the saved one bit for bit.
+    ///
+    /// Artifacts written before the sampler axis existed carry no `sampler`
+    /// field; they load as [`SamplerKind::Dense`], which is exactly the
+    /// sampler they were serving with. An *unknown* sampler name, by
+    /// contrast, is a hard load error — silently falling back could serve a
+    /// different accuracy/latency trade-off than the artifact's author
+    /// chose.
     pub fn from_json(json: &str) -> Result<Self, PredictorError> {
-        let artifact: PredictorArtifact = serde_json::from_str(json)?;
+        // Parse to the raw value tree first so the missing-field default can
+        // be injected without weakening any other field's presence check.
+        let mut value: serde::Value = serde_json::from_str(json)?;
+        if let serde::Value::Map(entries) = &mut value {
+            if !entries.iter().any(|(key, _)| key == "sampler") {
+                entries.push((
+                    "sampler".to_string(),
+                    serde::Value::Str("Dense".to_string()),
+                ));
+            }
+        }
+        let artifact = PredictorArtifact::from_value(&value).map_err(serde_json::Error::from)?;
         if artifact.format_version != FORMAT_VERSION {
             return Err(PredictorError::UnsupportedVersion(artifact.format_version));
         }
@@ -417,6 +468,7 @@ impl SatoPredictor {
             artifact.group_widths,
             &artifact.net,
             &artifact.head,
+            artifact.sampler,
         )?;
         Ok(SatoPredictor {
             variant: artifact.variant,
@@ -609,6 +661,10 @@ mod tests {
         let sequential = predictor.predict_corpus(&corpus);
         let mut scratch = ServingScratch::new().with_topic_memo();
         assert_eq!(scratch.topic_memo_len(), 0);
+        assert_eq!(
+            scratch.topic_memo_capacity(),
+            crate::columnwise::DEFAULT_TOPIC_MEMO_CAPACITY
+        );
         // First serve fills the memo, later serves hit it — output must stay
         // bit-identical to the per-table path every time.
         for pass in 0..3 {
@@ -619,6 +675,56 @@ mod tests {
             );
         }
         assert_eq!(scratch.topic_memo_len(), corpus.len());
+    }
+
+    /// The topic memo is bounded: with capacity `c`, serving any number of
+    /// distinct table ids keeps at most `c` entries (oldest-inserted ids
+    /// evicted first), and eviction never affects correctness — an evicted
+    /// table is simply re-estimated on its next serve.
+    #[test]
+    fn topic_memo_capacity_bounds_growth_and_evicts_oldest() {
+        let corpus = default_corpus(12, 8);
+        let predictor =
+            SatoModel::train(&corpus, tiny_config(), SatoVariant::Full).into_predictor();
+        let sequential = predictor.predict_corpus(&corpus);
+        let mut scratch = ServingScratch::new().with_topic_memo_capacity(3);
+        assert_eq!(scratch.topic_memo_capacity(), 3);
+        for pass in 0..3 {
+            assert_eq!(
+                sequential,
+                predictor.predict_corpus_batched_with(&corpus, 64, &mut scratch),
+                "bounded-memo serve diverged on pass {pass}"
+            );
+            assert_eq!(
+                scratch.topic_memo_len(),
+                3,
+                "memo exceeded its capacity on pass {pass}"
+            );
+        }
+        // Capacity clamps to at least one entry.
+        let mut tiny = ServingScratch::new().with_topic_memo_capacity(0);
+        assert_eq!(tiny.topic_memo_capacity(), 1);
+        assert_eq!(
+            sequential,
+            predictor.predict_corpus_batched_with(&corpus, 64, &mut tiny)
+        );
+        assert_eq!(tiny.topic_memo_len(), 1);
+    }
+
+    #[test]
+    fn sampler_kind_round_trips_and_defaults_to_dense() {
+        use sato_topic::SamplerKind;
+        let corpus = default_corpus(30, 6);
+        let predictor =
+            SatoModel::train(&corpus, tiny_config(), SatoVariant::Full).into_predictor();
+        assert_eq!(predictor.sampler_kind(), SamplerKind::Dense);
+        let sparse = predictor.with_sampler(SamplerKind::SparseAlias);
+        assert_eq!(sparse.sampler_kind(), SamplerKind::SparseAlias);
+        let loaded = SatoPredictor::from_json(&sparse.to_json()).unwrap();
+        assert_eq!(loaded.sampler_kind(), SamplerKind::SparseAlias);
+        for table in corpus.iter().take(5) {
+            assert_eq!(sparse.predict(table), loaded.predict(table));
+        }
     }
 
     #[test]

@@ -93,6 +93,22 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, DeError>;
 }
 
+// `Value` round-trips through itself (like real `serde_json::Value`), so
+// callers can parse a document into the raw tree, inspect or patch it —
+// e.g. defaulting a field that older artifacts lack — and then decode it
+// into a typed struct.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)

@@ -3,6 +3,7 @@
 //! shared by every column of the table.
 
 use crate::lda::{LdaConfig, LdaInferScratch, LdaModel};
+use crate::sampler::{SamplerKind, TopicSampler};
 use sato_tabular::table::{Corpus, Table};
 use serde::{Deserialize, Serialize};
 
@@ -72,20 +73,51 @@ impl TableIntentEstimator {
         corpus.iter().map(|t| self.estimate(t)).collect()
     }
 
+    /// Build a ready-to-run [`TopicSampler`] for this estimator's model
+    /// (see [`LdaModel::sampler`]); `SparseAlias` pre-builds the per-word
+    /// alias tables once, at predictor freeze/load time.
+    pub fn build_sampler(&self, kind: SamplerKind) -> TopicSampler {
+        self.model.sampler(kind)
+    }
+
+    /// Estimate the topic vector of a table with an explicit sampling
+    /// strategy (allocating convenience over [`Self::estimate_into`]).
+    /// With [`TopicSampler::Dense`] the output is bit-identical to
+    /// [`Self::estimate`].
+    pub fn estimate_sampled(&self, table: &Table, sampler: &TopicSampler) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.num_topics()];
+        self.estimate_into(table, sampler, &mut TopicScratch::new(), &mut out);
+        out
+    }
+
     /// Streaming, allocation-lean estimate: walks the table's cell values
     /// directly (no `as_document` mega-string), encodes tokens by `&str`
-    /// lookup (no per-token `String`) and runs Gibbs inference in the
-    /// caller's scratch. Output is **bit-identical** to [`Self::estimate`].
-    pub fn estimate_with(&self, table: &Table, scratch: &mut TopicScratch) -> Vec<f32> {
+    /// lookup (no per-token `String`) and runs Gibbs inference with the
+    /// given sampling strategy in the caller's scratch. With
+    /// [`TopicSampler::Dense`] the output is **bit-identical** to
+    /// [`Self::estimate`].
+    pub fn estimate_with(
+        &self,
+        table: &Table,
+        sampler: &TopicSampler,
+        scratch: &mut TopicScratch,
+    ) -> Vec<f32> {
         let mut out = vec![0.0f32; self.num_topics()];
-        self.estimate_into(table, scratch, &mut out);
+        self.estimate_into(table, sampler, scratch, &mut out);
         out
     }
 
     /// [`Self::estimate_with`] writing into a caller-provided slice of
     /// length [`Self::num_topics`]: a warm call performs zero heap
-    /// allocations (rare exact-case-fold fallback aside).
-    pub fn estimate_into(&self, table: &Table, scratch: &mut TopicScratch, out: &mut [f32]) {
+    /// allocations for either sampler (rare exact-case-fold fallback
+    /// aside).
+    pub fn estimate_into(
+        &self,
+        table: &Table,
+        sampler: &TopicSampler,
+        scratch: &mut TopicScratch,
+        out: &mut [f32],
+    ) {
         let TopicScratch {
             tokens,
             token_buf,
@@ -95,20 +127,21 @@ impl TableIntentEstimator {
         let vocab = self.model.vocabulary();
         table.for_each_value(|value| vocab.encode_value_into(value, token_buf, tokens));
         self.model
-            .infer_tokens_into(tokens, self.model.default_infer_seed(), infer, out);
+            .infer_tokens_into(tokens, self.model.default_infer_seed(), sampler, infer, out);
     }
 
     /// Estimate topic vectors for every table of a corpus through one shared
     /// scratch — the corpus-batched counterpart of [`Self::estimate_corpus`],
-    /// bit-identical to it.
+    /// bit-identical to it under [`TopicSampler::Dense`].
     pub fn estimate_corpus_with(
         &self,
         corpus: &Corpus,
+        sampler: &TopicSampler,
         scratch: &mut TopicScratch,
     ) -> Vec<Vec<f32>> {
         corpus
             .iter()
-            .map(|t| self.estimate_with(t, scratch))
+            .map(|t| self.estimate_with(t, sampler, scratch))
             .collect()
     }
 
@@ -159,7 +192,7 @@ mod tests {
         let mut scratch = TopicScratch::new();
         assert_eq!(
             est.estimate_corpus(&corpus),
-            est.estimate_corpus_with(&corpus, &mut scratch)
+            est.estimate_corpus_with(&corpus, &TopicSampler::Dense, &mut scratch)
         );
         // Edge cases: empty table, one-token table, OOV-only table.
         let edge_tables = [
@@ -171,9 +204,46 @@ mod tests {
         for table in &edge_tables {
             assert_eq!(
                 est.estimate(table),
-                est.estimate_with(table, &mut scratch),
+                est.estimate_with(table, &TopicSampler::Dense, &mut scratch),
                 "streaming estimate diverged on table {}",
                 table.id
+            );
+            assert_eq!(
+                est.estimate(table),
+                est.estimate_sampled(table, &TopicSampler::Dense),
+                "allocating sampled estimate diverged on table {}",
+                table.id
+            );
+        }
+    }
+
+    /// The sparse/alias sampler produces valid, deterministic topic
+    /// vectors at the estimator level (the serving entry point).
+    #[test]
+    fn sparse_sampler_estimates_are_valid_and_deterministic() {
+        use sato_tabular::table::{Column, Table};
+        let est = estimator();
+        let sampler = est.build_sampler(SamplerKind::SparseAlias);
+        assert_eq!(sampler.kind(), SamplerKind::SparseAlias);
+        let mut scratch = TopicScratch::new();
+        let corpus = default_corpus(10, 31);
+        for table in corpus.iter() {
+            let a = est.estimate_with(table, &sampler, &mut scratch);
+            let b = est.estimate_with(table, &sampler, &mut scratch);
+            assert_eq!(a, b, "sparse estimate not deterministic");
+            assert_eq!(a, est.estimate_sampled(table, &sampler));
+            let sum: f32 = a.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-3);
+            assert!(a.iter().all(|&x| x >= 0.0));
+        }
+        // Empty and OOV-only tables behave exactly like the dense sampler
+        // (no tokens → uniform, before any sampling happens).
+        let empty = Table::unlabelled(900, vec![]);
+        let oov = Table::unlabelled(901, vec![Column::new(["zzzzqq", "xxyyzz"])]);
+        for table in [&empty, &oov] {
+            assert_eq!(
+                est.estimate(table),
+                est.estimate_with(table, &sampler, &mut scratch)
             );
         }
     }

@@ -6,6 +6,7 @@
 //! experiments default to fewer), and inference for unseen tables runs a few
 //! Gibbs sweeps against the frozen topic–word counts.
 
+use crate::sampler::{pick_bucket, sample_discrete, SamplerKind, SparseAliasTables, TopicSampler};
 use crate::vocab::Vocabulary;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -215,26 +216,53 @@ impl LdaModel {
         self.infer_tokens(&tokens, seed)
     }
 
-    /// Infer the topic distribution of a pre-encoded document.
+    /// Build a ready-to-run [`TopicSampler`] for this model. `Dense` has no
+    /// state; `SparseAlias` pre-builds the per-word alias tables from the
+    /// frozen topic–word term (`O(K·V)`, once per frozen model — never on
+    /// the per-token hot path).
+    pub fn sampler(&self, kind: SamplerKind) -> TopicSampler {
+        match kind {
+            SamplerKind::Dense => TopicSampler::Dense,
+            SamplerKind::SparseAlias => {
+                TopicSampler::SparseAlias(Box::new(SparseAliasTables::build(self)))
+            }
+        }
+    }
+
+    /// Infer the topic distribution of a pre-encoded document with the
+    /// dense sampler.
     ///
     /// Allocates fresh working buffers per call; hot loops should reuse an
     /// [`LdaInferScratch`] via [`Self::infer_tokens_into`], which this wraps.
     pub fn infer_tokens(&self, tokens: &[usize], seed: u64) -> Vec<f32> {
         let mut out = vec![0.0f32; self.config.num_topics];
-        self.infer_tokens_into(tokens, seed, &mut LdaInferScratch::new(), &mut out);
+        self.infer_tokens_into(
+            tokens,
+            seed,
+            &TopicSampler::Dense,
+            &mut LdaInferScratch::new(),
+            &mut out,
+        );
         out
     }
 
-    /// [`Self::infer_tokens`] with caller-owned working buffers: every
-    /// Gibbs-sampling intermediate lives in `scratch` and the theta vector is
-    /// written into `out` (length [`Self::num_topics`]), so a warm call
-    /// performs **zero** heap allocations (enforced by the counting-allocator
-    /// test `crates/topic/tests/alloc_free_infer.rs`). Output is bit-identical
-    /// to [`Self::infer_tokens`].
+    /// [`Self::infer_tokens`] with an explicit sampling strategy and
+    /// caller-owned working buffers: every Gibbs-sampling intermediate
+    /// (including the sparse count structures of the sparse/alias sampler)
+    /// lives in `scratch` and the theta vector is written into `out`
+    /// (length [`Self::num_topics`]), so a warm call performs **zero** heap
+    /// allocations for either sampler (enforced by the counting-allocator
+    /// test `crates/topic/tests/alloc_free_infer.rs`).
+    ///
+    /// With [`TopicSampler::Dense`] the output is bit-identical to
+    /// [`Self::infer_tokens`]; with [`TopicSampler::SparseAlias`] it samples
+    /// the same per-token conditional through a different decomposition, so
+    /// the theta is statistically close but not bit-identical.
     pub fn infer_tokens_into(
         &self,
         tokens: &[usize],
         seed: u64,
+        sampler: &TopicSampler,
         scratch: &mut LdaInferScratch,
         out: &mut [f32],
     ) {
@@ -245,6 +273,24 @@ impl LdaModel {
             out.fill(1.0 / k as f32);
             return;
         }
+        match sampler {
+            TopicSampler::Dense => self.infer_dense(tokens, seed, scratch, out),
+            TopicSampler::SparseAlias(tables) => {
+                self.infer_sparse_alias(tokens, seed, tables, scratch, out)
+            }
+        }
+    }
+
+    /// The collapsed dense sweep: `O(K)` per token, bit-identical to the
+    /// historical single-path implementation (the parity oracle).
+    fn infer_dense(
+        &self,
+        tokens: &[usize],
+        seed: u64,
+        scratch: &mut LdaInferScratch,
+        out: &mut [f32],
+    ) {
+        let k = self.config.num_topics;
         let v = self.vocab.len().max(1);
         let alpha = self.config.alpha;
         let beta = self.config.beta;
@@ -256,6 +302,7 @@ impl LdaModel {
             assignments,
             weights,
             accum,
+            ..
         } = scratch;
         doc_topic.clear();
         doc_topic.resize(k, 0);
@@ -293,36 +340,164 @@ impl LdaModel {
                 }
             }
         }
-        if self.config.infer_iterations == 0 {
-            // No sweep ran, so `accum` never collected a sample. Report the
-            // theta implied by the initial random assignment instead of the
-            // all-zero vector the `samples.max(1)` division used to hide.
-            for (o, &d) in out.iter_mut().zip(doc_topic.iter()) {
-                *o = ((d as f64 + alpha) / denom) as f32;
+        finish_theta(&self.config, tokens.len(), scratch, out);
+    }
+
+    /// The sparse/alias sweep: the conditional
+    /// `p(z = t) ∝ phi_w(t)·(n_{d,t} + α)` splits into the document part
+    /// `n_{d,t}·phi_w(t)` — walked over only the `k_d` topics present in
+    /// the document — and the static part `α·phi_w(t)`, drawn in `O(1)`
+    /// from the pre-built per-word alias table. One uniform draw per token
+    /// picks both the branch and the position within it.
+    fn infer_sparse_alias(
+        &self,
+        tokens: &[usize],
+        seed: u64,
+        tables: &SparseAliasTables,
+        scratch: &mut LdaInferScratch,
+        out: &mut [f32],
+    ) {
+        let k = self.config.num_topics;
+        tables.assert_matches(k, self.vocab.len());
+        let alpha = self.config.alpha;
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let LdaInferScratch {
+            doc_topic,
+            assignments,
+            weights,
+            accum,
+            nz_topics,
+            topic_pos,
+        } = scratch;
+        doc_topic.clear();
+        doc_topic.resize(k, 0);
+        topic_pos.clear();
+        topic_pos.resize(k, 0);
+        nz_topics.clear();
+        nz_topics.reserve(k);
+        assignments.clear();
+        assignments.extend(tokens.iter().map(|_| rng.gen_range(0..k)));
+        for &z in assignments.iter() {
+            if doc_topic[z] == 0 {
+                topic_pos[z] = nz_topics.len() as u32 + 1;
+                nz_topics.push(z);
             }
+            doc_topic[z] += 1;
+        }
+        weights.clear();
+        weights.resize(k, 0.0);
+        accum.clear();
+        accum.resize(k, 0.0);
+        let denom = tokens.len() as f64 + alpha * k as f64;
+        let burn_in = self.config.infer_iterations / 2;
+
+        let mut sampled_sweeps = 0u32;
+        for iter in 0..self.config.infer_iterations {
+            for (i, &w) in tokens.iter().enumerate() {
+                let old = assignments[i];
+                // Remove the token from the sparse document counts.
+                doc_topic[old] -= 1;
+                if doc_topic[old] == 0 {
+                    let pos = (topic_pos[old] - 1) as usize;
+                    nz_topics.swap_remove(pos);
+                    if let Some(&moved) = nz_topics.get(pos) {
+                        topic_pos[moved] = pos as u32 + 1;
+                    }
+                    topic_pos[old] = 0;
+                }
+                // Document part: O(k_d) fused weight fill + mass.
+                let phi_row = tables.phi_row(w);
+                let mut r = 0.0;
+                for (slot, &t) in nz_topics.iter().enumerate() {
+                    let wt = doc_topic[t] as f64 * phi_row[t];
+                    weights[slot] = wt;
+                    r += wt;
+                }
+                let s = tables.static_mass(w);
+                let total = r + s;
+                let u = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+                let new = if u < r {
+                    // Same last-bucket rounding fallback as the dense sweep.
+                    nz_topics[pick_bucket(&weights[..nz_topics.len()], u)]
+                } else {
+                    tables.sample_alias(w, (u - r) / s)
+                };
+                assignments[i] = new;
+                if doc_topic[new] == 0 {
+                    topic_pos[new] = nz_topics.len() as u32 + 1;
+                    nz_topics.push(new);
+                }
+                doc_topic[new] += 1;
+            }
+            if iter >= burn_in {
+                // Sparse accumulation: only topics present in the document
+                // contribute beyond the constant `α / denom`, which is added
+                // for all `K` topics once at the end.
+                sampled_sweeps += 1;
+                for &t in nz_topics.iter() {
+                    accum[t] += doc_topic[t] as f64 / denom;
+                }
+            }
+        }
+        if self.config.infer_iterations == 0 {
+            finish_theta(&self.config, tokens.len(), scratch, out);
             return;
         }
-        let samples = (self.config.infer_iterations - burn_in).max(1) as f64;
-        for (o, &x) in out.iter_mut().zip(accum.iter()) {
-            *o = (x / samples) as f32;
+        let samples = f64::from(sampled_sweeps.max(1));
+        let alpha_share = alpha / denom;
+        for (o, &x) in out.iter_mut().zip(scratch.accum.iter()) {
+            *o = ((x / samples) + alpha_share) as f32;
         }
     }
 }
 
+/// Turn the accumulated post-burn-in samples (or, for
+/// `infer_iterations == 0`, the initial assignment) into the output theta —
+/// shared by both samplers so the zero-iteration regression fix cannot
+/// drift between them.
+fn finish_theta(config: &LdaConfig, num_tokens: usize, scratch: &LdaInferScratch, out: &mut [f32]) {
+    let k = config.num_topics;
+    let denom = num_tokens as f64 + config.alpha * k as f64;
+    if config.infer_iterations == 0 {
+        // No sweep ran, so `accum` never collected a sample. Report the
+        // theta implied by the initial random assignment instead of the
+        // all-zero vector the `samples.max(1)` division used to hide.
+        for (o, &d) in out.iter_mut().zip(scratch.doc_topic.iter()) {
+            *o = ((d as f64 + config.alpha) / denom) as f32;
+        }
+        return;
+    }
+    let burn_in = config.infer_iterations / 2;
+    let samples = (config.infer_iterations - burn_in).max(1) as f64;
+    for (o, &x) in out.iter_mut().zip(scratch.accum.iter()) {
+        *o = (x / samples) as f32;
+    }
+}
+
 /// Caller-owned working buffers for [`LdaModel::infer_tokens_into`]: the
-/// document–topic counts, per-token assignments, full-conditional weights and
-/// the theta accumulator of one Gibbs inference run. Buffers keep their
-/// capacity between documents, so a warm inference allocates nothing.
+/// document–topic counts, per-token assignments, full-conditional weights
+/// and the theta accumulator of one Gibbs inference run, plus the sparse
+/// count structures of the sparse/alias sampler (the list of topics present
+/// in the document and its positional index). Buffers keep their capacity
+/// between documents, so a warm inference allocates nothing with either
+/// sampler.
 #[derive(Debug, Clone, Default)]
 pub struct LdaInferScratch {
     /// `doc_topic[k]`: tokens of the document currently assigned to topic `k`.
     doc_topic: Vec<u32>,
     /// Current topic assignment of every token.
     assignments: Vec<usize>,
-    /// Full-conditional sampling weights, one per topic.
+    /// Sampling weights: full-conditional per topic (dense sampler) or
+    /// document-part per nonzero topic (sparse sampler).
     weights: Vec<f64>,
     /// Post-burn-in theta accumulator, one per topic.
     accum: Vec<f64>,
+    /// Sparse sampler: topics with a nonzero document count, unordered.
+    nz_topics: Vec<usize>,
+    /// Sparse sampler: `topic_pos[t]` is the position of `t` in
+    /// [`Self::nz_topics`] plus one, or 0 when `t` is absent.
+    topic_pos: Vec<u32>,
 }
 
 impl LdaInferScratch {
@@ -330,18 +505,6 @@ impl LdaInferScratch {
     pub fn new() -> Self {
         Self::default()
     }
-}
-
-/// Sample an index proportionally to `weights` (whose sum is `total`).
-fn sample_discrete(weights: &[f64], total: f64, rng: &mut StdRng) -> usize {
-    let mut target = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
-    for (i, &w) in weights.iter().enumerate() {
-        if target < w {
-            return i;
-        }
-        target -= w;
-    }
-    weights.len() - 1
 }
 
 #[cfg(test)]
@@ -520,7 +683,13 @@ mod tests {
         for doc in docs {
             let tokens = model.vocabulary().encode(doc);
             for seed in [0u64, 7, 12345] {
-                model.infer_tokens_into(&tokens, seed, &mut scratch, &mut out);
+                model.infer_tokens_into(
+                    &tokens,
+                    seed,
+                    &TopicSampler::Dense,
+                    &mut scratch,
+                    &mut out,
+                );
                 assert_eq!(
                     out,
                     model.infer_tokens(&tokens, seed),
@@ -528,5 +697,112 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sparse_alias_sampler_is_deterministic_under_seed() {
+        let model = LdaModel::fit(&themed_documents(), 1, LdaConfig::tiny());
+        let sampler = model.sampler(SamplerKind::SparseAlias);
+        let tokens = model
+            .vocabulary()
+            .encode("rock jazz blues artist album city");
+        let mut scratch = LdaInferScratch::new();
+        let mut a = vec![0.0f32; model.num_topics()];
+        let mut b = vec![0.0f32; model.num_topics()];
+        for seed in [0u64, 7, 12345] {
+            model.infer_tokens_into(&tokens, seed, &sampler, &mut scratch, &mut a);
+            model.infer_tokens_into(&tokens, seed, &sampler, &mut scratch, &mut b);
+            assert_eq!(a, b, "sparse sampler not deterministic for seed {seed}");
+        }
+        // A rebuilt sampler (fresh alias tables from the same frozen counts)
+        // reproduces the same draw chain too.
+        let rebuilt = model.sampler(SamplerKind::SparseAlias);
+        model.infer_tokens_into(&tokens, 7, &rebuilt, &mut scratch, &mut b);
+        model.infer_tokens_into(&tokens, 7, &sampler, &mut scratch, &mut a);
+        assert_eq!(a, b, "rebuilt alias tables diverged");
+    }
+
+    #[test]
+    fn sparse_alias_sampler_returns_valid_distributions() {
+        let model = LdaModel::fit(&themed_documents(), 1, LdaConfig::tiny());
+        let sampler = model.sampler(SamplerKind::SparseAlias);
+        let mut scratch = LdaInferScratch::new();
+        let mut out = vec![0.0f32; model.num_topics()];
+        let docs = [
+            "rock jazz blues artist album",
+            "warsaw", // one-token document
+            "",       // empty document → uniform
+            "warsaw london paris rock jazz city country guitar",
+        ];
+        for doc in docs {
+            let tokens = model.vocabulary().encode(doc);
+            model.infer_tokens_into(&tokens, 7, &sampler, &mut scratch, &mut out);
+            let sum: f32 = out.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-3, "{doc:?}: sum={sum}");
+            assert!(out.iter().all(|&x| x >= 0.0), "{doc:?}: negative theta");
+        }
+        // Empty document is exactly uniform, like the dense sampler.
+        let k = model.num_topics() as f32;
+        model.infer_tokens_into(&[], 7, &sampler, &mut scratch, &mut out);
+        assert!(out.iter().all(|&x| (x - 1.0 / k).abs() < 1e-6));
+    }
+
+    /// The sparse sampler draws from the same per-token conditional as the
+    /// dense sweep, so its thetas must be statistically close to Dense —
+    /// about as close as Dense is to itself under a different seed.
+    #[test]
+    fn sparse_alias_sampler_is_close_to_dense() {
+        let model = LdaModel::fit(&themed_documents(), 1, LdaConfig::tiny());
+        let sampler = model.sampler(SamplerKind::SparseAlias);
+        let mut scratch = LdaInferScratch::new();
+        let k = model.num_topics();
+        let (mut dense, mut sparse) = (vec![0.0f32; k], vec![0.0f32; k]);
+        let tokens = model
+            .vocabulary()
+            .encode("rock jazz blues artist album guitar song");
+        let mut l1 = 0.0f32;
+        let seeds = [1u64, 2, 3, 4, 5];
+        for &seed in &seeds {
+            model.infer_tokens_into(
+                &tokens,
+                seed,
+                &TopicSampler::Dense,
+                &mut scratch,
+                &mut dense,
+            );
+            model.infer_tokens_into(&tokens, seed, &sampler, &mut scratch, &mut sparse);
+            l1 += dense
+                .iter()
+                .zip(&sparse)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f32>();
+        }
+        let mean_l1 = l1 / seeds.len() as f32;
+        assert!(
+            mean_l1 < 0.8,
+            "sparse sampler drifted from dense: mean L1 = {mean_l1}"
+        );
+    }
+
+    #[test]
+    fn sparse_alias_zero_infer_iterations_still_returns_a_distribution() {
+        let cfg = LdaConfig {
+            infer_iterations: 0,
+            ..LdaConfig::tiny()
+        };
+        let model = LdaModel::fit(&themed_documents(), 1, cfg);
+        let sampler = model.sampler(SamplerKind::SparseAlias);
+        let tokens = model.vocabulary().encode("rock jazz album");
+        let mut scratch = LdaInferScratch::new();
+        let mut out = vec![0.0f32; model.num_topics()];
+        model.infer_tokens_into(&tokens, 3, &sampler, &mut scratch, &mut out);
+        let sum: f32 = out.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "theta does not sum to one: {sum}");
+        assert!(out.iter().all(|&x| x > 0.0), "theta has zero entries");
+        // With zero sweeps only the (identically seeded) initial assignment
+        // matters, so the two samplers agree exactly.
+        let mut dense = vec![0.0f32; model.num_topics()];
+        model.infer_tokens_into(&tokens, 3, &TopicSampler::Dense, &mut scratch, &mut dense);
+        assert_eq!(out, dense);
     }
 }
