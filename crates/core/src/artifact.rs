@@ -1,0 +1,671 @@
+//! The `SATOART1` compact binary predictor artifact.
+//!
+//! [`SatoPredictor::to_json`](crate::SatoPredictor::to_json) stays the
+//! debug/interchange format; this module is the deployment format: the
+//! already-flat buffers a predictor is made of (network weights and running
+//! statistics, per-group scaler moments, the LDA topic–word counts, the CRF
+//! pairwise table and — for the sparse sampler — the pre-built per-word
+//! alias tables) laid out as little-endian sections behind a header, so
+//! loading is section framing plus `memcpy`-shaped bulk reads instead of
+//! parsing hundreds of thousands of JSON number literals.
+//!
+//! ## Layout
+//!
+//! ```text
+//! header   : magic "SATOART1" (8) | version u32 | section_count u32
+//! table    : section_count × { id [u8;4] | offset u64 | len u64 | checksum u64 }
+//! payloads : each section's bytes, 8-byte aligned, zero-padded gaps
+//! ```
+//!
+//! Offsets are absolute (from the start of the artifact) and every payload
+//! starts on an 8-byte boundary, so a memory-mapped artifact presents its
+//! `f64`/`u64` arrays aligned. `checksum` is FNV-1a 64 over the payload,
+//! verified before any decoding. Unknown section ids are ignored (forward
+//! compatibility within a version); *missing* required sections, short
+//! buffers, bad magic, checksum mismatches and version skew all surface as
+//! typed [`PredictorError`] variants — never panics.
+//!
+//! | id     | contents                                                      |
+//! |--------|---------------------------------------------------------------|
+//! | `META` | small JSON: variant, config, `use_topic`, sampler, group widths |
+//! | `SCAL` | per-group standardizer moments (mean/std `f32` rows)          |
+//! | `NETW` | multi-input network state dict (`StateDict` byte codec)       |
+//! | `HEAD` | classification-head state dict                                |
+//! | `LDAM` | LDA model (topic-aware variants only)                         |
+//! | `CRFP` | CRF pairwise potentials (structured variants only)            |
+//! | `ALIA` | pre-built Walker alias tables (sparse-alias sampler only)     |
+//!
+//! `META` nests the one irregular, schema-shaped piece (the configuration)
+//! as JSON inside the binary envelope — artifacts stay self-describing
+//! without a binary schema language, and the bulk numeric payloads never
+//! touch a JSON tokenizer.
+
+use crate::columnwise::FrozenColumnwise;
+use crate::config::SatoConfig;
+use crate::dataset::Standardizer;
+use crate::model::SatoVariant;
+use crate::predictor::{PredictorError, SatoPredictor};
+use sato_crf::LinearChainCrf;
+use sato_features::FeatureGroup;
+use sato_nn::serialize::StateDict;
+use sato_topic::{LdaModel, SamplerKind, SparseAliasTables, TableIntentEstimator, TopicSampler};
+use serde::{Deserialize, Serialize};
+
+/// Magic bytes opening every binary predictor artifact.
+pub const ARTIFACT_MAGIC: [u8; 8] = *b"SATOART1";
+
+/// Current binary artifact format version.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// Bytes per section-table entry: id (4) + offset (8) + len (8) + checksum (8).
+const SECTION_ENTRY_LEN: usize = 28;
+
+/// Artifact header length: magic (8) + version (4) + section count (4).
+const HEADER_LEN: usize = 16;
+
+const SEC_META: [u8; 4] = *b"META";
+const SEC_SCAL: [u8; 4] = *b"SCAL";
+const SEC_NETW: [u8; 4] = *b"NETW";
+const SEC_HEAD: [u8; 4] = *b"HEAD";
+const SEC_LDAM: [u8; 4] = *b"LDAM";
+const SEC_CRFP: [u8; 4] = *b"CRFP";
+const SEC_ALIA: [u8; 4] = *b"ALIA";
+
+/// FNV-1a 64-bit checksum — deliberately duplicated from
+/// `sato_tabular::colstore` (the crates share no private helpers); any fix
+/// here must be mirrored there.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The JSON-shaped `META` section: everything about the predictor that is
+/// schema-like rather than bulk-numeric. The numeric payloads it describes
+/// live in their own binary sections.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BinaryMeta {
+    variant: SatoVariant,
+    config: SatoConfig,
+    use_topic: bool,
+    sampler: SamplerKind,
+    group_widths: Vec<usize>,
+}
+
+/// Parsed section table over a borrowed artifact buffer; payload slices are
+/// bounds- and checksum-verified before being handed out.
+struct Sections<'a> {
+    entries: Vec<([u8; 4], &'a [u8])>,
+}
+
+impl<'a> Sections<'a> {
+    fn parse(bytes: &'a [u8]) -> Result<Self, PredictorError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(PredictorError::Truncated("artifact header"));
+        }
+        if bytes[..8] != ARTIFACT_MAGIC {
+            return Err(PredictorError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != ARTIFACT_VERSION {
+            return Err(PredictorError::UnsupportedVersion(u64::from(version)));
+        }
+        let count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+        let table_end = HEADER_LEN
+            + count.checked_mul(SECTION_ENTRY_LEN).ok_or_else(|| {
+                PredictorError::Corrupt("section count overflows the table size".to_string())
+            })?;
+        if bytes.len() < table_end {
+            return Err(PredictorError::Truncated("section table"));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = HEADER_LEN + i * SECTION_ENTRY_LEN;
+            let id: [u8; 4] = bytes[at..at + 4].try_into().expect("4 bytes");
+            let offset = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().expect("8 bytes"));
+            let len = u64::from_le_bytes(bytes[at + 12..at + 20].try_into().expect("8 bytes"));
+            let checksum = u64::from_le_bytes(bytes[at + 20..at + 28].try_into().expect("8 bytes"));
+            let start = usize::try_from(offset)
+                .ok()
+                .filter(|&s| s >= table_end)
+                .ok_or_else(|| {
+                    PredictorError::Corrupt(format!(
+                        "section {} has an invalid offset",
+                        section_name(id)
+                    ))
+                })?;
+            let end = usize::try_from(len)
+                .ok()
+                .and_then(|l| start.checked_add(l))
+                .filter(|&e| e <= bytes.len())
+                .ok_or_else(|| PredictorError::Truncated(section_name(id)))?;
+            let payload = &bytes[start..end];
+            if fnv1a64(payload) != checksum {
+                return Err(PredictorError::Checksum(section_name(id)));
+            }
+            entries.push((id, payload));
+        }
+        Ok(Sections { entries })
+    }
+
+    fn get(&self, id: [u8; 4]) -> Option<&'a [u8]> {
+        self.entries
+            .iter()
+            .find(|(entry_id, _)| *entry_id == id)
+            .map(|(_, payload)| *payload)
+    }
+
+    fn require(&self, id: [u8; 4]) -> Result<&'a [u8], PredictorError> {
+        self.get(id)
+            .ok_or_else(|| PredictorError::MissingSection(section_name(id)))
+    }
+}
+
+/// Stable display name of a section id (known ids by name, unknown ids as
+/// their best-effort ASCII).
+fn section_name(id: [u8; 4]) -> &'static str {
+    match id {
+        SEC_META => "META",
+        SEC_SCAL => "SCAL",
+        SEC_NETW => "NETW",
+        SEC_HEAD => "HEAD",
+        SEC_LDAM => "LDAM",
+        SEC_CRFP => "CRFP",
+        SEC_ALIA => "ALIA",
+        _ => "unknown section",
+    }
+}
+
+/// Encode the per-group standardizers: `count u32`, then per scaler
+/// `width u32 | mean f32×width | std f32×width`.
+fn encode_scalers(scalers: &[Standardizer], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(scalers.len() as u32).to_le_bytes());
+    for scaler in scalers {
+        let (mean, std) = scaler.moments();
+        out.extend_from_slice(&(mean.len() as u32).to_le_bytes());
+        for &m in mean {
+            out.extend_from_slice(&m.to_le_bytes());
+        }
+        for &s in std {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+    }
+}
+
+fn decode_scalers(bytes: &[u8]) -> Result<Vec<Standardizer>, PredictorError> {
+    let mut r = ByteReader { bytes, pos: 0 };
+    let count = r.u32("scaler count")? as usize;
+    let mut scalers = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let width = r.u32("scaler width")? as usize;
+        let mean = r.f32_vec(width, "scaler means")?;
+        let std = r.f32_vec(width, "scaler stds")?;
+        scalers.push(Standardizer::from_moments(mean, std).ok_or_else(|| {
+            PredictorError::Corrupt("scaler moments are inconsistent or non-finite".to_string())
+        })?);
+    }
+    r.finish("SCAL")?;
+    Ok(scalers)
+}
+
+/// Encode the CRF layer: `num_states u64`, then the row-major
+/// `num_states²` pairwise potentials as `f64`s.
+fn encode_crf(crf: &LinearChainCrf, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(crf.num_states() as u64).to_le_bytes());
+    for &p in crf.pairwise() {
+        out.extend_from_slice(&p.to_le_bytes());
+    }
+}
+
+fn decode_crf(bytes: &[u8]) -> Result<LinearChainCrf, PredictorError> {
+    let mut r = ByteReader { bytes, pos: 0 };
+    let num_states = usize::try_from(r.u64("CRF state count")?)
+        .ok()
+        .filter(|&n| n > 0 && n <= 1 << 16)
+        .ok_or_else(|| PredictorError::Corrupt("CRF state count is out of range".to_string()))?;
+    let pairwise = r.f64_vec(num_states * num_states, "CRF pairwise potentials")?;
+    if pairwise.iter().any(|p| !p.is_finite()) {
+        return Err(PredictorError::Corrupt(
+            "CRF pairwise potentials contain non-finite values".to_string(),
+        ));
+    }
+    r.finish("CRFP")?;
+    Ok(LinearChainCrf::with_pairwise(num_states, pairwise))
+}
+
+/// Little-endian cursor over one section payload — deliberately duplicated
+/// per crate (see `sato_topic::serialize`); any fix here must be mirrored
+/// there and in `sato_nn::serialize`.
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], PredictorError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(PredictorError::Truncated(what))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, PredictorError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, PredictorError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f32_vec(&mut self, len: usize, what: &'static str) -> Result<Vec<f32>, PredictorError> {
+        let raw = self.take(
+            len.checked_mul(4).ok_or(PredictorError::Truncated(what))?,
+            what,
+        )?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    fn f64_vec(&mut self, len: usize, what: &'static str) -> Result<Vec<f64>, PredictorError> {
+        let raw = self.take(
+            len.checked_mul(8).ok_or(PredictorError::Truncated(what))?,
+            what,
+        )?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    fn finish(&self, section: &'static str) -> Result<(), PredictorError> {
+        if self.pos != self.bytes.len() {
+            return Err(PredictorError::Corrupt(format!(
+                "section {section} has trailing bytes"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Assemble the framed artifact from `(id, payload)` section bodies.
+fn assemble(sections: &[([u8; 4], Vec<u8>)]) -> Vec<u8> {
+    let table_end = HEADER_LEN + sections.len() * SECTION_ENTRY_LEN;
+    let total: usize = sections.iter().map(|(_, p)| p.len() + 7).sum();
+    let mut out = Vec::with_capacity(table_end + total);
+    out.extend_from_slice(&ARTIFACT_MAGIC);
+    out.extend_from_slice(&ARTIFACT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    // Lay payloads out back to back on 8-byte boundaries.
+    let mut offset = table_end;
+    let mut placed = Vec::with_capacity(sections.len());
+    for (id, payload) in sections {
+        offset = (offset + 7) & !7;
+        placed.push((*id, offset as u64, payload.len() as u64, fnv1a64(payload)));
+        offset += payload.len();
+    }
+    for (id, off, len, sum) in &placed {
+        out.extend_from_slice(id);
+        out.extend_from_slice(&off.to_le_bytes());
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&sum.to_le_bytes());
+    }
+    for ((_, payload), (_, off, _, _)) in sections.iter().zip(&placed) {
+        out.resize(*off as usize, 0); // zero padding up to the aligned offset
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+impl SatoPredictor {
+    /// Serialize the predictor into the compact `SATOART1` binary artifact
+    /// (see the [module docs](self) for the layout). The binary form is the
+    /// deployment format: it round-trips bit for bit with
+    /// [`Self::to_json`] — [`Self::from_bytes`] reproduces the saved
+    /// predictions exactly — while being several times smaller and loading
+    /// via bulk little-endian reads instead of JSON parsing.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let columnwise = self.columnwise();
+        let meta = BinaryMeta {
+            variant: self.variant(),
+            config: self.config().clone(),
+            use_topic: columnwise.uses_topic(),
+            sampler: columnwise.sampler_kind(),
+            group_widths: columnwise.group_widths().to_vec(),
+        };
+        let mut sections: Vec<([u8; 4], Vec<u8>)> = Vec::with_capacity(7);
+        sections.push((
+            SEC_META,
+            serde_json::to_string(&meta)
+                .expect("predictor meta serialization cannot fail")
+                .into_bytes(),
+        ));
+        let mut scal = Vec::new();
+        encode_scalers(columnwise.scalers(), &mut scal);
+        sections.push((SEC_SCAL, scal));
+        let mut netw = Vec::new();
+        columnwise.net_state().write_bytes(&mut netw);
+        sections.push((SEC_NETW, netw));
+        let mut head = Vec::new();
+        columnwise.head_state().write_bytes(&mut head);
+        sections.push((SEC_HEAD, head));
+        if let Some(est) = columnwise.intent_estimator() {
+            let mut ldam = Vec::new();
+            est.model().write_bytes(&mut ldam);
+            sections.push((SEC_LDAM, ldam));
+        }
+        if let Some(crf) = self.crf() {
+            let mut crfp = Vec::new();
+            encode_crf(crf, &mut crfp);
+            sections.push((SEC_CRFP, crfp));
+        }
+        if let TopicSampler::SparseAlias(tables) = columnwise.sampler() {
+            let mut alia = Vec::new();
+            tables.write_bytes(&mut alia);
+            sections.push((SEC_ALIA, alia));
+        }
+        assemble(&sections)
+    }
+
+    /// Rebuild a predictor from a `SATOART1` binary artifact written by
+    /// [`Self::to_bytes`]. The loaded predictor reproduces the predictions
+    /// of the saved one bit for bit; for sparse-alias artifacts the
+    /// pre-built Walker tables load straight from their section, skipping
+    /// the `O(topics × vocabulary)` rebuild.
+    ///
+    /// Errors are typed, never panics: truncation, bad magic, version skew,
+    /// per-section checksum mismatches, missing required sections,
+    /// structurally invalid payloads and cross-field inconsistencies all
+    /// map to their [`PredictorError`] variant.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PredictorError> {
+        let sections = Sections::parse(bytes)?;
+        let meta_str = std::str::from_utf8(sections.require(SEC_META)?)
+            .map_err(|_| PredictorError::Corrupt("META section is not UTF-8 JSON".to_string()))?;
+        let value: serde::Value = serde_json::from_str(meta_str)?;
+        let meta = BinaryMeta::from_value(&value).map_err(serde_json::Error::from)?;
+
+        // Cross-field consistency, mirroring `from_json`: a frame-valid
+        // artifact must not be able to panic at predict time.
+        let expected_groups = FeatureGroup::ALL.len() + usize::from(meta.use_topic);
+        if meta.group_widths.len() != expected_groups {
+            return Err(PredictorError::Inconsistent(
+                "group_widths count does not match the feature groups of the model",
+            ));
+        }
+        let scalers = decode_scalers(sections.require(SEC_SCAL)?)?;
+        if scalers.len() != meta.group_widths.len() {
+            return Err(PredictorError::Inconsistent(
+                "scaler count does not match the input group count",
+            ));
+        }
+        let net_state = StateDict::from_bytes(sections.require(SEC_NETW)?)?;
+        let head_state = StateDict::from_bytes(sections.require(SEC_HEAD)?)?;
+        let intent = match sections.get(SEC_LDAM) {
+            Some(payload) => Some(TableIntentEstimator::from_model(LdaModel::from_bytes(
+                payload,
+            )?)),
+            None => None,
+        };
+        if meta.use_topic && intent.is_none() {
+            return Err(PredictorError::MissingSection("LDAM"));
+        }
+        let crf = match sections.get(SEC_CRFP) {
+            Some(payload) => Some(decode_crf(payload)?),
+            None => None,
+        };
+
+        // Sparse-alias artifacts carry their pre-built tables; load them
+        // directly instead of rebuilding. Artifacts without the section
+        // (always possible: the build is deterministic) rebuild from the
+        // LDA model via the ordinary freeze path.
+        let prebuilt = match (meta.sampler, &intent, sections.get(SEC_ALIA)) {
+            (SamplerKind::SparseAlias, Some(est), Some(payload)) => {
+                let tables = SparseAliasTables::from_bytes(payload)?;
+                if tables.num_topics() != est.num_topics()
+                    || tables.vocab_size() != est.model().vocabulary().len()
+                {
+                    return Err(PredictorError::Corrupt(
+                        "alias tables were built for a different topic model".to_string(),
+                    ));
+                }
+                Some(TopicSampler::SparseAlias(Box::new(tables)))
+            }
+            _ => None,
+        };
+        let columnwise = match prebuilt {
+            Some(sampler) => FrozenColumnwise::from_state_with_sampler(
+                &meta.config,
+                meta.use_topic,
+                intent,
+                scalers,
+                meta.group_widths,
+                &net_state,
+                &head_state,
+                meta.sampler,
+                sampler,
+            )?,
+            None => FrozenColumnwise::from_state(
+                &meta.config,
+                meta.use_topic,
+                intent,
+                scalers,
+                meta.group_widths,
+                &net_state,
+                &head_state,
+                meta.sampler,
+            )?,
+        };
+        Ok(SatoPredictor::from_parts(
+            meta.variant,
+            meta.config,
+            columnwise,
+            crf,
+        ))
+    }
+
+    /// Write the binary artifact to a file (see [`Self::to_bytes`]).
+    pub fn save_binary(&self, path: impl AsRef<std::path::Path>) -> Result<(), PredictorError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Load a predictor from a binary artifact file (see
+    /// [`Self::from_bytes`]).
+    pub fn load_binary(path: impl AsRef<std::path::Path>) -> Result<Self, PredictorError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SatoModel;
+    use sato_tabular::colstore;
+    use sato_tabular::corpus::default_corpus;
+    use sato_tabular::table::{Column, Corpus, Table};
+    use std::sync::OnceLock;
+
+    fn tiny_config() -> SatoConfig {
+        let mut config = SatoConfig::fast();
+        config.network.epochs = 6;
+        config.lda.train_iterations = 20;
+        config.crf.epochs = 3;
+        config
+    }
+
+    fn corpus() -> Corpus {
+        default_corpus(30, 3)
+    }
+
+    /// One trained Full predictor shared by every test in this module (a
+    /// container-friendly fixture: training dominates test wall-clock).
+    fn full_predictor() -> &'static SatoPredictor {
+        static CELL: OnceLock<SatoPredictor> = OnceLock::new();
+        CELL.get_or_init(|| {
+            SatoModel::train(&corpus(), tiny_config(), crate::SatoVariant::Full).into_predictor()
+        })
+    }
+
+    /// A fresh owned copy of the shared predictor (via the JSON codec, which
+    /// is already proven bit-exact).
+    fn fresh_copy() -> SatoPredictor {
+        SatoPredictor::from_json(&full_predictor().to_json()).unwrap()
+    }
+
+    #[test]
+    fn binary_round_trip_is_bit_identical_and_denser_than_json() {
+        let predictor = full_predictor();
+        let bytes = predictor.to_bytes();
+        let json = predictor.to_json();
+        assert!(
+            bytes.len() * 2 < json.len(),
+            "binary artifact ({}) not substantially smaller than JSON ({})",
+            bytes.len(),
+            json.len()
+        );
+        let loaded = SatoPredictor::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.variant(), predictor.variant());
+        assert_eq!(loaded.sampler_kind(), predictor.sampler_kind());
+        for table in corpus().iter().take(8) {
+            assert_eq!(predictor.predict_proba(table), loaded.predict_proba(table));
+            assert_eq!(predictor.predict(table), loaded.predict(table));
+        }
+    }
+
+    #[test]
+    fn sparse_alias_artifact_loads_prebuilt_tables_and_rebuilds_without_them() {
+        let sparse = fresh_copy().with_sampler(SamplerKind::SparseAlias);
+        let bytes = sparse.to_bytes();
+        let sections = Sections::parse(&bytes).unwrap();
+        assert!(
+            sections.get(SEC_ALIA).is_some(),
+            "sparse-alias artifact must carry its alias tables"
+        );
+        let loaded = SatoPredictor::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.sampler_kind(), SamplerKind::SparseAlias);
+        // Stripping the ALIA section forces the deterministic rebuild path;
+        // predictions must not change either way.
+        let stripped_sections: Vec<([u8; 4], Vec<u8>)> = sections
+            .entries
+            .iter()
+            .filter(|(id, _)| *id != SEC_ALIA)
+            .map(|(id, payload)| (*id, payload.to_vec()))
+            .collect();
+        let rebuilt = SatoPredictor::from_bytes(&assemble(&stripped_sections)).unwrap();
+        assert_eq!(rebuilt.sampler_kind(), SamplerKind::SparseAlias);
+        for table in corpus().iter().take(6) {
+            let expected = sparse.predict_proba(table);
+            assert_eq!(expected, loaded.predict_proba(table));
+            assert_eq!(expected, rebuilt.predict_proba(table));
+        }
+    }
+
+    #[test]
+    fn corrupted_binary_artifacts_are_rejected_with_typed_errors() {
+        let bytes = full_predictor().to_bytes();
+        // Truncation at every structurally interesting prefix.
+        for cut in [0, 4, HEADER_LEN - 1, HEADER_LEN + 10, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    SatoPredictor::from_bytes(&bytes[..cut]),
+                    Err(PredictorError::Truncated(_) | PredictorError::Checksum(_))
+                ),
+                "prefix of {cut} bytes was not rejected"
+            );
+        }
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            SatoPredictor::from_bytes(&bad),
+            Err(PredictorError::BadMagic)
+        ));
+        // Unsupported version.
+        let mut versioned = bytes.clone();
+        versioned[8] = 99;
+        assert!(matches!(
+            SatoPredictor::from_bytes(&versioned),
+            Err(PredictorError::UnsupportedVersion(99))
+        ));
+        // A flipped payload byte fails its section checksum.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xFF;
+        assert!(matches!(
+            SatoPredictor::from_bytes(&flipped),
+            Err(PredictorError::Checksum(_))
+        ));
+        // A missing required section is named.
+        let sections = Sections::parse(&bytes).unwrap();
+        let without_net: Vec<([u8; 4], Vec<u8>)> = sections
+            .entries
+            .iter()
+            .filter(|(id, _)| *id != SEC_NETW)
+            .map(|(id, payload)| (*id, payload.to_vec()))
+            .collect();
+        assert!(matches!(
+            SatoPredictor::from_bytes(&assemble(&without_net)),
+            Err(PredictorError::MissingSection("NETW"))
+        ));
+    }
+
+    #[test]
+    fn colstore_serving_is_bit_identical_to_in_memory_batched() {
+        let predictor = full_predictor();
+        let corpus = corpus();
+        let colstore_bytes = colstore::corpus_to_bytes(&corpus);
+        for batch_cols in [1, 7, 64, 100_000] {
+            assert_eq!(
+                predictor.predict_corpus_batched(&corpus, batch_cols),
+                predictor
+                    .predict_colstore_bytes(&colstore_bytes, batch_cols)
+                    .unwrap(),
+                "batch_cols {batch_cols}"
+            );
+        }
+        // Ragged shapes: empty tables, single columns, unlabelled tables.
+        let ragged = Corpus::new(vec![
+            Table::unlabelled(900, vec![]),
+            corpus.tables[0].clone(),
+            Table::unlabelled(901, vec![Column::new(["Warsaw", "London"])]),
+            Table::unlabelled(902, vec![]),
+            corpus.tables[1].clone(),
+        ]);
+        let ragged_bytes = colstore::corpus_to_bytes(&ragged);
+        for batch_cols in [1, 2, 1000] {
+            assert_eq!(
+                predictor.predict_corpus_batched(&ragged, batch_cols),
+                predictor
+                    .predict_colstore_bytes(&ragged_bytes, batch_cols)
+                    .unwrap(),
+                "ragged batch_cols {batch_cols}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_artifact_file_round_trip() {
+        let predictor = full_predictor();
+        let dir = std::env::temp_dir().join("sato_artifact_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("full.satoart");
+        predictor.save_binary(&path).unwrap();
+        let loaded = SatoPredictor::load_binary(&path).unwrap();
+        let table = &corpus().tables[0];
+        assert_eq!(predictor.predict(table), loaded.predict(table));
+        std::fs::remove_file(&path).ok();
+    }
+}

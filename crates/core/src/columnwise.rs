@@ -28,7 +28,7 @@ use sato_nn::network::{InferScratch, MultiInferScratch, MultiInputNetwork, Seque
 use sato_nn::optim::Adam;
 use sato_nn::serialize::{LoadError, StateDict};
 use sato_nn::Matrix;
-use sato_tabular::table::{Corpus, Table};
+use sato_tabular::table::{Corpus, Table, TableCells};
 use sato_tabular::types::{SemanticType, NUM_TYPES};
 use sato_topic::{SamplerKind, TableIntentEstimator, TopicSampler, TopicScratch};
 use std::collections::{HashMap, VecDeque};
@@ -593,9 +593,19 @@ impl FrozenColumnwise {
     /// (standardisation, dense layers, ReLU, BatchNorm running statistics,
     /// softmax) operates row-independently, so the batch output is
     /// bit-identical to per-table inference.
-    pub(crate) fn infer_batch(&self, tables: &[&Table], scratch: &mut ServingScratch) {
+    ///
+    /// Generic over any [`TableCells`] source — the seam that lets the
+    /// colstore serving path feed decoded frames straight into the batched
+    /// network without materializing `Table`s. Cells visit in the identical
+    /// column/row order for every source, so the probability rows are
+    /// bit-identical across sources describing the same table.
+    pub(crate) fn infer_batch_cells<T: TableCells + ?Sized>(
+        &self,
+        tables: &[&T],
+        scratch: &mut ServingScratch,
+    ) {
         let widths = &self.group_widths;
-        let total_rows: usize = tables.iter().map(|t| t.num_columns()).sum();
+        let total_rows: usize = tables.iter().map(|t| t.cell_columns()).sum();
         if total_rows == 0 {
             scratch.probs.resize(0, NUM_TYPES);
             return;
@@ -617,31 +627,36 @@ impl FrozenColumnwise {
                     .intent
                     .as_ref()
                     .expect("topic-aware model carries an intent estimator");
-                if let Some(hit) = scratch.topic_memo.as_ref().and_then(|m| m.get(table.id)) {
+                if let Some(hit) = scratch
+                    .topic_memo
+                    .as_ref()
+                    .and_then(|m| m.get(table.table_id()))
+                {
                     scratch.topic_vec.clear();
                     scratch.topic_vec.extend_from_slice(hit);
                 } else {
                     scratch.topic_vec.clear();
                     scratch.topic_vec.resize(est.num_topics(), 0.0);
-                    est.estimate_into(
-                        table,
+                    est.estimate_cells_into(
+                        *table,
                         &self.sampler,
                         &mut scratch.topic,
                         &mut scratch.topic_vec,
                     );
                     if let Some(memo) = &mut scratch.topic_memo {
-                        memo.insert(table.id, scratch.topic_vec.clone());
+                        memo.insert(table.table_id(), scratch.topic_vec.clone());
                     }
                 }
             }
-            for column in &table.columns {
+            for c in 0..table.cell_columns() {
+                let column = table.cells(c);
                 let (feature_groups, topic_group) =
                     scratch.groups.split_at_mut(FeatureGroup::ALL.len());
                 let [g_char, g_word, g_para, g_stat] = feature_groups else {
                     unreachable!("batch matrices cover the four feature groups");
                 };
                 self.extractor.extract_column_into(
-                    column,
+                    &column,
                     &mut scratch.features,
                     g_char.row_mut(row),
                     g_word.row_mut(row),
@@ -719,6 +734,39 @@ impl FrozenColumnwise {
             sampler: TopicSampler::Dense,
         }
         .with_sampler_kind(sampler_kind))
+    }
+
+    /// [`Self::from_state`] with an **already-built** [`TopicSampler`]
+    /// (deserialized from a binary artifact's alias-table section), skipping
+    /// the `O(topics × vocabulary)` sampler rebuild that
+    /// [`Self::with_sampler_kind`] would perform. The caller vouches that
+    /// `sampler` was built from the very intent model being loaded.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_state_with_sampler(
+        config: &SatoConfig,
+        use_topic: bool,
+        intent: Option<TableIntentEstimator>,
+        scalers: Vec<Standardizer>,
+        group_widths: Vec<usize>,
+        net_state: &StateDict,
+        head_state: &StateDict,
+        sampler_kind: SamplerKind,
+        sampler: TopicSampler,
+    ) -> Result<Self, LoadError> {
+        let (mut net, mut head) = build_network(config, &group_widths);
+        net.load_state_dict(net_state)?;
+        head.load_state_dict(head_state)?;
+        Ok(FrozenColumnwise {
+            use_topic,
+            extractor: FeatureExtractor::new(config.features.clone()),
+            intent,
+            net,
+            head,
+            scalers,
+            group_widths,
+            sampler_kind,
+            sampler,
+        })
     }
 }
 

@@ -202,6 +202,30 @@ impl Standardizer {
         }
     }
 
+    /// The fitted per-feature moments as `(mean, std)` slices of equal
+    /// length (the feature width), in feature order — the flat buffers the
+    /// binary artifact serializes directly.
+    pub fn moments(&self) -> (&[f32], &[f32]) {
+        (&self.mean, &self.std)
+    }
+
+    /// Rebuild a standardizer from stored moments. Returns `None` when the
+    /// vectors disagree in length or any standard deviation is not a finite
+    /// positive number (which would produce NaN/Inf features at transform
+    /// time) — loaders turn that into an error instead of panicking later.
+    pub fn from_moments(mean: Vec<f32>, std: Vec<f32>) -> Option<Self> {
+        if mean.len() != std.len() {
+            return None;
+        }
+        if mean.iter().any(|m| !m.is_finite()) {
+            return None;
+        }
+        if std.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+            return None;
+        }
+        Some(Standardizer { mean, std })
+    }
+
     /// Fit one standardizer per input-group matrix.
     pub fn fit_groups(groups: &[Matrix]) -> Vec<Standardizer> {
         groups.iter().map(Standardizer::fit).collect()

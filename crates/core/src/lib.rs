@@ -64,6 +64,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod bert_like;
 pub mod columnwise;
 pub mod config;
@@ -72,6 +73,7 @@ pub mod model;
 pub mod predictor;
 pub mod structured;
 
+pub use artifact::{ARTIFACT_MAGIC, ARTIFACT_VERSION};
 pub use bert_like::{BertLikeConfig, BertLikeModel};
 pub use columnwise::{
     types_from_proba, ColumnwiseInference, ColumnwiseModel, ColumnwiseTrainer, FrozenColumnwise,

@@ -33,7 +33,8 @@ use crate::structured::StructuredLayer;
 use sato_crf::LinearChainCrf;
 use sato_features::FeatureGroup;
 use sato_nn::serialize::{LoadError, StateDict};
-use sato_tabular::table::{Corpus, Table};
+use sato_tabular::colstore::{ColStoreError, ColStoreReader, TableBuf};
+use sato_tabular::table::{Corpus, Table, TableCells};
 use sato_tabular::types::SemanticType;
 use sato_topic::{SamplerKind, TableIntentEstimator};
 use serde::{Deserialize, Serialize};
@@ -57,6 +58,17 @@ pub enum PredictorError {
     Inconsistent(&'static str),
     /// Reading or writing the artifact file failed.
     Io(std::io::Error),
+    /// A binary artifact ended before the named structure was complete.
+    Truncated(&'static str),
+    /// A binary artifact does not start with the `SATOART1` magic bytes.
+    BadMagic,
+    /// A binary artifact section's stored checksum does not match its
+    /// payload (bit rot, torn write, or mid-file corruption).
+    Checksum(&'static str),
+    /// A binary artifact is missing a section the described model requires.
+    MissingSection(&'static str),
+    /// A binary artifact section decoded to structurally invalid data.
+    Corrupt(String),
 }
 
 impl std::fmt::Display for PredictorError {
@@ -69,11 +81,45 @@ impl std::fmt::Display for PredictorError {
             PredictorError::State(e) => write!(f, "predictor artifact: {e}"),
             PredictorError::Inconsistent(msg) => write!(f, "predictor artifact: {msg}"),
             PredictorError::Io(e) => write!(f, "predictor artifact: {e}"),
+            PredictorError::Truncated(what) => {
+                write!(f, "predictor artifact: truncated while reading {what}")
+            }
+            PredictorError::BadMagic => {
+                write!(f, "predictor artifact: bad magic (not a SATOART1 file)")
+            }
+            PredictorError::Checksum(section) => {
+                write!(
+                    f,
+                    "predictor artifact: checksum mismatch in section {section}"
+                )
+            }
+            PredictorError::MissingSection(section) => {
+                write!(f, "predictor artifact: missing required section {section}")
+            }
+            PredictorError::Corrupt(msg) => write!(f, "predictor artifact: {msg}"),
         }
     }
 }
 
 impl std::error::Error for PredictorError {}
+
+impl From<sato_topic::TopicBytesError> for PredictorError {
+    fn from(e: sato_topic::TopicBytesError) -> Self {
+        match e {
+            sato_topic::TopicBytesError::Truncated(what) => PredictorError::Truncated(what),
+            other => PredictorError::Corrupt(other.to_string()),
+        }
+    }
+}
+
+impl From<sato_nn::serialize::StateBytesError> for PredictorError {
+    fn from(e: sato_nn::serialize::StateBytesError) -> Self {
+        match e {
+            sato_nn::serialize::StateBytesError::Truncated(what) => PredictorError::Truncated(what),
+            other => PredictorError::Corrupt(other.to_string()),
+        }
+    }
+}
 
 impl From<serde_json::Error> for PredictorError {
     fn from(e: serde_json::Error) -> Self {
@@ -297,31 +343,102 @@ impl SatoPredictor {
     }
 
     /// Run one micro-batch through the network and split the probability
-    /// rows back per table for decoding.
-    fn flush_batch(
+    /// rows back per table for decoding. Generic over the cell source, so
+    /// in-memory tables and decoded colstore frames share one code path
+    /// (and therefore cannot drift): [`TableCells::gold_labels`] reproduces
+    /// the [`gold_of`] empty-gold convention exactly.
+    fn flush_batch<T: TableCells + ?Sized>(
         &self,
-        batch: &[&Table],
+        batch: &[&T],
         scratch: &mut ServingScratch,
         out: &mut Vec<TablePrediction>,
     ) {
-        self.columnwise.infer_batch(batch, scratch);
+        self.columnwise.infer_batch_cells(batch, scratch);
         // Disjoint borrows: the probability matrix is read row-range by row
         // range while the unary buffer is reused per table.
         let ServingScratch { probs, unary, .. } = scratch;
         let mut row = 0usize;
         for table in batch {
-            let end = row + table.num_columns();
+            let end = row + table.cell_columns();
             let predicted = match &self.structured {
                 Some(layer) => layer.decode_rows(probs, row, end, unary),
                 None => types_from_rows(probs, row, end),
             };
             out.push(TablePrediction {
-                table_id: table.id,
-                gold: gold_of(table),
+                table_id: table.table_id(),
+                gold: table.gold_labels().to_vec(),
                 predicted,
             });
             row = end;
         }
+    }
+
+    /// Serve a corpus **straight off its columnar on-disk form**: frames are
+    /// decoded one at a time into reusable [`TableBuf`]s (the column pool and
+    /// string arena warm up once and are recycled), accumulated into the same
+    /// column micro-batches as [`Self::predict_corpus_batched`] and fed to
+    /// the network without ever materializing a [`Table`].
+    ///
+    /// Batch boundaries follow the identical accumulate-until-`batch_cols`
+    /// rule, so the output is — bit for bit — what
+    /// [`Self::predict_corpus_batched`] produces on the decoded corpus.
+    pub fn predict_colstore<R: std::io::Read>(
+        &self,
+        reader: &mut ColStoreReader<R>,
+        batch_cols: usize,
+        scratch: &mut ServingScratch,
+    ) -> Result<Vec<TablePrediction>, ColStoreError> {
+        let batch_cols = batch_cols.max(1);
+        let mut out = Vec::new();
+        // Decoded-frame pool: `used` buffers hold the pending micro-batch;
+        // buffers past `used` are warm spares from earlier batches.
+        let mut pool: Vec<TableBuf> = Vec::new();
+        let mut used = 0usize;
+        let mut pending_cols = 0usize;
+        loop {
+            if used == pool.len() {
+                pool.push(TableBuf::new());
+            }
+            if !reader.read_into(&mut pool[used])? {
+                break;
+            }
+            pending_cols += pool[used].num_columns();
+            used += 1;
+            if pending_cols >= batch_cols {
+                let batch: Vec<&TableBuf> = pool[..used].iter().collect();
+                self.flush_batch(&batch, scratch, &mut out);
+                used = 0;
+                pending_cols = 0;
+            }
+        }
+        if used > 0 {
+            let batch: Vec<&TableBuf> = pool[..used].iter().collect();
+            self.flush_batch(&batch, scratch, &mut out);
+        }
+        Ok(out)
+    }
+
+    /// [`Self::predict_colstore`] over an in-memory colstore byte buffer
+    /// (fresh scratch) — the convenience shape for artifacts already read
+    /// or mapped into memory.
+    pub fn predict_colstore_bytes(
+        &self,
+        bytes: &[u8],
+        batch_cols: usize,
+    ) -> Result<Vec<TablePrediction>, ColStoreError> {
+        let mut reader = ColStoreReader::new(bytes)?;
+        self.predict_colstore(&mut reader, batch_cols, &mut ServingScratch::new())
+    }
+
+    /// [`Self::predict_colstore`] over a colstore file on disk (buffered
+    /// reads, fresh scratch).
+    pub fn predict_colstore_path(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        batch_cols: usize,
+    ) -> Result<Vec<TablePrediction>, ColStoreError> {
+        let mut reader = sato_tabular::colstore::open_path(path)?;
+        self.predict_colstore(&mut reader, batch_cols, &mut ServingScratch::new())
     }
 
     /// Batched prediction sharded over `n_threads` scoped OS threads: each

@@ -7,7 +7,7 @@ use crate::para_embed::para_features_into;
 use crate::scratch::FeatureScratch;
 use crate::stats::{stat_features_from_scan, STAT_FEATURE_DIM};
 use crate::word_embed::word_features_into;
-use sato_tabular::table::{Column, Table};
+use sato_tabular::table::{CellSource, Column, Table};
 use serde::{Deserialize, Serialize};
 
 /// The four Sherlock feature groups (plus, at the model level, the Topic
@@ -172,9 +172,9 @@ impl FeatureExtractor {
     /// Extract the features of one column, reusing `scratch` for every
     /// intermediate buffer (single pass over the cells for Char + Stat, no
     /// per-token allocations for Word).
-    pub fn extract_column_with(
+    pub fn extract_column_with<C: CellSource + ?Sized>(
         &self,
-        column: &Column,
+        column: &C,
         scratch: &mut FeatureScratch,
     ) -> ColumnFeatures {
         let mut features = ColumnFeatures {
@@ -198,9 +198,14 @@ impl FeatureExtractor {
     /// slices (e.g. rows of a pre-allocated batch matrix) — the zero-copy
     /// entry point of the batched serving path. Slice lengths must match
     /// [`Self::group_dims`].
-    pub fn extract_column_into(
+    ///
+    /// Generic over [`CellSource`]: the batched server feeds it in-memory
+    /// [`Column`]s and the colstore path feeds it dictionary-encoded pages,
+    /// both through the identical cell-visit order (so the two paths stay
+    /// bit-for-bit identical).
+    pub fn extract_column_into<C: CellSource + ?Sized>(
         &self,
-        column: &Column,
+        column: &C,
         scratch: &mut FeatureScratch,
         char_out: &mut [f32],
         word_out: &mut [f32],

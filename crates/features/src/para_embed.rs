@@ -9,7 +9,7 @@
 
 use crate::hashing::{fnv1a, for_each_token_lower, l2_normalize};
 use crate::scratch::{FeatureScratch, ParaEntry};
-use sato_tabular::table::Column;
+use sato_tabular::table::{CellSource, Column};
 
 /// Hash seed that defines the paragraph-embedding space.
 pub const PARA_EMBED_SEED: u64 = 0x5a70_0002;
@@ -36,8 +36,16 @@ pub fn para_features(column: &Column, dim: usize) -> Vec<f32> {
 
 /// Compute the Para features into `out` (whose length sets the embedding
 /// width), reusing `scratch` for the term-frequency counting state.
-pub fn para_features_into(column: &Column, scratch: &mut FeatureScratch, out: &mut [f32]) {
-    para_features_from_cells(column.iter(), scratch, out);
+pub fn para_features_into<C: CellSource + ?Sized>(
+    column: &C,
+    scratch: &mut FeatureScratch,
+    out: &mut [f32],
+) {
+    para_features_from_cells(
+        (0..column.num_cells()).map(|i| column.cell(i)),
+        scratch,
+        out,
+    );
 }
 
 /// The Para core over any stream of cell values: term-frequency counting

@@ -13,7 +13,7 @@
 //! [`FeatureExtractor::extract_table_with`]: crate::extractor::FeatureExtractor::extract_table_with
 
 use crate::char_dist::CHARSET;
-use sato_tabular::table::Column;
+use sato_tabular::table::CellSource;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -149,9 +149,10 @@ impl FeatureScratch {
     ///
     /// Blank cells (empty or whitespace-only) are recorded in `total_cells`
     /// but excluded from every per-cell buffer, mirroring how the feature
-    /// definitions treat missing data.
-    pub(crate) fn scan(&mut self, column: &Column) {
-        self.total_cells = column.values.len();
+    /// definitions treat missing data. Generic over [`CellSource`], so the
+    /// same pass runs over in-memory columns and decoded colstore pages.
+    pub(crate) fn scan<C: CellSource + ?Sized>(&mut self, column: &C) {
+        self.total_cells = column.num_cells();
         self.n_cells = 0;
         self.char_counts.clear();
         self.lengths.clear();
@@ -161,7 +162,8 @@ impl FeatureScratch {
         self.numeric.clear();
         self.sort_idx.clear();
 
-        for (cell_idx, cell) in column.iter().enumerate() {
+        for cell_idx in 0..self.total_cells {
+            let cell = column.cell(cell_idx);
             if cell.trim().is_empty() {
                 continue;
             }
@@ -254,6 +256,7 @@ impl FeatureScratch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sato_tabular::table::Column;
 
     #[test]
     fn scan_skips_blank_cells_but_counts_them() {

@@ -11,7 +11,7 @@ use crate::scratch::{
     FeatureScratch, FLAG_ALL_ALPHA_WS, FLAG_ALL_NUMISH, FLAG_ANY_DIGIT, FLAG_ANY_SPECIAL,
     FLAG_ANY_UPPER, FLAG_HAS_SPACE,
 };
-use sato_tabular::table::Column;
+use sato_tabular::table::{CellSource, Column};
 
 /// Number of statistics in the Stat group (kept at the paper's 27).
 pub const STAT_FEATURE_DIM: usize = 27;
@@ -37,9 +37,10 @@ pub fn stat_features_into(column: &Column, scratch: &mut FeatureScratch, out: &m
 
 /// Aggregate the 27 statistics from an already-scanned column. The per-cell
 /// counters all come from the shared single pass; only the distinct count
-/// re-reads cell values (through a sorted index, without copying them).
-pub(crate) fn stat_features_from_scan(
-    column: &Column,
+/// re-reads cell values (through a sorted index, without copying them) —
+/// which is why [`CellSource`] requires random access.
+pub(crate) fn stat_features_from_scan<C: CellSource + ?Sized>(
+    column: &C,
     scratch: &mut FeatureScratch,
     out: &mut [f32],
 ) {
@@ -61,11 +62,11 @@ pub(crate) fn stat_features_from_scan(
     // Distinctness, via a sort of cell *indices* by value (no `&str` copies).
     scratch
         .sort_idx
-        .sort_unstable_by(|&a, &b| column.values[a as usize].cmp(&column.values[b as usize]));
+        .sort_unstable_by(|&a, &b| column.cell(a as usize).cmp(column.cell(b as usize)));
     let mut distinct = 0usize;
     let mut prev: Option<&str> = None;
     for &i in &scratch.sort_idx {
-        let v = column.values[i as usize].as_str();
+        let v = column.cell(i as usize);
         if prev != Some(v) {
             distinct += 1;
             prev = Some(v);

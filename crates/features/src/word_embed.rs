@@ -9,7 +9,7 @@
 
 use crate::hashing::{for_each_token, hash_token_into};
 use crate::scratch::FeatureScratch;
-use sato_tabular::table::Column;
+use sato_tabular::table::{CellSource, Column};
 
 /// Hash seed that defines the word-embedding space.
 pub const WORD_EMBED_SEED: u64 = 0x5a70_0001;
@@ -36,8 +36,8 @@ pub fn word_features(column: &Column, dim: usize) -> Vec<f32> {
 /// running sum and `out[dim..]` the running sum of squares until the final
 /// mean/std fix-up — so the only working storage is the per-token embedding
 /// in the scratch.
-pub fn word_features_into(
-    column: &Column,
+pub fn word_features_into<C: CellSource + ?Sized>(
+    column: &C,
     dim: usize,
     scratch: &mut FeatureScratch,
     out: &mut [f32],
@@ -46,8 +46,8 @@ pub fn word_features_into(
     out.fill(0.0);
     scratch.token_vec.resize(dim, 0.0);
     let mut count = 0usize;
-    for cell in column.iter() {
-        for_each_token(cell, |token| {
+    for i in 0..column.num_cells() {
+        for_each_token(column.cell(i), |token| {
             hash_token_into(
                 token,
                 (3, 5),

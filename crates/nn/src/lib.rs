@@ -55,5 +55,6 @@ pub use matrix::Matrix;
 pub use network::{MultiInputNetwork, Sequential};
 pub use optim::{Adam, Sgd};
 pub use serialize::{
-    full_state_dict, load_state_dict, state_dict, validate_state, LoadError, StateDict,
+    full_state_dict, load_state_dict, state_dict, validate_state, LoadError, StateBytesError,
+    StateDict,
 };

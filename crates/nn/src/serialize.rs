@@ -200,6 +200,73 @@ pub fn copy_buffers(buffers: &mut [&mut Vec<f32>], state: &StateDict) {
     }
 }
 
+/// Typed decode errors of the flat [`StateDict`] byte layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateBytesError {
+    /// The buffer ended before the named field was fully read.
+    Truncated(&'static str),
+    /// A structurally invalid payload (overflowing shapes, trailing bytes).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for StateBytesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateBytesError::Truncated(what) => {
+                write!(f, "state dict payload truncated while reading {what}")
+            }
+            StateBytesError::Corrupt(what) => write!(f, "corrupt state dict payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StateBytesError {}
+
+/// Little-endian field reader over a byte payload.
+///
+/// Deliberately the same minimal helper as its siblings in `sato-topic`
+/// and `sato-core` (the crates cannot share one without a new dependency
+/// edge); keep fixes mirrored.
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], StateBytesError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(StateBytesError::Truncated(what))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, StateBytesError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn f32_vec(&mut self, len: usize, what: &'static str) -> Result<Vec<f32>, StateBytesError> {
+        let bytes = self.take(
+            len.checked_mul(4).ok_or(StateBytesError::Corrupt(what))?,
+            what,
+        )?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+fn push_f32s(out: &mut Vec<u8>, values: &[f32]) {
+    out.reserve(values.len() * 4);
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
 impl StateDict {
     /// Serialize to a JSON string.
     pub fn to_json(&self) -> String {
@@ -209,6 +276,55 @@ impl StateDict {
     /// Deserialize from a JSON string.
     pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(json)
+    }
+
+    /// Append the flat binary form to `out`: tensor count, then per tensor
+    /// `rows u32 | cols u32 | rows·cols f32`, then buffer count and per
+    /// buffer `len u32 | len f32` — everything little-endian, weight data
+    /// laid out exactly as the row-major `Matrix` holds it in memory.
+    ///
+    /// This is the section payload of the binary predictor artifact; JSON
+    /// (above) stays the debug/interchange form and both decode to equal
+    /// state dicts.
+    pub fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.tensors.len() as u32).to_le_bytes());
+        for t in &self.tensors {
+            out.extend_from_slice(&(t.rows() as u32).to_le_bytes());
+            out.extend_from_slice(&(t.cols() as u32).to_le_bytes());
+            push_f32s(out, t.data());
+        }
+        out.extend_from_slice(&(self.buffers.len() as u32).to_le_bytes());
+        for b in &self.buffers {
+            out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            push_f32s(out, b);
+        }
+    }
+
+    /// Decode a state dict written by [`Self::write_bytes`], bit-identical
+    /// to the one that was written.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StateBytesError> {
+        let mut r = ByteReader { bytes, pos: 0 };
+        let tensor_count = r.u32("tensor count")? as usize;
+        let mut tensors = Vec::with_capacity(tensor_count.min(1024));
+        for _ in 0..tensor_count {
+            let rows = r.u32("tensor rows")? as usize;
+            let cols = r.u32("tensor cols")? as usize;
+            let len = rows
+                .checked_mul(cols)
+                .ok_or(StateBytesError::Corrupt("tensor shape overflow"))?;
+            let data = r.f32_vec(len, "tensor data")?;
+            tensors.push(Matrix::from_vec(rows, cols, data));
+        }
+        let buffer_count = r.u32("buffer count")? as usize;
+        let mut buffers = Vec::with_capacity(buffer_count.min(1024));
+        for _ in 0..buffer_count {
+            let len = r.u32("buffer length")? as usize;
+            buffers.push(r.f32_vec(len, "buffer data")?);
+        }
+        if r.pos != bytes.len() {
+            return Err(StateBytesError::Corrupt("trailing bytes after state dict"));
+        }
+        Ok(StateDict { tensors, buffers })
     }
 }
 
@@ -308,6 +424,45 @@ mod tests {
         // And the JSON round-trip preserves the whole thing.
         let back = StateDict::from_json(&state.to_json()).unwrap();
         assert_eq!(state, back);
+    }
+
+    #[test]
+    fn byte_round_trip_is_bit_identical_and_matches_json() {
+        let mut a = bn_net(9);
+        let x = crate::matrix::Matrix::from_rows(&[vec![1.0, -0.5, 2.0], vec![0.5, 0.0, -3.0]]);
+        for _ in 0..10 {
+            a.forward(&x, true);
+        }
+        let state = a.state_dict();
+        let mut bytes = Vec::new();
+        state.write_bytes(&mut bytes);
+        let back = StateDict::from_bytes(&bytes).unwrap();
+        assert_eq!(state, back);
+        // Both persistence formats decode to the same state dict.
+        assert_eq!(back, StateDict::from_json(&state.to_json()).unwrap());
+        // And the binary form is far denser than the JSON text.
+        assert!(bytes.len() < state.to_json().len() / 2);
+    }
+
+    #[test]
+    fn byte_decode_rejects_truncation_and_trailing_garbage() {
+        let state = state_dict(&net(4).params());
+        let mut bytes = Vec::new();
+        state.write_bytes(&mut bytes);
+        for cut in [0, 3, 10, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    StateDict::from_bytes(&bytes[..cut]),
+                    Err(StateBytesError::Truncated(_))
+                ),
+                "cut at {cut} not reported as truncation"
+            );
+        }
+        bytes.push(0xAB);
+        assert!(matches!(
+            StateDict::from_bytes(&bytes),
+            Err(StateBytesError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,801 @@
+//! Columnar on-disk corpus format ("colstore"): the analytic-side
+//! representation of a table corpus, separated from the row-oriented
+//! ingest formats (CSV, JSON) the way HTAP systems split their ingest and
+//! analytic stores.
+//!
+//! A colstore file is a stream of dictionary-encoded, column-major table
+//! frames behind a fixed header:
+//!
+//! ```text
+//! header   := magic "SATOCOL1" (8 bytes) | version u32 | flags u32
+//! frame    := payload_len u64 | payload | fnv1a64(payload) u64
+//! stream   := header frame* terminator        (terminator: payload_len = 0)
+//! ```
+//!
+//! Every integer is little-endian. Each frame holds one table:
+//!
+//! ```text
+//! payload  := table_id u64
+//!           | intent_len u32 (0xFFFF_FFFF = none) | intent bytes
+//!           | label_count u32 | label u16 *       (semantic-type indices)
+//!           | column_count u32 | column *
+//! column   := num_cells u32 | dict_count u32 | code_width u8 (1|2|4)
+//!           | value_bytes_len u32
+//!           | offsets u32 * (dict_count + 1)      (cumulative, into values)
+//!           | value bytes (UTF-8, concatenated distinct cells)
+//!           | codes (num_cells * code_width bytes)
+//! ```
+//!
+//! The dictionary keeps distinct cell values in first-occurrence order, so
+//! decoding replays the exact original cell sequence; repeated cells (the
+//! common case in WebTables-style data) are stored once. The reader decodes
+//! frames into a reusable [`TableBuf`] — a string arena plus per-column
+//! code vectors — which implements [`TableCells`], so the serving path
+//! annotates a corpus straight off disk without ever materializing a
+//! [`Table`] (no per-cell `String`s).
+
+use crate::table::{CellSource, Column, Corpus, Table, TableCells};
+use crate::types::SemanticType;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// File magic: 8 bytes at offset zero of every colstore file.
+pub const COLSTORE_MAGIC: [u8; 8] = *b"SATOCOL1";
+
+/// Current format version written by [`ColStoreWriter`].
+pub const COLSTORE_VERSION: u32 = 1;
+
+/// Sentinel `intent_len` value encoding "no intent".
+const NO_INTENT: u32 = u32::MAX;
+
+/// FNV-1a 64-bit hash, the frame checksum.
+///
+/// Deliberately the same tiny standalone function as the artifact framing
+/// in `sato-core` (the crates cannot share a private helper without a new
+/// dependency edge); a change here must be mirrored there.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Typed decode/IO errors of the colstore format.
+#[derive(Debug)]
+pub enum ColStoreError {
+    /// Underlying reader or writer failed.
+    Io(io::Error),
+    /// The stream ended before a complete header or frame was read.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        what: &'static str,
+    },
+    /// The first 8 bytes are not [`COLSTORE_MAGIC`].
+    BadMagic,
+    /// The header version is newer than this reader understands.
+    UnsupportedVersion(u32),
+    /// A frame's FNV-1a checksum did not match its payload.
+    Checksum {
+        /// Zero-based index of the corrupt table frame.
+        table_index: usize,
+    },
+    /// Structurally invalid payload (bad offsets, out-of-range codes, …).
+    Corrupt(&'static str),
+    /// A dictionary page is not valid UTF-8.
+    Utf8,
+}
+
+impl fmt::Display for ColStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColStoreError::Io(e) => write!(f, "colstore io error: {e}"),
+            ColStoreError::Truncated { what } => {
+                write!(f, "colstore truncated while reading {what}")
+            }
+            ColStoreError::BadMagic => write!(f, "not a colstore file (bad magic)"),
+            ColStoreError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported colstore version {v} (reader supports {COLSTORE_VERSION})"
+                )
+            }
+            ColStoreError::Checksum { table_index } => {
+                write!(f, "colstore checksum mismatch in table frame {table_index}")
+            }
+            ColStoreError::Corrupt(what) => write!(f, "corrupt colstore frame: {what}"),
+            ColStoreError::Utf8 => write!(f, "colstore dictionary page is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ColStoreError {}
+
+impl From<io::Error> for ColStoreError {
+    fn from(e: io::Error) -> Self {
+        ColStoreError::Io(e)
+    }
+}
+
+/// Streaming colstore writer: tables go out one frame at a time, so an
+/// ingestion pipeline never holds more than the table it is encoding.
+pub struct ColStoreWriter<W: Write> {
+    out: W,
+    /// Reusable frame payload buffer.
+    payload: Vec<u8>,
+    finished: bool,
+}
+
+impl<W: Write> ColStoreWriter<W> {
+    /// Start a colstore stream on `out` (writes the header immediately).
+    pub fn new(mut out: W) -> io::Result<Self> {
+        out.write_all(&COLSTORE_MAGIC)?;
+        out.write_all(&COLSTORE_VERSION.to_le_bytes())?;
+        out.write_all(&0u32.to_le_bytes())?; // flags, reserved
+        Ok(ColStoreWriter {
+            out,
+            payload: Vec::new(),
+            finished: false,
+        })
+    }
+
+    /// Append one table as a dictionary-encoded column-major frame.
+    pub fn write_table(&mut self, table: &Table) -> io::Result<()> {
+        assert!(!self.finished, "write_table after finish");
+        let payload = &mut self.payload;
+        payload.clear();
+        payload.extend_from_slice(&table.id.to_le_bytes());
+        match &table.intent {
+            Some(intent) => {
+                let len = u32::try_from(intent.len()).expect("intent too long");
+                assert_ne!(len, NO_INTENT, "intent too long");
+                payload.extend_from_slice(&len.to_le_bytes());
+                payload.extend_from_slice(intent.as_bytes());
+            }
+            None => payload.extend_from_slice(&NO_INTENT.to_le_bytes()),
+        }
+        let labels: &[SemanticType] = if table.is_labelled() {
+            &table.labels
+        } else {
+            &[]
+        };
+        payload.extend_from_slice(&(labels.len() as u32).to_le_bytes());
+        for label in labels {
+            payload.extend_from_slice(&(label.index() as u16).to_le_bytes());
+        }
+        payload.extend_from_slice(&(table.columns.len() as u32).to_le_bytes());
+        for column in &table.columns {
+            encode_column(column, payload);
+        }
+        let checksum = fnv1a64(payload);
+        self.out.write_all(&(payload.len() as u64).to_le_bytes())?;
+        self.out.write_all(payload)?;
+        self.out.write_all(&checksum.to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Write the terminator frame, flush, and return the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.finished = true;
+        self.out.write_all(&0u64.to_le_bytes())?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Dictionary-encode one column into `payload` (format in the module docs).
+fn encode_column(column: &Column, payload: &mut Vec<u8>) {
+    // Distinct cells in first-occurrence order; codes index into the dict.
+    let mut dict_index: HashMap<&str, u32> = HashMap::new();
+    let mut dict: Vec<&str> = Vec::new();
+    let mut codes: Vec<u32> = Vec::with_capacity(column.len());
+    for cell in column.iter() {
+        let code = *dict_index.entry(cell).or_insert_with(|| {
+            dict.push(cell);
+            (dict.len() - 1) as u32
+        });
+        codes.push(code);
+    }
+    let code_width: u8 = if dict.len() <= usize::from(u8::MAX) + 1 {
+        1
+    } else if dict.len() <= usize::from(u16::MAX) + 1 {
+        2
+    } else {
+        4
+    };
+    let value_bytes: usize = dict.iter().map(|v| v.len()).sum();
+    payload.extend_from_slice(&(codes.len() as u32).to_le_bytes());
+    payload.extend_from_slice(&(dict.len() as u32).to_le_bytes());
+    payload.push(code_width);
+    payload.extend_from_slice(
+        &u32::try_from(value_bytes)
+            .expect("column too large")
+            .to_le_bytes(),
+    );
+    let mut offset = 0u32;
+    payload.extend_from_slice(&offset.to_le_bytes());
+    for value in &dict {
+        offset += value.len() as u32;
+        payload.extend_from_slice(&offset.to_le_bytes());
+    }
+    for value in &dict {
+        payload.extend_from_slice(value.as_bytes());
+    }
+    for &code in &codes {
+        match code_width {
+            1 => payload.push(code as u8),
+            2 => payload.extend_from_slice(&(code as u16).to_le_bytes()),
+            _ => payload.extend_from_slice(&code.to_le_bytes()),
+        }
+    }
+}
+
+/// One decoded column: dictionary entry spans into the [`TableBuf`] arena
+/// plus the per-cell dictionary codes.
+#[derive(Debug, Clone, Default)]
+struct ColBuf {
+    /// `(start, end)` byte spans of the dictionary entries in the arena.
+    dict: Vec<(u32, u32)>,
+    /// Per-cell dictionary indices, top to bottom.
+    codes: Vec<u32>,
+}
+
+/// A reusable decode target for one colstore frame: a string arena holding
+/// each column's distinct cell values plus the dictionary codes that replay
+/// the original cell order.
+///
+/// `TableBuf` implements [`TableCells`], so feature extraction and topic
+/// estimation run on it directly; after the first few frames a
+/// [`ColStoreReader::read_into`] loop allocates nothing new (buffers are
+/// reused across frames, matching the allocation-lean serving convention).
+#[derive(Debug, Clone, Default)]
+pub struct TableBuf {
+    id: u64,
+    /// Byte length of the intent prefix of `text`; `None` when absent.
+    intent_len: Option<usize>,
+    /// Intent bytes followed by the dictionary pages of every column.
+    text: String,
+    labels: Vec<SemanticType>,
+    columns: Vec<ColBuf>,
+    /// Active column count (`columns` keeps spare buffers beyond this).
+    ncols: usize,
+}
+
+impl TableBuf {
+    /// A fresh, empty decode target.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The decoded table's identifier.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of decoded columns.
+    pub fn num_columns(&self) -> usize {
+        self.ncols
+    }
+
+    /// The decoded intent, if the table carried one.
+    pub fn intent(&self) -> Option<&str> {
+        self.intent_len.map(|n| &self.text[..n])
+    }
+
+    /// Ground-truth labels (empty when the table was unlabelled).
+    pub fn labels(&self) -> &[SemanticType] {
+        &self.labels
+    }
+
+    /// Materialize the decoded frame as an owned [`Table`] (debug and
+    /// round-trip testing path; serving works on the `TableBuf` directly).
+    pub fn to_table(&self) -> Table {
+        let columns = (0..self.ncols)
+            .map(|c| {
+                let cells = self.cells(c);
+                Column::new((0..cells.num_cells()).map(|i| cells.cell(i)))
+            })
+            .collect();
+        Table {
+            id: self.id,
+            columns,
+            labels: self.labels.clone(),
+            intent: self.intent().map(str::to_string),
+        }
+    }
+}
+
+/// Borrowed [`CellSource`] view of one [`TableBuf`] column.
+#[derive(Debug, Clone, Copy)]
+pub struct ColCells<'a> {
+    text: &'a str,
+    col: &'a ColBuf,
+}
+
+impl CellSource for ColCells<'_> {
+    fn num_cells(&self) -> usize {
+        self.col.codes.len()
+    }
+
+    fn cell(&self, i: usize) -> &str {
+        let (start, end) = self.col.dict[self.col.codes[i] as usize];
+        &self.text[start as usize..end as usize]
+    }
+}
+
+impl TableCells for TableBuf {
+    type Cells<'a> = ColCells<'a>;
+
+    fn table_id(&self) -> u64 {
+        self.id
+    }
+
+    fn cell_columns(&self) -> usize {
+        self.ncols
+    }
+
+    fn cells(&self, c: usize) -> ColCells<'_> {
+        assert!(c < self.ncols, "column index out of range");
+        ColCells {
+            text: &self.text,
+            col: &self.columns[c],
+        }
+    }
+
+    fn gold_labels(&self) -> &[SemanticType] {
+        &self.labels
+    }
+}
+
+/// Streaming colstore reader: validates the header up front, then decodes
+/// one frame per [`Self::read_into`] call into a caller-owned [`TableBuf`].
+pub struct ColStoreReader<R: Read> {
+    input: R,
+    /// Reusable frame payload buffer.
+    payload: Vec<u8>,
+    tables_read: usize,
+    done: bool,
+}
+
+impl<R: Read> ColStoreReader<R> {
+    /// Open a colstore stream: reads and validates the 16-byte header.
+    pub fn new(mut input: R) -> Result<Self, ColStoreError> {
+        let mut header = [0u8; 16];
+        read_exact_or(&mut input, &mut header, "header")?;
+        if header[..8] != COLSTORE_MAGIC {
+            return Err(ColStoreError::BadMagic);
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if version != COLSTORE_VERSION {
+            return Err(ColStoreError::UnsupportedVersion(version));
+        }
+        Ok(ColStoreReader {
+            input,
+            payload: Vec::new(),
+            tables_read: 0,
+            done: false,
+        })
+    }
+
+    /// Number of table frames decoded so far.
+    pub fn tables_read(&self) -> usize {
+        self.tables_read
+    }
+
+    /// Decode the next frame into `buf`. Returns `Ok(false)` at the
+    /// terminator (with `buf` untouched), `Ok(true)` after a successful
+    /// decode. `buf` may hold a previous frame's contents on entry; they
+    /// are overwritten, and its allocations are reused.
+    pub fn read_into(&mut self, buf: &mut TableBuf) -> Result<bool, ColStoreError> {
+        if self.done {
+            return Ok(false);
+        }
+        let mut len_bytes = [0u8; 8];
+        read_exact_or(&mut self.input, &mut len_bytes, "frame length")?;
+        let payload_len = u64::from_le_bytes(len_bytes);
+        if payload_len == 0 {
+            self.done = true;
+            return Ok(false);
+        }
+        let payload_len =
+            usize::try_from(payload_len).map_err(|_| ColStoreError::Corrupt("frame length"))?;
+        // Never trust the declared length for an upfront allocation: a
+        // corrupted length field could demand exbibytes. `take` grows the
+        // buffer only with bytes that actually arrive, then the count is
+        // checked against the declaration.
+        self.payload.clear();
+        let got = (&mut self.input)
+            .take(payload_len as u64)
+            .read_to_end(&mut self.payload)?;
+        if got < payload_len {
+            return Err(ColStoreError::Truncated {
+                what: "frame payload",
+            });
+        }
+        let mut checksum_bytes = [0u8; 8];
+        read_exact_or(&mut self.input, &mut checksum_bytes, "frame checksum")?;
+        if u64::from_le_bytes(checksum_bytes) != fnv1a64(&self.payload) {
+            return Err(ColStoreError::Checksum {
+                table_index: self.tables_read,
+            });
+        }
+        decode_frame(&self.payload, buf)?;
+        self.tables_read += 1;
+        Ok(true)
+    }
+}
+
+/// Map `read_exact` EOF to [`ColStoreError::Truncated`].
+fn read_exact_or<R: Read>(
+    input: &mut R,
+    out: &mut [u8],
+    what: &'static str,
+) -> Result<(), ColStoreError> {
+    input.read_exact(out).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ColStoreError::Truncated { what }
+        } else {
+            ColStoreError::Io(e)
+        }
+    })
+}
+
+/// Little-endian cursor over one frame payload.
+struct FrameCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameCursor<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], ColStoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(ColStoreError::Truncated { what })?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, ColStoreError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, ColStoreError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, ColStoreError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, ColStoreError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+}
+
+/// Decode one checksum-verified frame payload into `buf`.
+fn decode_frame(payload: &[u8], buf: &mut TableBuf) -> Result<(), ColStoreError> {
+    let mut cur = FrameCursor {
+        bytes: payload,
+        pos: 0,
+    };
+    buf.text.clear();
+    buf.labels.clear();
+    buf.id = cur.u64("table id")?;
+    let intent_len = cur.u32("intent length")?;
+    buf.intent_len = None;
+    if intent_len != NO_INTENT {
+        let bytes = cur.take(intent_len as usize, "intent")?;
+        let intent = std::str::from_utf8(bytes).map_err(|_| ColStoreError::Utf8)?;
+        buf.text.push_str(intent);
+        buf.intent_len = Some(intent.len());
+    }
+    let label_count = cur.u32("label count")?;
+    for _ in 0..label_count {
+        let idx = cur.u16("label")?;
+        let label = SemanticType::from_index(idx as usize)
+            .ok_or(ColStoreError::Corrupt("unknown semantic-type index"))?;
+        buf.labels.push(label);
+    }
+    let column_count = cur.u32("column count")? as usize;
+    if label_count != 0 && label_count as usize != column_count {
+        return Err(ColStoreError::Corrupt("labels not parallel to columns"));
+    }
+    // Grow the column pool without discarding previously-warmed buffers.
+    if buf.columns.len() < column_count {
+        buf.columns.resize_with(column_count, ColBuf::default);
+    }
+    buf.ncols = column_count;
+    for col in &mut buf.columns[..column_count] {
+        decode_column(&mut cur, &mut buf.text, col)?;
+    }
+    if cur.pos != payload.len() {
+        return Err(ColStoreError::Corrupt("trailing bytes in frame"));
+    }
+    Ok(())
+}
+
+/// Decode one column page, appending its dictionary to the `text` arena.
+fn decode_column(
+    cur: &mut FrameCursor<'_>,
+    text: &mut String,
+    col: &mut ColBuf,
+) -> Result<(), ColStoreError> {
+    col.dict.clear();
+    col.codes.clear();
+    let num_cells = cur.u32("cell count")? as usize;
+    let dict_count = cur.u32("dictionary count")? as usize;
+    let code_width = cur.u8("code width")?;
+    if !matches!(code_width, 1 | 2 | 4) {
+        return Err(ColStoreError::Corrupt("invalid code width"));
+    }
+    if num_cells > 0 && dict_count == 0 {
+        return Err(ColStoreError::Corrupt("cells without dictionary"));
+    }
+    let value_bytes_len = cur.u32("value page length")? as usize;
+    let base = text.len() as u32;
+    let mut prev = cur.u32("dictionary offset")?;
+    if prev != 0 {
+        return Err(ColStoreError::Corrupt("first dictionary offset not zero"));
+    }
+    col.dict.reserve(dict_count);
+    for _ in 0..dict_count {
+        let next = cur.u32("dictionary offset")?;
+        if next < prev || next as usize > value_bytes_len {
+            return Err(ColStoreError::Corrupt("dictionary offsets not monotonic"));
+        }
+        col.dict.push((base + prev, base + next));
+        prev = next;
+    }
+    if prev as usize != value_bytes_len {
+        return Err(ColStoreError::Corrupt(
+            "dictionary offsets do not cover page",
+        ));
+    }
+    let value_bytes = cur.take(value_bytes_len, "value page")?;
+    let page = std::str::from_utf8(value_bytes).map_err(|_| ColStoreError::Utf8)?;
+    // The page as a whole is UTF-8; every entry boundary must also be a
+    // character boundary for the per-entry `&str` slices to be valid.
+    for &(start, end) in &col.dict {
+        if !page.is_char_boundary((start - base) as usize)
+            || !page.is_char_boundary((end - base) as usize)
+        {
+            return Err(ColStoreError::Utf8);
+        }
+    }
+    text.push_str(page);
+    col.codes.reserve(num_cells);
+    for _ in 0..num_cells {
+        let code = match code_width {
+            1 => u32::from(cur.u8("cell code")?),
+            2 => u32::from(cur.u16("cell code")?),
+            _ => cur.u32("cell code")?,
+        };
+        if code as usize >= dict_count {
+            return Err(ColStoreError::Corrupt("cell code out of dictionary range"));
+        }
+        col.codes.push(code);
+    }
+    Ok(())
+}
+
+/// Encode a whole corpus to colstore bytes in memory.
+pub fn corpus_to_bytes(corpus: &Corpus) -> Vec<u8> {
+    let mut writer = ColStoreWriter::new(Vec::new()).expect("Vec writes are infallible");
+    for table in corpus.iter() {
+        writer
+            .write_table(table)
+            .expect("Vec writes are infallible");
+    }
+    writer.finish().expect("Vec writes are infallible")
+}
+
+/// Decode colstore bytes back into an owned [`Corpus`] (debug/interchange
+/// path; serving streams [`TableBuf`]s instead).
+pub fn corpus_from_bytes(bytes: &[u8]) -> Result<Corpus, ColStoreError> {
+    let mut reader = ColStoreReader::new(bytes)?;
+    let mut buf = TableBuf::new();
+    let mut tables = Vec::new();
+    while reader.read_into(&mut buf)? {
+        tables.push(buf.to_table());
+    }
+    Ok(Corpus::new(tables))
+}
+
+/// Write a corpus to a colstore file at `path`.
+pub fn write_corpus_to_path(corpus: &Corpus, path: impl AsRef<Path>) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut writer = ColStoreWriter::new(io::BufWriter::new(file))?;
+    for table in corpus.iter() {
+        writer.write_table(table)?;
+    }
+    writer.finish()?.into_inner().map_err(|e| e.into_error())?;
+    Ok(())
+}
+
+/// Open a buffered streaming reader over the colstore file at `path`.
+pub fn open_path(
+    path: impl AsRef<Path>,
+) -> Result<ColStoreReader<io::BufReader<std::fs::File>>, ColStoreError> {
+    let file = std::fs::File::open(path)?;
+    ColStoreReader::new(io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::default_corpus;
+
+    fn sample_table() -> Table {
+        let mut t = Table::labelled(
+            42,
+            vec![
+                Column::new(["Florence", "Warsaw", "Warsaw", "London"]),
+                Column::new(["Italy", "Poland", "Poland", "UK"]),
+            ],
+            vec![SemanticType::City, SemanticType::Country],
+        );
+        t.intent = Some("geo".to_string());
+        t
+    }
+
+    #[test]
+    fn round_trips_a_synthetic_corpus() {
+        let corpus = default_corpus(30, 7);
+        let bytes = corpus_to_bytes(&corpus);
+        let back = corpus_from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), corpus.len());
+        for (a, b) in corpus.iter().zip(back.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn round_trips_edge_case_tables() {
+        let tables = vec![
+            Table::unlabelled(0, vec![]),
+            Table::unlabelled(1, vec![Column::new(Vec::<String>::new())]),
+            Table::unlabelled(2, vec![Column::new(["", "", ""])]),
+            // Ragged + unicode + repeats.
+            Table::unlabelled(
+                3,
+                vec![Column::new(["ΟΔΟΣ", "naïve", "ΟΔΟΣ"]), Column::new(["x"])],
+            ),
+            sample_table(),
+        ];
+        let corpus = Corpus::new(tables);
+        let back = corpus_from_bytes(&corpus_to_bytes(&corpus)).unwrap();
+        for (a, b) in corpus.iter().zip(back.iter()) {
+            assert_eq!(a, b, "table {} did not round-trip", a.id);
+        }
+    }
+
+    #[test]
+    fn table_buf_streams_cells_in_table_order() {
+        let table = sample_table();
+        let corpus = Corpus::new(vec![table.clone()]);
+        let bytes = corpus_to_bytes(&corpus);
+        let mut reader = ColStoreReader::new(&bytes[..]).unwrap();
+        let mut buf = TableBuf::new();
+        assert!(reader.read_into(&mut buf).unwrap());
+        assert_eq!(buf.id(), table.id);
+        assert_eq!(buf.intent(), Some("geo"));
+        assert_eq!(buf.labels(), &table.labels[..]);
+        assert_eq!(buf.num_columns(), table.num_columns());
+        let mut streamed = Vec::new();
+        buf.for_each_cell(|v| streamed.push(v.to_string()));
+        let mut direct = Vec::new();
+        table.for_each_value(|v| direct.push(v.to_string()));
+        assert_eq!(streamed, direct);
+        // Repeated cells resolve through the dictionary.
+        let cells = buf.cells(0);
+        assert_eq!(cells.cell(1), "Warsaw");
+        assert_eq!(cells.cell(2), "Warsaw");
+        assert!(!reader.read_into(&mut buf).unwrap());
+        assert_eq!(reader.tables_read(), 1);
+    }
+
+    #[test]
+    fn dictionary_compresses_repeats() {
+        let repeated = Table::unlabelled(
+            1,
+            vec![Column::new(
+                std::iter::repeat_n("the-same-long-cell-value", 500),
+            )],
+        );
+        let distinct = Table::unlabelled(
+            1,
+            vec![Column::new(
+                (0..500).map(|i| format!("cell-value-number-{i:06}")),
+            )],
+        );
+        let small = corpus_to_bytes(&Corpus::new(vec![repeated])).len();
+        let large = corpus_to_bytes(&Corpus::new(vec![distinct])).len();
+        assert!(
+            small * 10 < large,
+            "dictionary encoding gained nothing: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = corpus_to_bytes(&default_corpus(2, 1));
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            ColStoreReader::new(&bytes[..]),
+            Err(ColStoreError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn rejects_unsupported_version() {
+        let mut bytes = corpus_to_bytes(&default_corpus(2, 1));
+        bytes[8] = 99;
+        assert!(matches!(
+            ColStoreReader::new(&bytes[..]),
+            Err(ColStoreError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_prefix_boundary() {
+        let bytes = corpus_to_bytes(&default_corpus(2, 1));
+        for cut in [4, 12, 20, bytes.len() - 9, bytes.len() - 1] {
+            let err = match ColStoreReader::new(&bytes[..cut]) {
+                Err(e) => e,
+                Ok(mut reader) => {
+                    let mut buf = TableBuf::new();
+                    loop {
+                        match reader.read_into(&mut buf) {
+                            Ok(true) => continue,
+                            Ok(false) => panic!("truncated stream at {cut} decoded cleanly"),
+                            Err(e) => break e,
+                        }
+                    }
+                }
+            };
+            assert!(
+                matches!(err, ColStoreError::Truncated { .. }),
+                "cut at {cut} gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_corrupted_payload_bytes() {
+        let bytes = corpus_to_bytes(&default_corpus(2, 1));
+        // Flip a byte inside the first frame's payload (skip the 16-byte
+        // header and the 8-byte frame length).
+        let mut corrupted = bytes.clone();
+        corrupted[30] ^= 0xFF;
+        let mut reader = ColStoreReader::new(&corrupted[..]).unwrap();
+        let mut buf = TableBuf::new();
+        assert!(matches!(
+            reader.read_into(&mut buf),
+            Err(ColStoreError::Checksum { table_index: 0 })
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let corpus = default_corpus(5, 3);
+        let dir = std::env::temp_dir().join("sato-colstore-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.satocol");
+        write_corpus_to_path(&corpus, &path).unwrap();
+        let mut reader = open_path(&path).unwrap();
+        let mut buf = TableBuf::new();
+        let mut count = 0;
+        while reader.read_into(&mut buf).unwrap() {
+            assert_eq!(buf.to_table(), corpus.tables[count]);
+            count += 1;
+        }
+        assert_eq!(count, corpus.len());
+        std::fs::remove_file(&path).ok();
+    }
+}

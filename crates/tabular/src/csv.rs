@@ -106,6 +106,29 @@ pub fn table_from_csv(id: u64, text: &str, has_header: bool) -> Table {
     Table::unlabelled(id, columns)
 }
 
+/// Ingest a stream of CSV documents straight into a colstore stream: each
+/// `(table_id, csv_text)` document is parsed with [`table_from_csv`] and
+/// written as one dictionary-encoded frame, so only a single table is ever
+/// materialized at a time. Returns the number of tables ingested along with
+/// the finished writer's inner sink.
+///
+/// This is the CSV→colstore ingestion path: `csv_to_colstore` once at
+/// ingest time, then serve any number of annotation passes from the
+/// columnar file through [`crate::colstore::ColStoreReader`].
+pub fn csv_to_colstore<'a, W: std::io::Write>(
+    documents: impl IntoIterator<Item = (u64, &'a str)>,
+    has_header: bool,
+    out: W,
+) -> std::io::Result<(usize, W)> {
+    let mut writer = crate::colstore::ColStoreWriter::new(out)?;
+    let mut count = 0usize;
+    for (id, text) in documents {
+        writer.write_table(&table_from_csv(id, text, has_header))?;
+        count += 1;
+    }
+    Ok((count, writer.finish()?))
+}
+
 /// Serialize a table to CSV. When the table is labelled, the canonical type
 /// names are written as the header row.
 pub fn table_to_csv(table: &Table) -> String {
@@ -195,6 +218,21 @@ mod tests {
         let t = table_from_csv(3, text, false);
         assert_eq!(t.num_columns(), 3);
         assert_eq!(t.columns[2].values, vec!["c", ""]);
+    }
+
+    #[test]
+    fn csv_to_colstore_round_trip() {
+        let docs = [
+            (7u64, "City,Country\nWarsaw,Poland\nRome,Italy\n"),
+            (8u64, "a,b,c\n1,2\n"),
+        ];
+        let (count, bytes) = csv_to_colstore(docs.iter().copied(), true, Vec::new()).unwrap();
+        assert_eq!(count, 2);
+        let corpus = crate::colstore::corpus_from_bytes(&bytes).unwrap();
+        assert_eq!(corpus.len(), 2);
+        for ((id, text), decoded) in docs.iter().zip(corpus.iter()) {
+            assert_eq!(decoded, &table_from_csv(*id, text, true));
+        }
     }
 
     #[test]

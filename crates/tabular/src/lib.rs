@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod canonical;
+pub mod colstore;
 pub mod cooccurrence;
 pub mod corpus;
 pub mod csv;
@@ -40,8 +41,9 @@ pub mod table;
 pub mod types;
 pub mod values;
 
+pub use colstore::{ColStoreError, ColStoreReader, ColStoreWriter, TableBuf};
 pub use cooccurrence::CooccurrenceMatrix;
 pub use corpus::{CorpusConfig, CorpusGenerator};
 pub use split::{k_fold, train_test_split, Split};
-pub use table::{Column, Corpus, Table};
+pub use table::{CellSource, Column, Corpus, Table, TableCells};
 pub use types::{SemanticType, NUM_TYPES};

@@ -160,6 +160,112 @@ impl Table {
     }
 }
 
+/// Random-access view of one column's cell values: the abstraction the
+/// feature extractors consume, so the same single-pass kernels run over an
+/// in-memory [`Column`] or a decoded colstore page without copying cells
+/// into per-cell `String`s.
+///
+/// `cell(i)` must be cheap (a borrow, no decoding work) and the order
+/// `0..num_cells()` must be the top-to-bottom order of [`Column::iter`];
+/// that ordering contract is what keeps streaming and in-memory serving
+/// paths bit-identical.
+pub trait CellSource {
+    /// Number of cells, including empty ones (like [`Column::len`]).
+    fn num_cells(&self) -> usize;
+
+    /// The `i`-th cell value. Panics when `i >= num_cells()`.
+    fn cell(&self, i: usize) -> &str;
+
+    /// Whether the column has no cells at all.
+    fn no_cells(&self) -> bool {
+        self.num_cells() == 0
+    }
+}
+
+impl CellSource for Column {
+    fn num_cells(&self) -> usize {
+        self.values.len()
+    }
+
+    fn cell(&self, i: usize) -> &str {
+        &self.values[i]
+    }
+}
+
+impl<C: CellSource + ?Sized> CellSource for &C {
+    fn num_cells(&self) -> usize {
+        (**self).num_cells()
+    }
+
+    fn cell(&self, i: usize) -> &str {
+        (**self).cell(i)
+    }
+}
+
+/// A table-shaped source of cell values: everything the serving stack needs
+/// from a table (identity, per-column cells, gold labels when present)
+/// without requiring the materialized [`Table`] struct.
+///
+/// [`Table`] implements this trivially; the colstore reader's
+/// [`crate::colstore::TableBuf`] implements it over dictionary-encoded
+/// pages, which is how the serving path annotates a corpus straight off
+/// disk.
+pub trait TableCells {
+    /// The per-column cell view.
+    type Cells<'a>: CellSource
+    where
+        Self: 'a;
+
+    /// Stable table identifier (unique within a corpus).
+    fn table_id(&self) -> u64;
+
+    /// Number of columns.
+    fn cell_columns(&self) -> usize;
+
+    /// The cells of column `c` (columns are numbered left to right;
+    /// `c < cell_columns()`).
+    fn cells(&self, c: usize) -> Self::Cells<'_>;
+
+    /// Ground-truth semantic types parallel to the columns, or an empty
+    /// slice when the table is unlabelled.
+    fn gold_labels(&self) -> &[SemanticType];
+
+    /// Visit every cell value in column order — the trait counterpart of
+    /// [`Table::for_each_value`], with the identical visit order.
+    fn for_each_cell(&self, mut f: impl FnMut(&str)) {
+        for c in 0..self.cell_columns() {
+            let cells = self.cells(c);
+            for i in 0..cells.num_cells() {
+                f(cells.cell(i));
+            }
+        }
+    }
+}
+
+impl TableCells for Table {
+    type Cells<'a> = &'a Column;
+
+    fn table_id(&self) -> u64 {
+        self.id
+    }
+
+    fn cell_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    fn cells(&self, c: usize) -> &Column {
+        &self.columns[c]
+    }
+
+    fn gold_labels(&self) -> &[SemanticType] {
+        if self.is_labelled() {
+            &self.labels
+        } else {
+            &[]
+        }
+    }
+}
+
 /// A collection of tables: the dataset `D` of the paper (or a fold of it).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Corpus {
@@ -305,6 +411,36 @@ mod tests {
         assert_eq!(counts.len(), crate::types::NUM_TYPES);
         assert_eq!(counts[0].1, 2); // city and country both occur twice
         assert!(counts.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn cell_source_matches_column_iter() {
+        let c = Column::new(["a", "", "b"]);
+        assert_eq!(c.num_cells(), c.len());
+        assert!(!c.no_cells());
+        let via_trait: Vec<&str> = (0..c.num_cells()).map(|i| c.cell(i)).collect();
+        let via_iter: Vec<&str> = c.iter().collect();
+        assert_eq!(via_trait, via_iter);
+        // The blanket reference impl forwards.
+        let r = &c;
+        assert_eq!(r.num_cells(), 3);
+        assert_eq!(r.cell(2), "b");
+    }
+
+    #[test]
+    fn table_cells_matches_table_accessors() {
+        let t = sample_table();
+        assert_eq!(t.table_id(), t.id);
+        assert_eq!(t.cell_columns(), t.num_columns());
+        assert_eq!(t.cells(1).cell(0), "Italy");
+        assert_eq!(t.gold_labels(), &t.labels[..]);
+        let mut via_trait = Vec::new();
+        t.for_each_cell(|v| via_trait.push(v.to_string()));
+        let mut via_table = Vec::new();
+        t.for_each_value(|v| via_table.push(v.to_string()));
+        assert_eq!(via_trait, via_table);
+        let unlabelled = Table::unlabelled(1, vec![Column::new(["x"])]);
+        assert!(unlabelled.gold_labels().is_empty());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use crate::lda::{LdaConfig, LdaInferScratch, LdaModel};
 use crate::sampler::{SamplerKind, TopicSampler};
-use sato_tabular::table::{Corpus, Table};
+use sato_tabular::table::{Corpus, Table, TableCells};
 use serde::{Deserialize, Serialize};
 
 /// Reusable workspace for streaming table-topic estimation: the encoded
@@ -118,6 +118,20 @@ impl TableIntentEstimator {
         scratch: &mut TopicScratch,
         out: &mut [f32],
     ) {
+        self.estimate_cells_into(table, sampler, scratch, out);
+    }
+
+    /// [`Self::estimate_into`] over any [`TableCells`] source: the cells of
+    /// an in-memory [`Table`] and of a decoded colstore frame visit in the
+    /// identical column order, so the two inputs produce bit-identical
+    /// topic vectors.
+    pub fn estimate_cells_into<T: TableCells + ?Sized>(
+        &self,
+        table: &T,
+        sampler: &TopicSampler,
+        scratch: &mut TopicScratch,
+        out: &mut [f32],
+    ) {
         let TopicScratch {
             tokens,
             token_buf,
@@ -125,7 +139,7 @@ impl TableIntentEstimator {
         } = scratch;
         tokens.clear();
         let vocab = self.model.vocabulary();
-        table.for_each_value(|value| vocab.encode_value_into(value, token_buf, tokens));
+        table.for_each_cell(|value| vocab.encode_value_into(value, token_buf, tokens));
         self.model
             .infer_tokens_into(tokens, self.model.default_infer_seed(), sampler, infer, out);
     }

@@ -193,6 +193,39 @@ impl LdaModel {
         scored
     }
 
+    /// The frozen topic–word counts, topic-major (`topic_word[k * V + w]`;
+    /// binary-codec write path).
+    pub(crate) fn topic_word_counts(&self) -> &[u32] {
+        &self.topic_word
+    }
+
+    /// The per-topic token totals (binary-codec write path).
+    pub(crate) fn topic_total_counts(&self) -> &[u32] {
+        &self.topic_totals
+    }
+
+    /// Reassemble a model from its frozen parts (the binary-codec load
+    /// path). Returns `None` when the count buffers do not match the
+    /// `num_topics × vocabulary` shape the config implies.
+    pub(crate) fn from_parts(
+        config: LdaConfig,
+        vocab: Vocabulary,
+        topic_word: Vec<u32>,
+        topic_totals: Vec<u32>,
+    ) -> Option<Self> {
+        let k = config.num_topics;
+        let v = vocab.len().max(1);
+        if topic_word.len() != k * v || topic_totals.len() != k {
+            return None;
+        }
+        Some(LdaModel {
+            config,
+            vocab,
+            topic_word,
+            topic_totals,
+        })
+    }
+
     /// The seed [`Self::infer`] derives from the training seed for serving
     /// inference (shared with the streaming estimate path so both are
     /// bit-identical).

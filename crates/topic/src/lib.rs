@@ -22,10 +22,12 @@ pub mod intent;
 pub mod lda;
 pub mod saliency;
 pub mod sampler;
+pub mod serialize;
 pub mod vocab;
 
 pub use intent::{TableIntentEstimator, TopicScratch};
 pub use lda::{LdaConfig, LdaInferScratch, LdaModel};
 pub use saliency::{analyze_topics, TopicSummary, TopicTypeAnalysis};
 pub use sampler::{SamplerKind, SparseAliasTables, TopicSampler};
+pub use serialize::TopicBytesError;
 pub use vocab::Vocabulary;

@@ -161,6 +161,61 @@ impl SparseAliasTables {
         }
     }
 
+    /// Number of topics the tables were built for.
+    pub fn num_topics(&self) -> usize {
+        self.k
+    }
+
+    /// Vocabulary size the tables were built for.
+    pub fn vocab_size(&self) -> usize {
+        self.v
+    }
+
+    /// Reassemble pre-built tables from their parts (the binary-codec load
+    /// path, which is what lets an artifact skip the `O(K·V)` rebuild).
+    /// Returns `None` when the buffer shapes are inconsistent or an alias
+    /// index is out of range.
+    pub(crate) fn from_parts(
+        k: usize,
+        v: usize,
+        phi: Vec<f64>,
+        alias_prob: Vec<f64>,
+        alias: Vec<u32>,
+        static_mass: Vec<f64>,
+    ) -> Option<Self> {
+        if k == 0
+            || phi.len() != v * k
+            || alias_prob.len() != v * k
+            || alias.len() != v * k
+            || static_mass.len() != v
+            || alias.iter().any(|&t| t as usize >= k)
+        {
+            return None;
+        }
+        Some(SparseAliasTables {
+            k,
+            v,
+            phi,
+            alias_prob,
+            alias,
+            static_mass,
+        })
+    }
+
+    /// Borrow all parts in [`Self::from_parts`] order (the binary-codec
+    /// write path).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn parts(&self) -> (usize, usize, &[f64], &[f64], &[u32], &[f64]) {
+        (
+            self.k,
+            self.v,
+            &self.phi,
+            &self.alias_prob,
+            &self.alias,
+            &self.static_mass,
+        )
+    }
+
     /// Panic unless the tables were built for a model of this shape (they
     /// embed the frozen topic–word term, so they are only valid against the
     /// model that produced them).

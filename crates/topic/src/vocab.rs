@@ -65,6 +65,20 @@ pub fn for_each_token_lower(text: &str, buf: &mut String, mut f: impl FnMut(&str
 }
 
 impl Vocabulary {
+    /// Rebuild a vocabulary from its tokens in id order (the binary-codec
+    /// load path; ids are assigned densely in slice order).
+    pub(crate) fn from_id_tokens(tokens: Vec<String>) -> Self {
+        let token_to_id = tokens
+            .iter()
+            .enumerate()
+            .map(|(id, t)| (t.clone(), id))
+            .collect();
+        Vocabulary {
+            token_to_id,
+            id_to_token: tokens,
+        }
+    }
+
     /// Build a vocabulary from an iterator of documents, keeping tokens that
     /// appear at least `min_count` times in total.
     pub fn build<'a>(documents: impl Iterator<Item = &'a str>, min_count: usize) -> Self {

@@ -55,7 +55,7 @@ fn main() {
             .iter()
             .filter(|v| !v.is_empty())
             .take(2)
-            .cloned()
+            .map(String::as_str)
             .collect::<Vec<_>>()
             .join(" | ");
         println!("  column {i}: {ty:<14} confidence {confidence:.2}  e.g. [{sample}]");

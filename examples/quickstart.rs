@@ -39,25 +39,30 @@ fn main() {
     );
 
     // 3. FREEZE: turn the trained model into an immutable, Send + Sync
-    //    serving artifact and ship it as JSON. Training-time state
-    //    (optimiser, activation caches, RNG) is gone; the artifact only
-    //    holds weights, running statistics, scalers, topic model and CRF.
-    let artifact = std::env::temp_dir().join("sato_quickstart.json");
-    model
-        .into_predictor()
-        .save(&artifact)
-        .expect("write predictor artifact");
+    //    serving artifact. Training-time state (optimiser, activation
+    //    caches, RNG) is gone; the artifact only holds weights, running
+    //    statistics, scalers, topic model and CRF. The compact SATOART1
+    //    binary is the deployment format; JSON stays available as the
+    //    debug/interchange format and round-trips bit for bit with it.
+    let artifact = std::env::temp_dir().join("sato_quickstart.satoart");
+    let json_artifact = std::env::temp_dir().join("sato_quickstart.json");
+    let frozen = model.into_predictor();
+    frozen
+        .save_binary(&artifact)
+        .expect("write binary artifact");
+    frozen.save(&json_artifact).expect("write JSON artifact");
+    let kib = |p: &std::path::Path| std::fs::metadata(p).map(|m| m.len() / 1024).unwrap_or(0);
     println!(
-        "froze model into {} ({} KiB)",
+        "froze model into {} ({} KiB binary; {} KiB as JSON interchange)",
         artifact.display(),
-        std::fs::metadata(&artifact)
-            .map(|m| m.len() / 1024)
-            .unwrap_or(0)
+        kib(&artifact),
+        kib(&json_artifact)
     );
 
-    // 4. SERVE: load the artifact (e.g. in a separate serving process) and
-    //    annotate a brand-new table. Every predictor method takes `&self`.
-    let predictor = SatoPredictor::load(&artifact).expect("load predictor artifact");
+    // 4. SERVE: load the binary artifact (e.g. in a separate serving
+    //    process) and annotate a brand-new table. Every predictor method
+    //    takes `&self`.
+    let predictor = SatoPredictor::load_binary(&artifact).expect("load predictor artifact");
     let table = Table::unlabelled(
         999_999,
         vec![
@@ -74,7 +79,7 @@ fn main() {
             col.values
                 .iter()
                 .take(2)
-                .cloned()
+                .map(String::as_str)
                 .collect::<Vec<_>>()
                 .join(", ")
         );
