@@ -73,8 +73,11 @@ const SEC_ALIA: [u8; 4] = *b"ALIA";
 
 /// FNV-1a 64-bit checksum — deliberately duplicated from
 /// `sato_tabular::colstore` (the crates share no private helpers); any fix
-/// here must be mirrored there.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// here must be mirrored there. Besides the per-section checksums this is
+/// also the predictor's *content hash*
+/// ([`SatoPredictor::content_hash`]): FNV-1a over the whole `SATOART1`
+/// byte stream.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= u64::from(b);
@@ -467,11 +470,14 @@ impl SatoPredictor {
                 meta.sampler,
             )?,
         };
-        Ok(SatoPredictor::from_parts(
+        // The content hash is taken over the exact bytes served from, not a
+        // re-serialization: what was loaded is what the hash names.
+        Ok(SatoPredictor::from_parts_hashed(
             meta.variant,
             meta.config,
             columnwise,
             crf,
+            fnv1a64(bytes),
         ))
     }
 

@@ -394,6 +394,12 @@ struct TopicMemo {
     map: HashMap<u64, Vec<f32>>,
     order: VecDeque<u64>,
     capacity: usize,
+    /// Content hash of the artifact whose topic vectors are cached here
+    /// (`None` until the first serve). A table id alone does not identify a
+    /// cached vector — the same id yields different topics under different
+    /// artifacts — so entries cached under another artifact are cleared
+    /// rather than replayed (see [`ServingScratch::bind_artifact`]).
+    artifact: Option<u64>,
 }
 
 impl TopicMemo {
@@ -402,6 +408,7 @@ impl TopicMemo {
             map: HashMap::new(),
             order: VecDeque::new(),
             capacity: capacity.max(1),
+            artifact: None,
         }
     }
 
@@ -463,14 +470,15 @@ impl ServingScratch {
     /// inference for repeated tables — the common shape of a serving loop
     /// that re-predicts a slowly-changing corpus.
     ///
-    /// The memo is keyed by [`Table::id`] alone and lives as long as the
-    /// scratch, so it must only be used where (a) a table id uniquely
-    /// identifies the table's content — serving a *different* table under a
-    /// previously seen id would reuse the stale topic vector — and (b) the
-    /// scratch stays with **one predictor** (and one sampler choice): the
-    /// cached vectors belong to that predictor's LDA model and sampler, and
-    /// replaying them into a different predictor would silently feed it the
-    /// wrong topics. The default (no memo) has neither requirement.
+    /// Within one artifact the memo is keyed by [`Table::id`], so it must
+    /// only be used where a table id uniquely identifies the table's
+    /// content — serving a *different* table under a previously seen id
+    /// would reuse the stale topic vector. Across artifacts the memo is
+    /// safe by construction: every batched entry point binds the memo to
+    /// the serving predictor's content hash first, clearing entries cached
+    /// under a different artifact (hot-swap, or one scratch shared across
+    /// predictors), so stale vectors are never replayed. The default (no
+    /// memo) has no requirement at all.
     pub fn with_topic_memo(self) -> Self {
         self.with_topic_memo_capacity(DEFAULT_TOPIC_MEMO_CAPACITY)
     }
@@ -494,6 +502,23 @@ impl ServingScratch {
     /// The memo's id capacity (0 when the memo is disabled).
     pub fn topic_memo_capacity(&self) -> usize {
         self.topic_memo.as_ref().map_or(0, |m| m.capacity)
+    }
+
+    /// Bind the topic memo to the artifact identified by `content_hash`
+    /// (called by every batched serving entry point before a batch runs):
+    /// entries cached under a **different** artifact are cleared, so a
+    /// scratch that outlives a hot-swap — the long-lived worker shape of
+    /// `sato-serve` — re-estimates every table under the new artifact
+    /// instead of replaying the old one's stale topic vectors. No-op when
+    /// the memo is disabled or already bound to this artifact.
+    pub(crate) fn bind_artifact(&mut self, content_hash: u64) {
+        if let Some(memo) = &mut self.topic_memo {
+            if memo.artifact != Some(content_hash) {
+                memo.map.clear();
+                memo.order.clear();
+                memo.artifact = Some(content_hash);
+            }
+        }
     }
 }
 

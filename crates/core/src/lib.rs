@@ -82,7 +82,7 @@ pub use columnwise::{
 pub use config::{CrfTrainParams, NetworkConfig, SatoConfig};
 pub use dataset::{InputGroup, TableInputs, TrainingData};
 pub use model::{SatoModel, SatoVariant, TablePrediction, TrainTimings};
-pub use predictor::{PredictorError, SatoPredictor};
+pub use predictor::{ArtifactMeta, PredictorError, SatoPredictor};
 pub use structured::{unary_from_proba, StructuredLayer};
 
 // The topic-sampler axis is part of the serving API surface

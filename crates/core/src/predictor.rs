@@ -161,6 +161,25 @@ struct PredictorArtifact {
     crf: Option<LinearChainCrf>,
 }
 
+/// Stable identity of a serving artifact, reported by
+/// [`SatoPredictor::artifact_meta`]: what hot-swap observability (the
+/// `sato-serve` service, dashboards, response tagging) needs to name *which*
+/// artifact served a request without holding the artifact itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArtifactMeta {
+    /// FNV-1a 64 over the artifact's canonical `SATOART1` byte stream (see
+    /// [`SatoPredictor::content_hash`]).
+    pub content_hash: u64,
+    /// The variant the source model was trained as.
+    pub variant: SatoVariant,
+    /// The configured serving-time topic sampler.
+    pub sampler: SamplerKind,
+    /// Whether the artifact consumes the table topic vector.
+    pub uses_topic: bool,
+    /// Whether the artifact carries a CRF structured layer.
+    pub has_crf: bool,
+}
+
 /// An immutable, thread-safe (`Send + Sync`) serving artifact frozen from a
 /// trained [`SatoModel`](crate::SatoModel).
 ///
@@ -174,6 +193,8 @@ pub struct SatoPredictor {
     config: SatoConfig,
     columnwise: FrozenColumnwise,
     structured: Option<StructuredLayer>,
+    /// FNV-1a 64 over the `SATOART1` byte form, fixed at freeze/load time.
+    content_hash: u64,
 }
 
 impl SatoPredictor {
@@ -183,11 +204,64 @@ impl SatoPredictor {
         columnwise: FrozenColumnwise,
         crf: Option<LinearChainCrf>,
     ) -> Self {
+        let mut predictor = SatoPredictor {
+            variant,
+            config,
+            columnwise,
+            structured: crf.map(StructuredLayer::from_crf),
+            content_hash: 0,
+        };
+        predictor.content_hash = predictor.canonical_hash();
+        predictor
+    }
+
+    /// [`Self::from_parts`] with the content hash already computed over the
+    /// loaded bytes (the binary-load path, which would otherwise pay a full
+    /// re-serialization just to recover the hash of what it just read).
+    pub(crate) fn from_parts_hashed(
+        variant: SatoVariant,
+        config: SatoConfig,
+        columnwise: FrozenColumnwise,
+        crf: Option<LinearChainCrf>,
+        content_hash: u64,
+    ) -> Self {
         SatoPredictor {
             variant,
             config,
             columnwise,
             structured: crf.map(StructuredLayer::from_crf),
+            content_hash,
+        }
+    }
+
+    /// The content hash of this predictor's canonical binary form.
+    fn canonical_hash(&self) -> u64 {
+        crate::artifact::fnv1a64(&self.to_bytes())
+    }
+
+    /// FNV-1a 64 over the predictor's `SATOART1` byte stream
+    /// ([`Self::to_bytes`]), computed once at freeze/load time.
+    ///
+    /// The hash is a stable *content* identity: freezing a model, loading
+    /// its JSON artifact and loading its binary artifact all yield the same
+    /// hash (the binary codec is canonical and round-trip-stable), while any
+    /// change to the served weights or serving configuration — including
+    /// [`Self::with_sampler`] — yields a different one. Hot-swap
+    /// observability is built on it: `sato-serve` tags every response with
+    /// the hash of the artifact that served it.
+    pub fn content_hash(&self) -> u64 {
+        self.content_hash
+    }
+
+    /// Stable identity snapshot of this artifact (hash, variant, sampler,
+    /// layer presence) for hot-swap observability; see [`ArtifactMeta`].
+    pub fn artifact_meta(&self) -> ArtifactMeta {
+        ArtifactMeta {
+            content_hash: self.content_hash,
+            variant: self.variant,
+            sampler: self.columnwise.sampler_kind(),
+            uses_topic: self.columnwise.uses_topic(),
+            has_crf: self.structured.is_some(),
         }
     }
 
@@ -230,6 +304,9 @@ impl SatoPredictor {
     /// predictions are unaffected.
     pub fn with_sampler(mut self, kind: SamplerKind) -> Self {
         self.columnwise = self.columnwise.with_sampler_kind(kind);
+        // The sampler is part of the serialized artifact, so the content
+        // identity changes with it.
+        self.content_hash = self.canonical_hash();
         self
     }
 
@@ -353,6 +430,11 @@ impl SatoPredictor {
         scratch: &mut ServingScratch,
         out: &mut Vec<TablePrediction>,
     ) {
+        // A scratch's topic memo caches *this predictor's* topic vectors; if
+        // the scratch last served a different artifact (hot-swap, or a
+        // caller sharing one scratch across predictors), its entries are
+        // stale and must not be replayed.
+        scratch.bind_artifact(self.content_hash);
         self.columnwise.infer_batch_cells(batch, scratch);
         // Disjoint borrows: the probability matrix is read row-range by row
         // range while the unary buffer is reused per table.
@@ -371,6 +453,31 @@ impl SatoPredictor {
             });
             row = end;
         }
+    }
+
+    /// Run exactly **one micro-batch** through the column-wise network (a
+    /// single forward pass over every column of every table in `batch`) and
+    /// return one [`TablePrediction`] per table, in order.
+    ///
+    /// This is the public seam for *external batchers* — callers that form
+    /// their own micro-batches, like the `sato-serve` service coalescing
+    /// columns from different requests into one shared batch. Because every
+    /// eval-mode stage operates row-independently, any table-granularity
+    /// batching composition built on this method is bit-identical to
+    /// [`Self::predict_corpus`] (and therefore to
+    /// [`Self::predict_corpus_batched`] at any `batch_cols`).
+    ///
+    /// The scratch's topic memo (if enabled) is automatically invalidated
+    /// when the scratch last served a different artifact, so reusing one
+    /// warm scratch across a hot-swap cannot replay stale topic vectors.
+    pub fn predict_batch<T: TableCells + ?Sized>(
+        &self,
+        batch: &[&T],
+        scratch: &mut ServingScratch,
+    ) -> Vec<TablePrediction> {
+        let mut out = Vec::with_capacity(batch.len());
+        self.flush_batch(batch, scratch, &mut out);
+        out
     }
 
     /// Serve a corpus **straight off its columnar on-disk form**: frames are
@@ -587,12 +694,15 @@ impl SatoPredictor {
             &artifact.head,
             artifact.sampler,
         )?;
-        Ok(SatoPredictor {
-            variant: artifact.variant,
-            config: artifact.config,
+        // `from_parts` computes the content hash over the canonical binary
+        // form, so a JSON-loaded predictor hashes identically to the same
+        // artifact loaded from its `SATOART1` file.
+        Ok(SatoPredictor::from_parts(
+            artifact.variant,
+            artifact.config,
             columnwise,
-            structured: artifact.crf.map(StructuredLayer::from_crf),
-        })
+            artifact.crf,
+        ))
     }
 
     /// Write the JSON artifact to a file.
@@ -826,6 +936,88 @@ mod tests {
             predictor.predict_corpus_batched_with(&corpus, 64, &mut tiny)
         );
         assert_eq!(tiny.topic_memo_len(), 1);
+    }
+
+    /// Satellite: the content hash is a stable identity — freezing, the
+    /// JSON round trip and the binary round trip all agree — and it tracks
+    /// the artifact's content (a different sampler, or differently-trained
+    /// weights, hash differently).
+    #[test]
+    fn content_hash_is_consistent_across_load_paths_and_tracks_content() {
+        let corpus = default_corpus(30, 6);
+        let predictor =
+            SatoModel::train(&corpus, tiny_config(), SatoVariant::Full).into_predictor();
+        let frozen_hash = predictor.content_hash();
+        let json_loaded = SatoPredictor::from_json(&predictor.to_json()).unwrap();
+        let binary_loaded = SatoPredictor::from_bytes(&predictor.to_bytes()).unwrap();
+        assert_eq!(frozen_hash, json_loaded.content_hash());
+        assert_eq!(frozen_hash, binary_loaded.content_hash());
+        // The meta snapshot carries the same identity.
+        let meta = predictor.artifact_meta();
+        assert_eq!(meta.content_hash, frozen_hash);
+        assert_eq!(meta.variant, SatoVariant::Full);
+        assert_eq!(meta.sampler, sato_topic::SamplerKind::Dense);
+        assert!(meta.uses_topic);
+        assert!(meta.has_crf);
+        assert_eq!(meta, binary_loaded.artifact_meta());
+        // A different serving configuration is a different content identity,
+        // consistently across load paths again.
+        let sparse = json_loaded.with_sampler(sato_topic::SamplerKind::SparseAlias);
+        assert_ne!(sparse.content_hash(), frozen_hash);
+        assert_eq!(
+            sparse.content_hash(),
+            SatoPredictor::from_bytes(&sparse.to_bytes())
+                .unwrap()
+                .content_hash()
+        );
+        // Differently-trained weights hash differently.
+        let other = SatoModel::train(&corpus, tiny_config(), SatoVariant::Base).into_predictor();
+        assert_ne!(other.content_hash(), frozen_hash);
+    }
+
+    /// Satellite regression: the topic memo must not survive an artifact
+    /// swap. One warm scratch serves predictor A (filling the memo), then
+    /// serves the same table ids through predictor B — B's output must be
+    /// B's fresh predictions, not A's cached topic vectors replayed into
+    /// B's network.
+    #[test]
+    fn topic_memo_is_invalidated_across_artifact_swap() {
+        let corpus = default_corpus(18, 8);
+        let a = SatoModel::train(&corpus, tiny_config(), SatoVariant::Full).into_predictor();
+        let b = {
+            let mut config = tiny_config();
+            config.seed = 777; // different weights AND a different topic model
+            SatoModel::train(&corpus, config, SatoVariant::Full).into_predictor()
+        };
+        assert_ne!(a.content_hash(), b.content_hash());
+        let mut scratch = ServingScratch::new().with_topic_memo();
+        let served_a = a.predict_corpus_batched_with(&corpus, 64, &mut scratch);
+        assert_eq!(served_a, a.predict_corpus(&corpus));
+        assert_eq!(scratch.topic_memo_len(), corpus.len());
+        // Swap: serving even one table through B must clear A's cached
+        // entries first — the memo ends up holding exactly B's one entry,
+        // not A's entries plus one.
+        let first = Corpus::new(vec![corpus.tables[0].clone()]);
+        assert_eq!(
+            b.predict_corpus_batched_with(&first, 64, &mut scratch),
+            b.predict_corpus(&first)
+        );
+        assert_eq!(
+            scratch.topic_memo_len(),
+            1,
+            "memo entries from the old artifact survived the swap"
+        );
+        // The full corpus under B is B's fresh predictions, end to end.
+        assert_eq!(
+            b.predict_corpus_batched_with(&corpus, 64, &mut scratch),
+            b.predict_corpus(&corpus)
+        );
+        // Swapping back re-estimates under A again (the memo was rebound).
+        assert_eq!(
+            a.predict_corpus_batched_with(&corpus, 64, &mut scratch),
+            served_a
+        );
+        assert_eq!(scratch.topic_memo_len(), corpus.len());
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! # sato-serve — the always-on annotation service
+//!
+//! Everything below `SatoService` in this workspace answers the question
+//! "given a frozen artifact and a corpus, what are the semantic types?".
+//! This crate answers the production question that follows it: keep that
+//! artifact resident and hot, accept annotation requests from many
+//! concurrent clients, and serve them at high throughput *without* giving
+//! up the batching efficiency that [`SatoPredictor::predict_corpus_batched`]
+//! gets from amortising one forward pass over many columns.
+//!
+//! ```text
+//!            submit() / submit_corpus() / submit_colstore_bytes()
+//!  clients ──────────────────────────────┐
+//!                                        ▼
+//!                       ┌──────────────────────────────┐
+//!                       │  bounded queue (queue_depth) │──▶ Overloaded
+//!                       └──────────────┬───────────────┘    (admission)
+//!                                      ▼
+//!                       ┌──────────────────────────────┐
+//!                       │  batcher: expire deadlines,  │──▶ Expired
+//!                       │  coalesce columns across     │    (pre-batch)
+//!                       │  requests until batch_cols   │
+//!                       └──────────────┬───────────────┘
+//!                                      ▼
+//!                       ┌──────────────────────────────┐
+//!                       │  Arc<SatoPredictor> (pinned  │◀── swap_predictor
+//!                       │  per round; hot-swappable)   │    load_artifact
+//!                       └──────────────┬───────────────┘
+//!                                      ▼
+//!                       ┌──────────────────────────────┐
+//!                       │  splitter: predictions back  │
+//!                       │  per request, hash-tagged    │
+//!                       └──────────────┬───────────────┘
+//!  clients ◀───────────────────────────┘
+//!            AnnotationResponse { predictions, artifact_hash, latency }
+//! ```
+//!
+//! ## Guarantees
+//!
+//! - **Bit-identical serving.** Every evaluation stage of the frozen
+//!   network is row-independent, so coalescing columns from *different*
+//!   requests into one shared micro-batch produces exactly the bytes that
+//!   [`SatoPredictor::predict_corpus_batched`] would produce for each
+//!   request alone (on the artifact that served it). The integration
+//!   proptest suite (`service_serving.rs`) checks this across all model
+//!   variants, both topic samplers, arbitrary request interleavings and
+//!   mid-stream hot-swaps.
+//! - **Admission control.** The queue is bounded; beyond
+//!   [`ServiceConfig::queue_depth`] pending requests, submissions fail fast
+//!   with [`ServeError::Overloaded`] instead of stretching tail latency.
+//! - **Deadlines cost nothing.** An expired request is dropped at batch
+//!   formation — before feature extraction or any forward pass — and
+//!   answered with [`ServeError::Expired`].
+//! - **Zero-downtime hot-swap.** [`SatoService::swap_predictor`] (or
+//!   [`SatoService::load_artifact`] from a `SATOART1` file) atomically
+//!   replaces the serving artifact under a pointer-sized critical section.
+//!   Rounds already formed drain on the artifact they started with; every
+//!   response is tagged with the content hash of the artifact that actually
+//!   served it, so clients can attribute every prediction to an exact
+//!   model version.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use sato_serve::{SatoService, ServiceConfig, RequestOptions};
+//! # fn demo(predictor: sato::SatoPredictor, table: sato_tabular::table::Table) {
+//! let service = SatoService::start(predictor, ServiceConfig::default());
+//! let handle = service.submit_table(table, RequestOptions::default()).unwrap();
+//! let response = handle.wait().unwrap();
+//! println!("served by artifact {:016x}", response.artifact_hash);
+//! let stats = service.shutdown();
+//! println!("p99 latency: {:.0} µs", stats.p99_us());
+//! # }
+//! ```
+//!
+//! [`SatoPredictor`]: sato::SatoPredictor
+//! [`SatoPredictor::predict_corpus_batched`]: sato::SatoPredictor::predict_corpus_batched
+
+#![warn(missing_docs)]
+
+pub mod service;
+pub mod stats;
+
+pub use service::{
+    AnnotationResponse, RequestOptions, ResponseHandle, SatoService, ServeError, ServiceConfig,
+};
+pub use stats::{LatencySnapshot, ServiceStats, FILL_BUCKETS, LATENCY_BUCKETS};

@@ -1,0 +1,735 @@
+//! The always-on annotation service: a bounded submission queue, a batcher
+//! worker coalescing columns across requests, and an atomically swappable
+//! serving artifact.
+//!
+//! ```text
+//!  clients ──▶ submit() ──▶ [bounded queue] ──▶ batcher ──▶ predictor ──▶ splitter ──▶ responses
+//!                │                │                │            ▲
+//!             Overloaded       deadline        micro-batch   Arc swap
+//!             (admission)      (expiry)        (batch_cols)  (hot-swap)
+//! ```
+//!
+//! See the [crate docs](crate) for the architecture and guarantees.
+
+use crate::stats::{ServiceStats, StatsCell};
+use sato::{ArtifactMeta, PredictorError, SatoPredictor, ServingScratch, TablePrediction};
+use sato_tabular::colstore::{self, ColStoreError};
+use sato_tabular::table::{Corpus, Table};
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`SatoService`]. The defaults are a reasonable
+/// starting point for a single-worker, CPU-bound deployment; the
+/// `service_load` bench sweeps them.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Target columns per shared micro-batch: the batcher keeps pulling
+    /// queued requests until at least this many columns are pending (a
+    /// batch can overshoot when a wide table lands on the boundary, and
+    /// undershoots rather than waits when the queue runs dry — latency is
+    /// never traded for fill when there is nothing else to coalesce).
+    pub batch_cols: usize,
+    /// Admission bound: submissions beyond this many queued requests are
+    /// rejected with [`ServeError::Overloaded`] instead of growing the
+    /// queue (and its tail latency) without limit.
+    pub queue_depth: usize,
+    /// Deadline applied to requests that do not carry their own. `None`
+    /// means no deadline: requests wait as long as the queue takes.
+    pub default_deadline: Option<Duration>,
+    /// Capacity of the worker's per-table topic memo (0 disables it). Only
+    /// enable when table ids uniquely identify table content — the memo is
+    /// keyed by id within an artifact (it is invalidated across hot-swaps
+    /// automatically).
+    pub topic_memo_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            batch_cols: 64,
+            queue_depth: 256,
+            default_deadline: None,
+            topic_memo_capacity: 0,
+        }
+    }
+}
+
+/// Per-request submission options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestOptions {
+    /// Deadline for *this* request, overriding
+    /// [`ServiceConfig::default_deadline`]. A request whose deadline passes
+    /// while it is still queued is dropped **at batch formation** — before
+    /// any feature extraction or network work is spent on it — and answered
+    /// with [`ServeError::Expired`].
+    pub deadline: Option<Duration>,
+}
+
+/// Everything that can go wrong between submitting a request and receiving
+/// its response.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Admission control: the queue was at [`ServiceConfig::queue_depth`]
+    /// when the request arrived. `queued` is the depth observed.
+    Overloaded {
+        /// Requests queued at the moment of rejection.
+        queued: usize,
+    },
+    /// The service is shutting down and no longer admits requests.
+    ShuttingDown,
+    /// The request's deadline passed before its batch was formed.
+    Expired,
+    /// The service stopped before answering (worker gone).
+    Stopped,
+    /// A colstore submission failed to decode.
+    Corpus(ColStoreError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { queued } => {
+                write!(f, "service overloaded: {queued} requests queued")
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::Expired => write!(f, "request deadline expired before batching"),
+            ServeError::Stopped => write!(f, "service stopped before responding"),
+            ServeError::Corpus(e) => write!(f, "colstore submission: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ColStoreError> for ServeError {
+    fn from(e: ColStoreError) -> Self {
+        ServeError::Corpus(e)
+    }
+}
+
+/// A completed annotation: one [`TablePrediction`] per submitted table, in
+/// submission order, tagged with the identity of the artifact that served
+/// it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotationResponse {
+    /// One prediction per submitted table, in order — bit-identical to
+    /// running [`SatoPredictor::predict_corpus_batched`] over the request's
+    /// tables on the tagged artifact.
+    pub predictions: Vec<TablePrediction>,
+    /// [`SatoPredictor::content_hash`] of the artifact that served this
+    /// request (a whole request is always served by exactly one artifact,
+    /// even when its tables span several micro-batches).
+    pub artifact_hash: u64,
+    /// Submission-to-response wall-clock time.
+    pub latency: Duration,
+}
+
+/// The client's end of a pending request.
+pub struct ResponseHandle {
+    rx: mpsc::Receiver<Result<AnnotationResponse, ServeError>>,
+}
+
+impl ResponseHandle {
+    /// Block until the response arrives (or the service stops).
+    pub fn wait(self) -> Result<AnnotationResponse, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Stopped))
+    }
+
+    /// Block for at most `timeout`; `None` means still pending.
+    pub fn wait_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Option<Result<AnnotationResponse, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::Stopped)),
+        }
+    }
+}
+
+/// One queued annotation request.
+struct QueuedRequest {
+    tables: Vec<Table>,
+    cols: usize,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    tx: mpsc::Sender<Result<AnnotationResponse, ServeError>>,
+}
+
+/// Queue state behind the mutex (counters live lock-free in [`StatsCell`]).
+struct QueueState {
+    deque: VecDeque<QueuedRequest>,
+    /// `false` once shutdown begins: no further admissions; the worker
+    /// drains what is queued, answers it, and exits.
+    open: bool,
+    /// While `true` the worker forms no batches (queued requests wait).
+    /// Maintenance/testing seam; cleared by shutdown so a paused service
+    /// still drains.
+    paused: bool,
+}
+
+/// State shared between the service handle, its clients and the worker.
+struct Shared {
+    queue: Mutex<QueueState>,
+    cond: Condvar,
+    /// The serving artifact. Hot-swap is an atomic pointer swap under this
+    /// mutex (held only to clone/replace the `Arc`, never during
+    /// inference); the worker re-reads it at every batch-formation round,
+    /// so in-flight rounds drain on the artifact they started with.
+    predictor: Mutex<Arc<SatoPredictor>>,
+    stats: StatsCell,
+    config: ServiceConfig,
+}
+
+/// A long-running, in-process annotation service over a frozen
+/// [`SatoPredictor`]: many concurrent clients submit tables, corpora or
+/// colstore streams; a single batcher worker coalesces columns from
+/// *different* requests into shared micro-batches, runs one forward pass
+/// per batch, and splits the probability rows back per request.
+///
+/// See the [crate docs](crate) for the full architecture, and
+/// [`ServiceConfig`] for the admission/batching/deadline knobs.
+pub struct SatoService {
+    shared: Arc<Shared>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SatoService {
+    /// Start the service over `predictor`, spawning the batcher worker.
+    pub fn start(predictor: SatoPredictor, config: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                deque: VecDeque::new(),
+                open: true,
+                paused: false,
+            }),
+            cond: Condvar::new(),
+            predictor: Mutex::new(Arc::new(predictor)),
+            stats: StatsCell::new(),
+            config,
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("sato-serve-batcher".to_string())
+            .spawn(move || worker_loop(worker_shared))
+            .expect("spawn sato-serve batcher thread");
+        SatoService {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// Submit a multi-table request. Admission is checked under the queue
+    /// lock: beyond [`ServiceConfig::queue_depth`] pending requests the
+    /// submission is rejected with [`ServeError::Overloaded`] (counted in
+    /// [`ServiceStats::rejected`]) instead of queuing.
+    pub fn submit(
+        &self,
+        tables: Vec<Table>,
+        options: RequestOptions,
+    ) -> Result<ResponseHandle, ServeError> {
+        let deadline = options.deadline.or(self.shared.config.default_deadline);
+        let now = Instant::now();
+        let cols = tables.iter().map(|t| t.num_columns()).sum();
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            if !q.open {
+                return Err(ServeError::ShuttingDown);
+            }
+            if q.deque.len() >= self.shared.config.queue_depth {
+                self.shared.stats.rejected.fetch_add(1, Relaxed);
+                return Err(ServeError::Overloaded {
+                    queued: q.deque.len(),
+                });
+            }
+            q.deque.push_back(QueuedRequest {
+                tables,
+                cols,
+                deadline: deadline.map(|d| now + d),
+                enqueued: now,
+                tx,
+            });
+            self.shared.stats.admitted.fetch_add(1, Relaxed);
+        }
+        self.shared.cond.notify_all();
+        Ok(ResponseHandle { rx })
+    }
+
+    /// Submit a single table.
+    pub fn submit_table(
+        &self,
+        table: Table,
+        options: RequestOptions,
+    ) -> Result<ResponseHandle, ServeError> {
+        self.submit(vec![table], options)
+    }
+
+    /// Submit every table of a corpus as one request (the response's
+    /// predictions are in corpus order).
+    pub fn submit_corpus(
+        &self,
+        corpus: Corpus,
+        options: RequestOptions,
+    ) -> Result<ResponseHandle, ServeError> {
+        self.submit(corpus.tables, options)
+    }
+
+    /// Submit a `SATOCOL1` colstore byte stream: frames are decoded at
+    /// submission time (the ingest path parses, the batcher only batches)
+    /// and served like any other multi-table request.
+    pub fn submit_colstore_bytes(
+        &self,
+        bytes: &[u8],
+        options: RequestOptions,
+    ) -> Result<ResponseHandle, ServeError> {
+        let corpus = colstore::corpus_from_bytes(bytes)?;
+        self.submit(corpus.tables, options)
+    }
+
+    /// Blocking convenience: submit and wait.
+    pub fn annotate(&self, tables: Vec<Table>) -> Result<AnnotationResponse, ServeError> {
+        self.submit(tables, RequestOptions::default())?.wait()
+    }
+
+    /// Blocking convenience: submit one table and wait.
+    pub fn annotate_table(&self, table: Table) -> Result<AnnotationResponse, ServeError> {
+        self.annotate(vec![table])
+    }
+
+    /// **Zero-downtime hot-swap**: atomically replace the serving artifact.
+    /// The swap is an `Arc` pointer swap — no queued request is dropped, no
+    /// client blocks, and any batch-formation round already holding the old
+    /// artifact drains on it (its responses stay tagged with the old
+    /// content hash). Requests batched after the swap serve on — and are
+    /// tagged with — the new artifact.
+    pub fn swap_predictor(&self, predictor: SatoPredictor) -> ArtifactMeta {
+        let meta = predictor.artifact_meta();
+        *self.shared.predictor.lock().unwrap() = Arc::new(predictor);
+        self.shared.stats.swaps.fetch_add(1, Relaxed);
+        meta
+    }
+
+    /// Hot-swap from a `SATOART1` binary artifact file: load, verify
+    /// (checksums, consistency — a corrupt file never reaches serving) and
+    /// [`Self::swap_predictor`]. Returns the new artifact's identity.
+    pub fn load_artifact(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<ArtifactMeta, PredictorError> {
+        let predictor = SatoPredictor::load_binary(path)?;
+        Ok(self.swap_predictor(predictor))
+    }
+
+    /// Identity of the artifact currently serving new rounds.
+    pub fn artifact_meta(&self) -> ArtifactMeta {
+        self.shared.predictor.lock().unwrap().artifact_meta()
+    }
+
+    /// Requests currently queued.
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.lock().unwrap().deque.len()
+    }
+
+    /// Point-in-time counter snapshot (see [`ServiceStats`]).
+    pub fn stats(&self) -> ServiceStats {
+        let queue_len = self.queue_len();
+        let stats = &self.shared.stats;
+        ServiceStats {
+            admitted: stats.admitted.load(Relaxed),
+            rejected: stats.rejected.load(Relaxed),
+            expired: stats.expired.load(Relaxed),
+            completed: stats.completed.load(Relaxed),
+            swaps: stats.swaps.load(Relaxed),
+            batches: stats.batches.load(Relaxed),
+            batched_columns: stats.batched_columns.load(Relaxed),
+            queue_len,
+            artifact: self.artifact_meta(),
+            batch_fill_deciles: std::array::from_fn(|i| stats.fill[i].load(Relaxed)),
+            latency: stats.latency.snapshot(),
+        }
+    }
+
+    /// Stop forming batches; submissions still queue (up to the admission
+    /// bound) and deadlines keep ticking. A maintenance/testing seam —
+    /// shutdown un-pauses so a paused service still drains.
+    pub fn pause(&self) {
+        self.shared.queue.lock().unwrap().paused = true;
+        self.shared.cond.notify_all();
+    }
+
+    /// Resume batch formation after [`Self::pause`].
+    pub fn resume(&self) {
+        self.shared.queue.lock().unwrap().paused = false;
+        self.shared.cond.notify_all();
+    }
+
+    /// Graceful shutdown: stop admitting, drain and answer everything
+    /// queued, join the worker, and return the final counter snapshot.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.begin_shutdown();
+        if let Some(worker) = self.worker.take() {
+            worker.join().expect("sato-serve batcher panicked");
+        }
+        self.stats()
+    }
+
+    fn begin_shutdown(&self) {
+        let mut q = self.shared.queue.lock().unwrap();
+        q.open = false;
+        q.paused = false;
+        drop(q);
+        self.shared.cond.notify_all();
+    }
+}
+
+impl Drop for SatoService {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        if let Some(worker) = self.worker.take() {
+            worker.join().expect("sato-serve batcher panicked");
+        }
+    }
+}
+
+/// The batcher worker: wait for work, form a round, expire what is past
+/// deadline, pin the serving artifact, serve the round in shared
+/// micro-batches, answer each request.
+fn worker_loop(shared: Arc<Shared>) {
+    let mut scratch = if shared.config.topic_memo_capacity > 0 {
+        ServingScratch::new().with_topic_memo_capacity(shared.config.topic_memo_capacity)
+    } else {
+        ServingScratch::new()
+    };
+    let target = shared.config.batch_cols.max(1);
+    loop {
+        // Round formation: pull queued requests until the target column
+        // count is pending (or the queue runs dry — a lone request is
+        // served immediately rather than waiting for fill).
+        let round: Vec<QueuedRequest> = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if !q.open && q.deque.is_empty() {
+                    return; // drained; exit
+                }
+                if !q.deque.is_empty() && (!q.paused || !q.open) {
+                    break;
+                }
+                q = shared.cond.wait(q).unwrap();
+            }
+            let mut round = Vec::new();
+            let mut cols = 0usize;
+            while let Some(front) = q.deque.front() {
+                if !round.is_empty() && cols >= target {
+                    break;
+                }
+                cols += front.cols;
+                round.push(q.deque.pop_front().expect("front exists"));
+            }
+            round
+        };
+
+        // Deadlines are enforced here — *before* the batch is formed — so an
+        // expired request costs neither feature extraction nor a forward
+        // pass, and never displaces live work from the batch.
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(round.len());
+        for req in round {
+            if req.deadline.is_some_and(|d| now >= d) {
+                shared.stats.expired.fetch_add(1, Relaxed);
+                let _ = req.tx.send(Err(ServeError::Expired));
+            } else {
+                live.push(req);
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+
+        // Pin the serving artifact for this round: every table of every
+        // request in the round — even one spanning several micro-batches —
+        // is served by this one predictor, so a response is never a
+        // mixed-artifact patchwork across a concurrent hot-swap.
+        let predictor: Arc<SatoPredictor> = shared.predictor.lock().unwrap().clone();
+        serve_round(&shared, &predictor, &mut scratch, live, target);
+    }
+}
+
+/// Serve one round: coalesce the requests' tables into micro-batches of at
+/// least `target` columns (same accumulate-until rule as
+/// `predict_corpus_batched`, so outputs are bit-identical to it), run each
+/// batch in one forward pass, split predictions back per request, respond.
+fn serve_round(
+    shared: &Shared,
+    predictor: &SatoPredictor,
+    scratch: &mut ServingScratch,
+    live: Vec<QueuedRequest>,
+    target: usize,
+) {
+    let mut outputs: Vec<Vec<TablePrediction>> = live
+        .iter()
+        .map(|r| Vec::with_capacity(r.tables.len()))
+        .collect();
+    let mut batch: Vec<(usize, usize)> = Vec::new(); // (request idx, table idx)
+    let mut pending = 0usize;
+    for (r, req) in live.iter().enumerate() {
+        for t in 0..req.tables.len() {
+            batch.push((r, t));
+            pending += req.tables[t].num_columns();
+            if pending >= target {
+                run_batch(
+                    shared,
+                    predictor,
+                    scratch,
+                    &mut batch,
+                    &live,
+                    &mut outputs,
+                    pending,
+                    target,
+                );
+                pending = 0;
+            }
+        }
+    }
+    run_batch(
+        shared,
+        predictor,
+        scratch,
+        &mut batch,
+        &live,
+        &mut outputs,
+        pending,
+        target,
+    );
+
+    let hash = predictor.content_hash();
+    for (req, predictions) in live.into_iter().zip(outputs) {
+        let latency = req.enqueued.elapsed();
+        shared
+            .stats
+            .latency
+            .record(latency.as_micros().min(u128::from(u64::MAX)) as u64);
+        shared.stats.completed.fetch_add(1, Relaxed);
+        let _ = req.tx.send(Ok(AnnotationResponse {
+            predictions,
+            artifact_hash: hash,
+            latency,
+        }));
+    }
+}
+
+/// Run one shared micro-batch (single forward pass) and distribute its
+/// per-table predictions back to their requests.
+#[allow(clippy::too_many_arguments)]
+fn run_batch(
+    shared: &Shared,
+    predictor: &SatoPredictor,
+    scratch: &mut ServingScratch,
+    batch: &mut Vec<(usize, usize)>,
+    live: &[QueuedRequest],
+    outputs: &mut [Vec<TablePrediction>],
+    cols: usize,
+    target: usize,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    let refs: Vec<&Table> = batch.iter().map(|&(r, t)| &live[r].tables[t]).collect();
+    let predictions = predictor.predict_batch(&refs, scratch);
+    shared.stats.record_batch(cols, target);
+    for (&(r, _), prediction) in batch.iter().zip(predictions) {
+        outputs[r].push(prediction);
+    }
+    batch.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sato::{SatoConfig, SatoModel, SatoVariant};
+    use sato_tabular::corpus::default_corpus;
+    use std::sync::OnceLock;
+
+    fn tiny_config() -> SatoConfig {
+        let mut config = SatoConfig::fast();
+        config.network.epochs = 4;
+        config
+    }
+
+    /// Two distinct trained Base-variant predictors (no LDA/CRF training
+    /// cost), shared across tests. Base keeps these unit tests fast; the
+    /// full variant × sampler × hot-swap matrix lives in the integration
+    /// proptest suite.
+    fn predictors() -> &'static (SatoPredictor, SatoPredictor) {
+        static PREDICTORS: OnceLock<(SatoPredictor, SatoPredictor)> = OnceLock::new();
+        PREDICTORS.get_or_init(|| {
+            let a = SatoModel::train(&default_corpus(20, 7), tiny_config(), SatoVariant::Base)
+                .into_predictor();
+            let b = SatoModel::train(&default_corpus(20, 8), tiny_config(), SatoVariant::Base)
+                .into_predictor();
+            assert_ne!(a.content_hash(), b.content_hash());
+            (a, b)
+        })
+    }
+
+    /// A predictor is immutable and not `Clone`; round-trip its canonical
+    /// bytes to hand an owned copy to a service.
+    fn copy_of(p: &SatoPredictor) -> SatoPredictor {
+        SatoPredictor::from_bytes(&p.to_bytes()).unwrap()
+    }
+
+    /// Sequential single-table reference prediction.
+    fn reference_one(p: &SatoPredictor, table: &Table) -> TablePrediction {
+        p.predict_corpus(&Corpus::new(vec![table.clone()]))
+            .pop()
+            .unwrap()
+    }
+
+    #[test]
+    fn coalesced_serving_is_bit_identical_to_batched_reference() {
+        let (a, _) = predictors();
+        let corpus = default_corpus(6, 42);
+        let config = ServiceConfig {
+            batch_cols: 5,
+            ..ServiceConfig::default()
+        };
+        let reference = a.predict_corpus_batched(&corpus, config.batch_cols);
+        let service = SatoService::start(copy_of(a), config);
+        // Several concurrent requests over slices of the corpus: coalesced
+        // micro-batches must reproduce the per-table reference exactly.
+        let handles: Vec<ResponseHandle> = corpus
+            .tables
+            .iter()
+            .map(|t| {
+                service
+                    .submit_table(t.clone(), RequestOptions::default())
+                    .unwrap()
+            })
+            .collect();
+        let mut served = Vec::new();
+        for handle in handles {
+            let response = handle.wait().unwrap();
+            assert_eq!(response.artifact_hash, a.content_hash());
+            assert_eq!(response.predictions.len(), 1);
+            served.extend(response.predictions);
+        }
+        assert_eq!(reference, served);
+        // A zero-table request is answered (empty), not wedged.
+        let empty = service.annotate(Vec::new()).unwrap();
+        assert!(empty.predictions.is_empty());
+        let stats = service.shutdown();
+        assert_eq!(stats.admitted, corpus.tables.len() as u64 + 1);
+        assert_eq!(stats.completed, stats.admitted);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.expired, 0);
+        assert!(stats.batches >= 1);
+        assert_eq!(stats.latency.count(), stats.completed);
+    }
+
+    #[test]
+    fn admission_control_rejects_beyond_queue_depth() {
+        let (a, _) = predictors();
+        let corpus = default_corpus(5, 9);
+        let service = SatoService::start(
+            copy_of(a),
+            ServiceConfig {
+                queue_depth: 3,
+                ..ServiceConfig::default()
+            },
+        );
+        service.pause(); // deterministic: nothing drains while we overfill
+        let mut handles = Vec::new();
+        for table in corpus.tables.iter().take(3).cloned() {
+            handles.push(
+                service
+                    .submit_table(table, RequestOptions::default())
+                    .unwrap(),
+            );
+        }
+        let overflow = service.submit_table(corpus.tables[3].clone(), RequestOptions::default());
+        assert!(matches!(
+            overflow,
+            Err(ServeError::Overloaded { queued: 3 })
+        ));
+        service.resume();
+        for handle in handles {
+            assert!(handle.wait().is_ok());
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.admitted, 3);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.completed, 3);
+    }
+
+    #[test]
+    fn expired_deadlines_are_dropped_before_batching() {
+        let (a, _) = predictors();
+        let corpus = default_corpus(3, 11);
+        let service = SatoService::start(copy_of(a), ServiceConfig::default());
+        service.pause();
+        let doomed = service
+            .submit_table(
+                corpus.tables[0].clone(),
+                RequestOptions {
+                    deadline: Some(Duration::ZERO),
+                },
+            )
+            .unwrap();
+        let alive = service
+            .submit_table(
+                corpus.tables[1].clone(),
+                RequestOptions {
+                    deadline: Some(Duration::from_secs(600)),
+                },
+            )
+            .unwrap();
+        service.resume();
+        assert!(matches!(doomed.wait(), Err(ServeError::Expired)));
+        assert!(alive.wait().is_ok());
+        let stats = service.shutdown();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn hot_swap_tags_responses_with_serving_artifact() {
+        let (a, b) = predictors();
+        let corpus = default_corpus(4, 13);
+        let service = SatoService::start(copy_of(a), ServiceConfig::default());
+        assert_eq!(service.artifact_meta(), a.artifact_meta());
+        let before = service.annotate_table(corpus.tables[0].clone()).unwrap();
+        assert_eq!(before.artifact_hash, a.content_hash());
+
+        let meta = service.swap_predictor(copy_of(b));
+        assert_eq!(meta, b.artifact_meta());
+        assert_eq!(service.artifact_meta(), b.artifact_meta());
+        let after = service.annotate_table(corpus.tables[1].clone()).unwrap();
+        assert_eq!(after.artifact_hash, b.content_hash());
+        // Responses match each serving artifact's own sequential reference.
+        assert_eq!(before.predictions[0], reference_one(a, &corpus.tables[0]));
+        assert_eq!(after.predictions[0], reference_one(b, &corpus.tables[1]));
+
+        let stats = service.shutdown();
+        assert_eq!(stats.swaps, 1);
+        assert_eq!(stats.artifact.content_hash, b.content_hash());
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests() {
+        let (a, _) = predictors();
+        let corpus = default_corpus(3, 17);
+        let service = SatoService::start(copy_of(a), ServiceConfig::default());
+        service.pause();
+        let queued = service
+            .submit_table(corpus.tables[0].clone(), RequestOptions::default())
+            .unwrap();
+        // shutdown() un-pauses, drains the queue, then joins the worker.
+        let stats = service.shutdown();
+        assert!(queued.wait().is_ok());
+        assert_eq!(stats.completed, 1);
+    }
+}

@@ -704,9 +704,10 @@ mod tests {
     fn dictionary_compresses_repeats() {
         let repeated = Table::unlabelled(
             1,
-            vec![Column::new(
-                std::iter::repeat_n("the-same-long-cell-value", 500),
-            )],
+            vec![Column::new(std::iter::repeat_n(
+                "the-same-long-cell-value",
+                500,
+            ))],
         );
         let distinct = Table::unlabelled(
             1,
