@@ -490,6 +490,15 @@ impl SatoPredictor {
     /// Load a predictor from a binary artifact file (see
     /// [`Self::from_bytes`]).
     pub fn load_binary(path: impl AsRef<std::path::Path>) -> Result<Self, PredictorError> {
+        // Named injection point `core.artifact_load` (chaos builds only):
+        // an armed Error presents as transient I/O, which is what the
+        // serving layer's retry-with-backoff path exists for.
+        #[cfg(feature = "faults")]
+        if sato_faults::fire("core.artifact_load", 0) {
+            return Err(PredictorError::Io(std::io::Error::other(
+                "injected fault: core.artifact_load",
+            )));
+        }
         let bytes = std::fs::read(path)?;
         Self::from_bytes(&bytes)
     }

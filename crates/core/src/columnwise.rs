@@ -647,6 +647,12 @@ impl FrozenColumnwise {
         // replicated across its rows.
         let mut row = 0usize;
         for table in tables {
+            // Named injection point `core.feature_extract`, keyed by table
+            // id (chaos builds only). There is no error channel this deep
+            // in a prediction, so an armed Error escalates to a panic —
+            // the serving layer contains it and quarantines the culprit.
+            #[cfg(feature = "faults")]
+            sato_faults::fire_panic("core.feature_extract", table.table_id());
             if self.use_topic {
                 let est = self
                     .intent

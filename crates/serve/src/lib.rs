@@ -58,6 +58,24 @@
 //!   response is tagged with the content hash of the artifact that actually
 //!   served it, so clients can attribute every prediction to an exact
 //!   model version.
+//! - **Validated swaps roll back.** [`SatoService::load_artifact`] retries
+//!   transient I/O with backoff, then smoke-predicts a canary table on the
+//!   candidate before the pointer swap. A truncated, corrupt or
+//!   panic-at-first-predict artifact is rejected with
+//!   [`ServeError::Swap`] — counted in [`ServiceStats::swap_rollbacks`] —
+//!   and the incumbent keeps serving as if nothing happened.
+//! - **Failure is per-request, never per-service.** The batcher runs under
+//!   a supervisor: every round is panic-contained, a panicking round is
+//!   bisected to quarantine the single poison-pill request (answered
+//!   [`ServeError::Poisoned`], counted in [`ServiceStats::quarantined`])
+//!   while the innocent requests are re-served bit-identically, and a
+//!   worker that dies anyway is restarted with capped exponential backoff
+//!   ([`ServiceStats::worker_restarts`]). All locks recover from
+//!   poisoning, so `submit`/`stats`/`shutdown` keep working across worker
+//!   crashes; a liveness heartbeat ([`ServiceStats::heartbeat_age_us`])
+//!   makes a stalled worker observable. Deterministic fault injection for
+//!   all of this lives behind the `faults` feature (see the `sato-faults`
+//!   crate and the README fault-injection cookbook).
 //!
 //! ## Example
 //!
@@ -83,5 +101,6 @@ pub mod stats;
 
 pub use service::{
     AnnotationResponse, RequestOptions, ResponseHandle, SatoService, ServeError, ServiceConfig,
+    MAX_CONSECUTIVE_RESTARTS, SWAP_LOAD_ATTEMPTS,
 };
 pub use stats::{LatencySnapshot, ServiceStats, FILL_BUCKETS, LATENCY_BUCKETS};

@@ -1,12 +1,16 @@
-//! The always-on annotation service: a bounded submission queue, a batcher
-//! worker coalescing columns across requests, and an atomically swappable
-//! serving artifact.
+//! The always-on annotation service: a bounded submission queue, a
+//! supervised batcher worker coalescing columns across requests, and an
+//! atomically swappable, canary-validated serving artifact.
 //!
 //! ```text
 //!  clients ──▶ submit() ──▶ [bounded queue] ──▶ batcher ──▶ predictor ──▶ splitter ──▶ responses
 //!                │                │                │            ▲
 //!             Overloaded       deadline        micro-batch   Arc swap
-//!             (admission)      (expiry)        (batch_cols)  (hot-swap)
+//!             (admission)      (expiry)        (batch_cols)  (validated)
+//!                                                  │
+//!                                             supervisor
+//!                                      (catch_unwind / quarantine /
+//!                                       restart with backoff)
 //! ```
 //!
 //! See the [crate docs](crate) for the architecture and guarantees.
@@ -14,12 +18,60 @@
 use crate::stats::{ServiceStats, StatsCell};
 use sato::{ArtifactMeta, PredictorError, SatoPredictor, ServingScratch, TablePrediction};
 use sato_tabular::colstore::{self, ColStoreError};
-use sato_tabular::table::{Corpus, Table};
+use sato_tabular::table::{Column, Corpus, Table};
+use std::cell::Cell;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// How often the idle/paused worker wakes to refresh its liveness
+/// heartbeat (busy workers beat once per round on top of this).
+const HEARTBEAT_TICK: Duration = Duration::from_millis(100);
+
+/// First supervisor restart delay; doubles per consecutive no-progress
+/// crash up to [`RESTART_BACKOFF_MAX`].
+const RESTART_BACKOFF: Duration = Duration::from_millis(1);
+
+/// Ceiling of the supervisor's exponential restart backoff.
+const RESTART_BACKOFF_MAX: Duration = Duration::from_millis(64);
+
+/// Consecutive worker crashes with no completed round in between before
+/// the supervisor stops restarting and fail-stops the service: queued
+/// requests are answered [`ServeError::Stopped`], new submissions get
+/// [`ServeError::ShuttingDown`]. A crash loop that makes no progress is a
+/// systemic fault (not a poison pill — those are quarantined inside one
+/// worker lifetime) and restarting forever would just burn CPU.
+pub const MAX_CONSECUTIVE_RESTARTS: u32 = 8;
+
+/// Artifact-load attempts per [`SatoService::load_artifact`] call:
+/// transient I/O errors are retried with doubling backoff this many times
+/// before the swap is abandoned and rolled back.
+pub const SWAP_LOAD_ATTEMPTS: u32 = 4;
+
+/// First retry delay of [`SatoService::load_artifact`]; doubles per
+/// attempt up to [`SWAP_RETRY_BACKOFF_MAX`].
+const SWAP_RETRY_BACKOFF: Duration = Duration::from_millis(2);
+
+/// Ceiling of the artifact-load retry backoff.
+const SWAP_RETRY_BACKOFF_MAX: Duration = Duration::from_millis(50);
+
+/// Lock a mutex, recovering the guard if a previous holder panicked. All
+/// service state guarded by mutexes (queue, predictor `Arc`) is kept
+/// consistent *before* any panic can fire — the panic-prone work (feature
+/// extraction, inference) runs with no lock held — so a poisoned lock
+/// carries no torn data and clients must keep working after a worker
+/// crash rather than cascading the panic forever.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Microseconds elapsed since `since`, saturating into `u64`.
+fn elapsed_us(since: Instant) -> u64 {
+    since.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+}
 
 /// Tuning knobs of a [`SatoService`]. The defaults are a reasonable
 /// starting point for a single-worker, CPU-bound deployment; the
@@ -86,6 +138,15 @@ pub enum ServeError {
     Stopped,
     /// A colstore submission failed to decode.
     Corpus(ColStoreError),
+    /// Quarantine verdict: serving panicked on every round containing this
+    /// request and on the request alone, so bisection isolated it as the
+    /// culprit. Only the poisoned request sees this error — every other
+    /// request of the panicking round was re-served normally.
+    Poisoned,
+    /// A hot-swap was rejected and rolled back: the candidate artifact
+    /// could not be loaded (after transient-I/O retries) or failed canary
+    /// validation. The incumbent artifact is still serving, untouched.
+    Swap(PredictorError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -98,6 +159,10 @@ impl std::fmt::Display for ServeError {
             ServeError::Expired => write!(f, "request deadline expired before batching"),
             ServeError::Stopped => write!(f, "service stopped before responding"),
             ServeError::Corpus(e) => write!(f, "colstore submission: {e}"),
+            ServeError::Poisoned => {
+                write!(f, "request quarantined: serving it panics the predictor")
+            }
+            ServeError::Swap(e) => write!(f, "hot-swap rolled back: {e}"),
         }
     }
 }
@@ -128,25 +193,56 @@ pub struct AnnotationResponse {
 }
 
 /// The client's end of a pending request.
+///
+/// A handle yields **exactly one terminal result**. After
+/// [`wait_timeout`](Self::wait_timeout) has returned `Some(..)` once —
+/// or the service stopped and dropped its sender — every further call
+/// returns `Some(Err(ServeError::Stopped))` immediately instead of
+/// leaving pollers on `None` forever.
 pub struct ResponseHandle {
     rx: mpsc::Receiver<Result<AnnotationResponse, ServeError>>,
+    /// Set once a terminal result (response or disconnect) has been
+    /// observed; later polls short-circuit to `Stopped`.
+    terminal: Cell<bool>,
 }
 
 impl ResponseHandle {
+    fn new(rx: mpsc::Receiver<Result<AnnotationResponse, ServeError>>) -> Self {
+        ResponseHandle {
+            rx,
+            terminal: Cell::new(false),
+        }
+    }
+
     /// Block until the response arrives (or the service stops).
     pub fn wait(self) -> Result<AnnotationResponse, ServeError> {
+        if self.terminal.get() {
+            return Err(ServeError::Stopped);
+        }
         self.rx.recv().unwrap_or(Err(ServeError::Stopped))
     }
 
-    /// Block for at most `timeout`; `None` means still pending.
+    /// Block for at most `timeout`; `None` means still pending. Once a
+    /// result has been yielded (or the service stopped), every subsequent
+    /// call returns `Some(Err(ServeError::Stopped))` — a poller never
+    /// spins on `None` against a dead service.
     pub fn wait_timeout(
         &self,
         timeout: Duration,
     ) -> Option<Result<AnnotationResponse, ServeError>> {
+        if self.terminal.get() {
+            return Some(Err(ServeError::Stopped));
+        }
         match self.rx.recv_timeout(timeout) {
-            Ok(result) => Some(result),
+            Ok(result) => {
+                self.terminal.set(true);
+                Some(result)
+            }
             Err(mpsc::RecvTimeoutError::Timeout) => None,
-            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::Stopped)),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                self.terminal.set(true);
+                Some(Err(ServeError::Stopped))
+            }
         }
     }
 }
@@ -172,7 +268,8 @@ struct QueueState {
     paused: bool,
 }
 
-/// State shared between the service handle, its clients and the worker.
+/// State shared between the service handle, its clients, the worker and
+/// the supervisor.
 struct Shared {
     queue: Mutex<QueueState>,
     cond: Condvar,
@@ -183,6 +280,8 @@ struct Shared {
     predictor: Mutex<Arc<SatoPredictor>>,
     stats: StatsCell,
     config: ServiceConfig,
+    /// Service start time: the origin of the heartbeat clock.
+    started: Instant,
 }
 
 /// A long-running, in-process annotation service over a frozen
@@ -191,15 +290,23 @@ struct Shared {
 /// *different* requests into shared micro-batches, runs one forward pass
 /// per batch, and splits the probability rows back per request.
 ///
+/// The worker runs under a supervisor: each round is panic-contained
+/// (`catch_unwind`), a panicking round is bisected to quarantine the
+/// poison-pill request ([`ServeError::Poisoned`]) while every innocent
+/// request is re-served bit-identically, and a worker that dies anyway is
+/// restarted with capped exponential backoff. All locks recover from
+/// poisoning, so clients keep submitting across worker crashes.
+///
 /// See the [crate docs](crate) for the full architecture, and
 /// [`ServiceConfig`] for the admission/batching/deadline knobs.
 pub struct SatoService {
     shared: Arc<Shared>,
-    worker: Option<std::thread::JoinHandle<()>>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl SatoService {
-    /// Start the service over `predictor`, spawning the batcher worker.
+    /// Start the service over `predictor`, spawning the supervisor (which
+    /// spawns and babysits the batcher worker).
     pub fn start(predictor: SatoPredictor, config: ServiceConfig) -> Self {
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
@@ -211,15 +318,16 @@ impl SatoService {
             predictor: Mutex::new(Arc::new(predictor)),
             stats: StatsCell::new(),
             config,
+            started: Instant::now(),
         });
-        let worker_shared = Arc::clone(&shared);
-        let worker = std::thread::Builder::new()
-            .name("sato-serve-batcher".to_string())
-            .spawn(move || worker_loop(worker_shared))
-            .expect("spawn sato-serve batcher thread");
+        let supervisor_shared = Arc::clone(&shared);
+        let supervisor = std::thread::Builder::new()
+            .name("sato-serve-supervisor".to_string())
+            .spawn(move || supervisor_loop(supervisor_shared))
+            .expect("spawn sato-serve supervisor thread");
         SatoService {
             shared,
-            worker: Some(worker),
+            supervisor: Some(supervisor),
         }
     }
 
@@ -237,7 +345,7 @@ impl SatoService {
         let cols = tables.iter().map(|t| t.num_columns()).sum();
         let (tx, rx) = mpsc::channel();
         {
-            let mut q = self.shared.queue.lock().unwrap();
+            let mut q = lock_recover(&self.shared.queue);
             if !q.open {
                 return Err(ServeError::ShuttingDown);
             }
@@ -257,7 +365,7 @@ impl SatoService {
             self.shared.stats.admitted.fetch_add(1, Relaxed);
         }
         self.shared.cond.notify_all();
-        Ok(ResponseHandle { rx })
+        Ok(ResponseHandle::new(rx))
     }
 
     /// Submit a single table.
@@ -281,7 +389,9 @@ impl SatoService {
 
     /// Submit a `SATOCOL1` colstore byte stream: frames are decoded at
     /// submission time (the ingest path parses, the batcher only batches)
-    /// and served like any other multi-table request.
+    /// and served like any other multi-table request. A corrupt stream
+    /// fails only this submission with [`ServeError::Corpus`]; the service
+    /// is untouched.
     pub fn submit_colstore_bytes(
         &self,
         bytes: &[u8],
@@ -307,32 +417,72 @@ impl SatoService {
     /// artifact drains on it (its responses stay tagged with the old
     /// content hash). Requests batched after the swap serve on — and are
     /// tagged with — the new artifact.
+    ///
+    /// The predictor handed in here is swapped in as-is (the caller built
+    /// it in-process, so it is already structurally valid). The file-based
+    /// path, [`Self::load_artifact`], additionally canary-validates the
+    /// candidate and rolls back on any failure.
     pub fn swap_predictor(&self, predictor: SatoPredictor) -> ArtifactMeta {
         let meta = predictor.artifact_meta();
-        *self.shared.predictor.lock().unwrap() = Arc::new(predictor);
+        *lock_recover(&self.shared.predictor) = Arc::new(predictor);
         self.shared.stats.swaps.fetch_add(1, Relaxed);
         meta
     }
 
-    /// Hot-swap from a `SATOART1` binary artifact file: load, verify
-    /// (checksums, consistency — a corrupt file never reaches serving) and
-    /// [`Self::swap_predictor`]. Returns the new artifact's identity.
+    /// **Validated hot-swap** from a `SATOART1` binary artifact file.
+    ///
+    /// The swap only happens after the candidate has fully proven itself;
+    /// on any failure the incumbent artifact keeps serving, untouched, and
+    /// the attempt is counted in [`ServiceStats::swap_rollbacks`]:
+    ///
+    /// 1. **Load with retry**: transient I/O errors (file mid-write, a
+    ///    flaky network mount) are retried up to [`SWAP_LOAD_ATTEMPTS`]
+    ///    times with doubling backoff. Structural corruption (bad magic,
+    ///    checksum mismatch, truncation) is rejected immediately — it will
+    ///    not heal by waiting.
+    /// 2. **Canary validation**: the candidate smoke-predicts a small
+    ///    fixed table inside `catch_unwind`; a panic, a wrong output
+    ///    shape or a non-finite probability rejects the swap.
+    /// 3. Only then the `Arc` swap of [`Self::swap_predictor`] runs — so a
+    ///    client can never observe a half-swapped or invalid artifact.
     pub fn load_artifact(
         &self,
         path: impl AsRef<std::path::Path>,
-    ) -> Result<ArtifactMeta, PredictorError> {
-        let predictor = SatoPredictor::load_binary(path)?;
-        Ok(self.swap_predictor(predictor))
+    ) -> Result<ArtifactMeta, ServeError> {
+        let path = path.as_ref();
+        let mut backoff = SWAP_RETRY_BACKOFF;
+        let mut attempt = 1u32;
+        let candidate = loop {
+            match SatoPredictor::load_binary(path) {
+                Ok(candidate) => break candidate,
+                Err(PredictorError::Io(_)) if attempt < SWAP_LOAD_ATTEMPTS => {
+                    attempt += 1;
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(SWAP_RETRY_BACKOFF_MAX);
+                }
+                Err(e) => return Err(self.reject_swap(e)),
+            }
+        };
+        if let Err(e) = validate_candidate(&candidate) {
+            return Err(self.reject_swap(e));
+        }
+        Ok(self.swap_predictor(candidate))
+    }
+
+    /// Record a rolled-back swap attempt and build its error.
+    fn reject_swap(&self, error: PredictorError) -> ServeError {
+        self.shared.stats.swap_rollbacks.fetch_add(1, Relaxed);
+        ServeError::Swap(error)
     }
 
     /// Identity of the artifact currently serving new rounds.
     pub fn artifact_meta(&self) -> ArtifactMeta {
-        self.shared.predictor.lock().unwrap().artifact_meta()
+        lock_recover(&self.shared.predictor).artifact_meta()
     }
 
     /// Requests currently queued.
     pub fn queue_len(&self) -> usize {
-        self.shared.queue.lock().unwrap().deque.len()
+        lock_recover(&self.shared.queue).deque.len()
     }
 
     /// Point-in-time counter snapshot (see [`ServiceStats`]).
@@ -345,8 +495,14 @@ impl SatoService {
             expired: stats.expired.load(Relaxed),
             completed: stats.completed.load(Relaxed),
             swaps: stats.swaps.load(Relaxed),
+            swap_rollbacks: stats.swap_rollbacks.load(Relaxed),
             batches: stats.batches.load(Relaxed),
             batched_columns: stats.batched_columns.load(Relaxed),
+            rounds: stats.rounds.load(Relaxed),
+            worker_restarts: stats.worker_restarts.load(Relaxed),
+            quarantined: stats.quarantined.load(Relaxed),
+            heartbeat_age_us: elapsed_us(self.shared.started)
+                .saturating_sub(stats.heartbeat_us.load(Relaxed)),
             queue_len,
             artifact: self.artifact_meta(),
             batch_fill_deciles: std::array::from_fn(|i| stats.fill[i].load(Relaxed)),
@@ -358,28 +514,29 @@ impl SatoService {
     /// bound) and deadlines keep ticking. A maintenance/testing seam —
     /// shutdown un-pauses so a paused service still drains.
     pub fn pause(&self) {
-        self.shared.queue.lock().unwrap().paused = true;
+        lock_recover(&self.shared.queue).paused = true;
         self.shared.cond.notify_all();
     }
 
     /// Resume batch formation after [`Self::pause`].
     pub fn resume(&self) {
-        self.shared.queue.lock().unwrap().paused = false;
+        lock_recover(&self.shared.queue).paused = false;
         self.shared.cond.notify_all();
     }
 
     /// Graceful shutdown: stop admitting, drain and answer everything
-    /// queued, join the worker, and return the final counter snapshot.
+    /// queued, join the supervision tree, and return the final counter
+    /// snapshot.
     pub fn shutdown(mut self) -> ServiceStats {
         self.begin_shutdown();
-        if let Some(worker) = self.worker.take() {
-            worker.join().expect("sato-serve batcher panicked");
+        if let Some(supervisor) = self.supervisor.take() {
+            supervisor.join().expect("sato-serve supervisor panicked");
         }
         self.stats()
     }
 
     fn begin_shutdown(&self) {
-        let mut q = self.shared.queue.lock().unwrap();
+        let mut q = lock_recover(&self.shared.queue);
         q.open = false;
         q.paused = false;
         drop(q);
@@ -390,28 +547,90 @@ impl SatoService {
 impl Drop for SatoService {
     fn drop(&mut self) {
         self.begin_shutdown();
-        if let Some(worker) = self.worker.take() {
-            worker.join().expect("sato-serve batcher panicked");
+        if let Some(supervisor) = self.supervisor.take() {
+            supervisor.join().expect("sato-serve supervisor panicked");
         }
     }
 }
 
-/// The batcher worker: wait for work, form a round, expire what is past
-/// deadline, pin the serving artifact, serve the round in shared
-/// micro-batches, answer each request.
-fn worker_loop(shared: Arc<Shared>) {
-    let mut scratch = if shared.config.topic_memo_capacity > 0 {
-        ServingScratch::new().with_topic_memo_capacity(shared.config.topic_memo_capacity)
+/// A fresh, empty serving scratch sized for `config`. Also used to replace
+/// a scratch whose owning round panicked — the panic may have fired
+/// mid-write, so nothing inside the old scratch can be trusted.
+fn fresh_scratch(config: &ServiceConfig) -> ServingScratch {
+    if config.topic_memo_capacity > 0 {
+        ServingScratch::new().with_topic_memo_capacity(config.topic_memo_capacity)
     } else {
         ServingScratch::new()
-    };
+    }
+}
+
+/// The supervisor: spawn the batcher worker, join it, and decide what a
+/// death means. A clean exit is shutdown — the supervisor exits too. A
+/// panic is counted ([`ServiceStats::worker_restarts`]) and the worker is
+/// respawned after an exponential backoff (capped at
+/// [`RESTART_BACKOFF_MAX`]); the backoff and the give-up counter reset
+/// whenever the dead worker had completed at least one round since the
+/// previous crash. [`MAX_CONSECUTIVE_RESTARTS`] no-progress crashes in a
+/// row fail-stop the service instead of looping forever.
+fn supervisor_loop(shared: Arc<Shared>) {
+    let mut backoff = RESTART_BACKOFF;
+    let mut consecutive = 0u32;
+    let mut rounds_at_last_crash = 0u64;
+    loop {
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("sato-serve-batcher".to_string())
+            .spawn(move || worker_loop(worker_shared))
+            .expect("spawn sato-serve batcher thread");
+        if worker.join().is_ok() {
+            return; // clean drain: shutdown complete
+        }
+        shared.stats.worker_restarts.fetch_add(1, Relaxed);
+        let rounds = shared.stats.rounds.load(Relaxed);
+        if rounds != rounds_at_last_crash {
+            rounds_at_last_crash = rounds;
+            consecutive = 1;
+            backoff = RESTART_BACKOFF;
+        } else {
+            consecutive += 1;
+        }
+        if consecutive >= MAX_CONSECUTIVE_RESTARTS {
+            fail_stop(&shared);
+            return;
+        }
+        std::thread::sleep(backoff);
+        backoff = (backoff * 2).min(RESTART_BACKOFF_MAX);
+    }
+}
+
+/// Give up on restarting: close admission and answer everything queued
+/// with [`ServeError::Stopped`] so no client blocks on a worker that will
+/// never come back.
+fn fail_stop(shared: &Shared) {
+    let mut q = lock_recover(&shared.queue);
+    q.open = false;
+    while let Some(req) = q.deque.pop_front() {
+        let _ = req.tx.send(Err(ServeError::Stopped));
+    }
+    drop(q);
+    shared.cond.notify_all();
+}
+
+/// The batcher worker: wait for work, form a round, expire what is past
+/// deadline, pin the serving artifact, serve the round in shared
+/// micro-batches (panic-contained, with quarantine bisection), answer each
+/// request. Beats the liveness heartbeat at least every
+/// [`HEARTBEAT_TICK`], even while idle or paused.
+fn worker_loop(shared: Arc<Shared>) {
+    let mut scratch = fresh_scratch(&shared.config);
     let target = shared.config.batch_cols.max(1);
     loop {
+        shared.stats.beat(elapsed_us(shared.started));
         // Round formation: pull queued requests until the target column
         // count is pending (or the queue runs dry — a lone request is
         // served immediately rather than waiting for fill).
         let round: Vec<QueuedRequest> = {
-            let mut q = shared.queue.lock().unwrap();
+            let mut q = lock_recover(&shared.queue);
             loop {
                 if !q.open && q.deque.is_empty() {
                     return; // drained; exit
@@ -419,8 +638,20 @@ fn worker_loop(shared: Arc<Shared>) {
                 if !q.deque.is_empty() && (!q.paused || !q.open) {
                     break;
                 }
-                q = shared.cond.wait(q).unwrap();
+                let (guard, _) = shared
+                    .cond
+                    .wait_timeout(q, HEARTBEAT_TICK)
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+                shared.stats.beat(elapsed_us(shared.started));
             }
+            // Named injection point `serve.round_formation`, keyed by the
+            // queue depth (chaos builds only). It fires *before* any
+            // request is popped, so a panic here kills the worker — and
+            // poisons the queue mutex — without losing a single request:
+            // the restarted worker picks the queue up where it stood.
+            #[cfg(feature = "faults")]
+            sato_faults::fire_panic("serve.round_formation", q.deque.len() as u64);
             let mut round = Vec::new();
             let mut cols = 0usize;
             while let Some(front) = q.deque.front() {
@@ -432,6 +663,7 @@ fn worker_loop(shared: Arc<Shared>) {
             }
             round
         };
+        shared.stats.rounds.fetch_add(1, Relaxed);
 
         // Deadlines are enforced here — *before* the batch is formed — so an
         // expired request costs neither feature extraction nor a forward
@@ -454,15 +686,17 @@ fn worker_loop(shared: Arc<Shared>) {
         // request in the round — even one spanning several micro-batches —
         // is served by this one predictor, so a response is never a
         // mixed-artifact patchwork across a concurrent hot-swap.
-        let predictor: Arc<SatoPredictor> = shared.predictor.lock().unwrap().clone();
+        let predictor: Arc<SatoPredictor> = lock_recover(&shared.predictor).clone();
         serve_round(&shared, &predictor, &mut scratch, live, target);
     }
 }
 
-/// Serve one round: coalesce the requests' tables into micro-batches of at
-/// least `target` columns (same accumulate-until rule as
-/// `predict_corpus_batched`, so outputs are bit-identical to it), run each
-/// batch in one forward pass, split predictions back per request, respond.
+/// Serve one round with panic containment: compute every request's
+/// predictions inside `catch_unwind`, and only then move the requests into
+/// their responses. On a panic nothing has been answered yet — the scratch
+/// is replaced (the panic may have torn it mid-write) and the round goes
+/// to quarantine bisection, which re-serves the innocent requests through
+/// this same function and fails only the culprit.
 fn serve_round(
     shared: &Shared,
     predictor: &SatoPredictor,
@@ -470,6 +704,66 @@ fn serve_round(
     live: Vec<QueuedRequest>,
     target: usize,
 ) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        compute_outputs(shared, predictor, scratch, &live, target)
+    }));
+    match outcome {
+        Ok(outputs) => respond(shared, predictor.content_hash(), live, outputs),
+        Err(_) => {
+            *scratch = fresh_scratch(&shared.config);
+            quarantine(shared, predictor, scratch, live, target);
+        }
+    }
+}
+
+/// Bisect a panicking round to isolate the poison pill. Each half is
+/// re-served through [`serve_round`]; a half that still panics keeps
+/// splitting until a single request remains, which is failed with
+/// [`ServeError::Poisoned`] and counted in [`ServiceStats::quarantined`].
+///
+/// Innocent requests re-served along the way stay **bit-identical** to the
+/// sequential oracle: micro-batch composition never changes serving output
+/// (every eval-mode stage is row-independent — the same invariant that
+/// makes cross-request coalescing exact), so serving them in smaller
+/// rounds yields the bytes the original round would have.
+fn quarantine(
+    shared: &Shared,
+    predictor: &SatoPredictor,
+    scratch: &mut ServingScratch,
+    mut live: Vec<QueuedRequest>,
+    target: usize,
+) {
+    if live.len() <= 1 {
+        if let Some(req) = live.pop() {
+            shared.stats.quarantined.fetch_add(1, Relaxed);
+            let _ = req.tx.send(Err(ServeError::Poisoned));
+        }
+        return;
+    }
+    let right = live.split_off(live.len() / 2);
+    serve_round(shared, predictor, scratch, live, target);
+    serve_round(shared, predictor, scratch, right, target);
+}
+
+/// Compute one round's predictions: coalesce the requests' tables into
+/// micro-batches of at least `target` columns (same accumulate-until rule
+/// as `predict_corpus_batched`, so outputs are bit-identical to it) and
+/// run each batch in one forward pass. Pure compute — nothing is sent to
+/// clients here, so the caller's `catch_unwind` can treat a panic as
+/// "nobody was answered".
+fn compute_outputs(
+    shared: &Shared,
+    predictor: &SatoPredictor,
+    scratch: &mut ServingScratch,
+    live: &[QueuedRequest],
+    target: usize,
+) -> Vec<Vec<TablePrediction>> {
+    // Named injection point `serve.round`, keyed by the number of requests
+    // in the round (chaos builds only). Inside the unwind boundary: an
+    // injected panic exercises quarantine, an injected delay stalls the
+    // round without blocking submitters.
+    #[cfg(feature = "faults")]
+    sato_faults::fire_panic("serve.round", live.len() as u64);
     let mut outputs: Vec<Vec<TablePrediction>> = live
         .iter()
         .map(|r| Vec::with_capacity(r.tables.len()))
@@ -486,7 +780,7 @@ fn serve_round(
                     predictor,
                     scratch,
                     &mut batch,
-                    &live,
+                    live,
                     &mut outputs,
                     pending,
                     target,
@@ -500,13 +794,22 @@ fn serve_round(
         predictor,
         scratch,
         &mut batch,
-        &live,
+        live,
         &mut outputs,
         pending,
         target,
     );
+    outputs
+}
 
-    let hash = predictor.content_hash();
+/// Answer every request of a computed round: record latency and completion
+/// and send each response tagged with the round's artifact.
+fn respond(
+    shared: &Shared,
+    artifact_hash: u64,
+    live: Vec<QueuedRequest>,
+    outputs: Vec<Vec<TablePrediction>>,
+) {
     for (req, predictions) in live.into_iter().zip(outputs) {
         let latency = req.enqueued.elapsed();
         shared
@@ -516,7 +819,7 @@ fn serve_round(
         shared.stats.completed.fetch_add(1, Relaxed);
         let _ = req.tx.send(Ok(AnnotationResponse {
             predictions,
-            artifact_hash: hash,
+            artifact_hash,
             latency,
         }));
     }
@@ -545,6 +848,56 @@ fn run_batch(
         outputs[r].push(prediction);
     }
     batch.clear();
+}
+
+/// The fixed table smoke-predicted on every [`SatoService::load_artifact`]
+/// candidate before it may swap in: one textual and one numeric column,
+/// enough to drive feature extraction, topic estimation (when the model
+/// carries one) and a forward pass end to end.
+fn canary_table() -> Table {
+    Table::unlabelled(
+        u64::MAX,
+        vec![
+            Column::new(["Warsaw", "London", "Springfield"]),
+            Column::new(["12.5", "7", "19.25"]),
+        ],
+    )
+}
+
+/// Canary validation of a hot-swap candidate: predict the fixed canary
+/// table inside `catch_unwind` and sanity-check the output shape. The
+/// checksum/consistency layers of the artifact codec catch file-level
+/// corruption; this catches the rest — any candidate that would panic or
+/// emit garbage on its very first real request is rejected *before* the
+/// swap, while the incumbent still serves.
+fn validate_candidate(candidate: &SatoPredictor) -> Result<(), PredictorError> {
+    let canary = canary_table();
+    let expected = canary.num_columns();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        (candidate.predict_proba(&canary), candidate.predict(&canary))
+    }));
+    let Ok((probs, types)) = outcome else {
+        return Err(PredictorError::Corrupt(
+            "hot-swap candidate panicked predicting the canary table".to_string(),
+        ));
+    };
+    if probs.len() != expected || types.len() != expected {
+        return Err(PredictorError::Corrupt(format!(
+            "hot-swap candidate predicted {} probability rows / {} types for the \
+             {expected}-column canary table",
+            probs.len(),
+            types.len(),
+        )));
+    }
+    if probs
+        .iter()
+        .any(|row| row.is_empty() || row.iter().any(|p| !p.is_finite()))
+    {
+        return Err(PredictorError::Corrupt(
+            "hot-swap candidate produced empty or non-finite canary probabilities".to_string(),
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -589,6 +942,11 @@ mod tests {
             .unwrap()
     }
 
+    /// A unique temp-file path for this test run.
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("sato_serve_{}_{name}", std::process::id()))
+    }
+
     #[test]
     fn coalesced_serving_is_bit_identical_to_batched_reference() {
         let (a, _) = predictors();
@@ -628,6 +986,13 @@ mod tests {
         assert_eq!(stats.expired, 0);
         assert!(stats.batches >= 1);
         assert_eq!(stats.latency.count(), stats.completed);
+        // A healthy run: rounds advanced, nothing crashed or quarantined,
+        // no swap was rolled back, and the worker's heartbeat was fresh.
+        assert!(stats.rounds >= 1);
+        assert_eq!(stats.worker_restarts, 0);
+        assert_eq!(stats.quarantined, 0);
+        assert_eq!(stats.swap_rollbacks, 0);
+        assert!(stats.heartbeat_age_us < 10_000_000, "stale heartbeat");
     }
 
     #[test]
@@ -731,5 +1096,147 @@ mod tests {
         let stats = service.shutdown();
         assert!(queued.wait().is_ok());
         assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn locks_recover_after_a_client_panic_poisons_them() {
+        let (a, b) = predictors();
+        let corpus = default_corpus(3, 19);
+        let service = SatoService::start(copy_of(a), ServiceConfig::default());
+        // Poison both service mutexes the way a buggy client callback
+        // would: lock, panic, unwind.
+        let shared = Arc::clone(&service.shared);
+        let poisoner = std::thread::spawn(move || {
+            let _queue = shared.queue.lock().unwrap();
+            let _predictor = shared.predictor.lock().unwrap();
+            panic!("deliberate poisoning of the service mutexes");
+        });
+        assert!(poisoner.join().is_err());
+        assert!(service.shared.queue.is_poisoned());
+        assert!(service.shared.predictor.is_poisoned());
+        // Every public entry point — and the worker itself — recovers.
+        assert_eq!(service.queue_len(), 0);
+        service.pause();
+        service.resume();
+        assert_eq!(service.artifact_meta(), a.artifact_meta());
+        let response = service.annotate_table(corpus.tables[0].clone()).unwrap();
+        assert_eq!(response.predictions[0], reference_one(a, &corpus.tables[0]));
+        service.swap_predictor(copy_of(b));
+        let swapped = service.annotate_table(corpus.tables[1].clone()).unwrap();
+        assert_eq!(swapped.artifact_hash, b.content_hash());
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.worker_restarts, 0);
+    }
+
+    #[test]
+    fn wait_timeout_surfaces_stopped_after_terminal_result() {
+        let (a, _) = predictors();
+        let corpus = default_corpus(2, 23);
+        let service = SatoService::start(copy_of(a), ServiceConfig::default());
+        let handle = service
+            .submit_table(corpus.tables[0].clone(), RequestOptions::default())
+            .unwrap();
+        let mut first = None;
+        for _ in 0..2000 {
+            if let Some(result) = handle.wait_timeout(Duration::from_millis(10)) {
+                first = Some(result);
+                break;
+            }
+        }
+        assert!(first.expect("response within 20 s").is_ok());
+        // The one terminal result is spent: polling again reports Stopped
+        // immediately instead of pretending the request is still pending.
+        assert!(matches!(
+            handle.wait_timeout(Duration::from_millis(1)),
+            Some(Err(ServeError::Stopped))
+        ));
+        assert!(matches!(handle.wait(), Err(ServeError::Stopped)));
+        service.shutdown();
+    }
+
+    #[test]
+    fn dropping_the_service_mid_wait_resolves_pollers() {
+        let (a, _) = predictors();
+        let corpus = default_corpus(2, 29);
+        let service = SatoService::start(copy_of(a), ServiceConfig::default());
+        let handle = service
+            .submit_table(corpus.tables[0].clone(), RequestOptions::default())
+            .unwrap();
+        let poller = std::thread::spawn(move || {
+            // Poll forever: the drop below must terminate this loop, either
+            // with the drained response or with Stopped — never a hang.
+            loop {
+                if let Some(result) = handle.wait_timeout(Duration::from_millis(5)) {
+                    // A second poll after the terminal result is Stopped.
+                    let next = handle.wait_timeout(Duration::from_millis(1));
+                    assert!(matches!(next, Some(Err(ServeError::Stopped))));
+                    return result;
+                }
+            }
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        drop(service); // drains the queue, then drops the worker's senders
+        let result = poller.join().expect("poller never hangs");
+        // Drop drains gracefully, so the queued request was answered.
+        assert!(result.is_ok());
+    }
+
+    #[test]
+    fn corrupt_artifact_hot_swap_rolls_back_to_incumbent() {
+        let (a, b) = predictors();
+        let corpus = default_corpus(3, 31);
+        let service = SatoService::start(copy_of(a), ServiceConfig::default());
+
+        // Truncated artifact: valid magic, torn tail — a torn write.
+        let truncated = temp_path("truncated.satoart");
+        let bytes = b.to_bytes();
+        std::fs::write(&truncated, &bytes[..bytes.len() / 2]).unwrap();
+        let err = service.load_artifact(&truncated).unwrap_err();
+        assert!(matches!(err, ServeError::Swap(_)), "{err}");
+
+        // Garbage artifact: not even the magic survives.
+        let garbage = temp_path("garbage.satoart");
+        std::fs::write(&garbage, b"definitely not a SATOART1 artifact").unwrap();
+        assert!(matches!(
+            service.load_artifact(&garbage),
+            Err(ServeError::Swap(PredictorError::BadMagic))
+        ));
+
+        // Missing artifact: I/O, retried with backoff, then rolled back.
+        let missing = temp_path("does_not_exist.satoart");
+        assert!(matches!(
+            service.load_artifact(&missing),
+            Err(ServeError::Swap(PredictorError::Io(_)))
+        ));
+
+        // The incumbent never stopped serving, bit-identically.
+        assert_eq!(service.artifact_meta(), a.artifact_meta());
+        let response = service.annotate_table(corpus.tables[0].clone()).unwrap();
+        assert_eq!(response.artifact_hash, a.content_hash());
+        assert_eq!(response.predictions[0], reference_one(a, &corpus.tables[0]));
+
+        // A healthy artifact file still swaps in.
+        let good = temp_path("good.satoart");
+        std::fs::write(&good, &bytes).unwrap();
+        let meta = service.load_artifact(&good).unwrap();
+        assert_eq!(meta, b.artifact_meta());
+        let swapped = service.annotate_table(corpus.tables[1].clone()).unwrap();
+        assert_eq!(swapped.artifact_hash, b.content_hash());
+
+        let stats = service.shutdown();
+        assert_eq!(stats.swap_rollbacks, 3);
+        assert_eq!(stats.swaps, 1);
+        assert_eq!(stats.artifact.content_hash, b.content_hash());
+        for path in [truncated, garbage, good] {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn canary_validation_accepts_healthy_predictors() {
+        let (a, b) = predictors();
+        assert!(validate_candidate(a).is_ok());
+        assert!(validate_candidate(b).is_ok());
     }
 }

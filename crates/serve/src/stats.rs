@@ -116,8 +116,14 @@ pub(crate) struct StatsCell {
     pub(crate) expired: AtomicU64,
     pub(crate) completed: AtomicU64,
     pub(crate) swaps: AtomicU64,
+    pub(crate) swap_rollbacks: AtomicU64,
     pub(crate) batches: AtomicU64,
     pub(crate) batched_columns: AtomicU64,
+    pub(crate) rounds: AtomicU64,
+    pub(crate) worker_restarts: AtomicU64,
+    pub(crate) quarantined: AtomicU64,
+    /// µs since service start at the worker's last liveness beat.
+    pub(crate) heartbeat_us: AtomicU64,
     pub(crate) fill: [AtomicU64; FILL_BUCKETS],
     pub(crate) latency: LatencyHistogram,
 }
@@ -130,11 +136,23 @@ impl StatsCell {
             expired: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
+            swap_rollbacks: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_columns: AtomicU64::new(0),
+            rounds: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            heartbeat_us: AtomicU64::new(0),
             fill: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: LatencyHistogram::new(),
         }
+    }
+
+    /// Record a worker liveness beat, `us` microseconds after service
+    /// start. Monotonic via `fetch_max`: a stalled clock read from a
+    /// just-restarted worker can never move the heartbeat backwards.
+    pub(crate) fn beat(&self, us: u64) {
+        self.heartbeat_us.fetch_max(us, Relaxed);
     }
 
     /// Record one formed micro-batch of `cols` columns against the
@@ -166,10 +184,29 @@ pub struct ServiceStats {
     pub completed: u64,
     /// Artifact hot-swaps performed.
     pub swaps: u64,
+    /// Hot-swap attempts rejected before the `Arc` swap — unreadable or
+    /// corrupt artifact file, or a candidate that failed canary
+    /// validation. The incumbent artifact kept serving each time.
+    pub swap_rollbacks: u64,
     /// Micro-batches run through the network.
     pub batches: u64,
     /// Total columns across all micro-batches.
     pub batched_columns: u64,
+    /// Batch-formation rounds the worker has completed pulling from the
+    /// queue (the supervisor reads this as its progress signal).
+    pub rounds: u64,
+    /// Times the supervisor restarted a batcher worker that died to a
+    /// panic escaping round containment.
+    pub worker_restarts: u64,
+    /// Requests failed with [`ServeError::Poisoned`] after quarantine
+    /// bisection isolated them as the culprit of a panicking round.
+    ///
+    /// [`ServeError::Poisoned`]: crate::ServeError::Poisoned
+    pub quarantined: u64,
+    /// Age of the worker's last liveness heartbeat in µs at snapshot time.
+    /// The worker beats at least every ~100 ms while alive (even idle or
+    /// paused); a large value means the worker is stalled or gone.
+    pub heartbeat_age_us: u64,
     /// Requests currently queued (instantaneous, not cumulative).
     pub queue_len: usize,
     /// Identity of the artifact currently serving.

@@ -390,6 +390,14 @@ impl<R: Read> ColStoreReader<R> {
     /// decode. `buf` may hold a previous frame's contents on entry; they
     /// are overwritten, and its allocations are reused.
     pub fn read_into(&mut self, buf: &mut TableBuf) -> Result<bool, ColStoreError> {
+        // Named injection point `tabular.colstore_decode`, keyed by the
+        // frame index (chaos builds only).
+        #[cfg(feature = "faults")]
+        if sato_faults::fire("tabular.colstore_decode", self.tables_read as u64) {
+            return Err(ColStoreError::Io(std::io::Error::other(
+                "injected fault: tabular.colstore_decode",
+            )));
+        }
         if self.done {
             return Ok(false);
         }
