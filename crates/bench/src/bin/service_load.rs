@@ -293,7 +293,8 @@ fn write_service_json(
     for (i, point) in points.iter().enumerate() {
         let s = &point.stats;
         body.push_str(&format!(
-            "    {{\n      \"offered_rps\": {:.2},\n      \"window_secs\": {:.3},\n      \"submitted\": {},\n      \"admitted\": {},\n      \"rejected\": {},\n      \"expired\": {},\n      \"completed\": {},\n      \"throughput_rps\": {:.2},\n      \"p50_us\": {:.1},\n      \"p99_us\": {:.1},\n      \"max_us\": {},\n      \"mean_latency_us\": {:.1},\n      \"batches\": {},\n      \"mean_batch_fill_cols\": {:.2},\n      \"worker_restarts\": {},\n      \"quarantined\": {},\n      \"swap_rollbacks\": {}\n    }}{}\n",
+            "    {{\n      \"sampler\": \"{}\",\n      \"offered_rps\": {:.2},\n      \"window_secs\": {:.3},\n      \"submitted\": {},\n      \"admitted\": {},\n      \"rejected\": {},\n      \"expired\": {},\n      \"completed\": {},\n      \"throughput_rps\": {:.2},\n      \"p50_us\": {:.1},\n      \"p99_us\": {:.1},\n      \"max_us\": {},\n      \"mean_latency_us\": {:.1},\n      \"batches\": {},\n      \"mean_batch_fill_cols\": {:.2},\n      \"worker_restarts\": {},\n      \"quarantined\": {},\n      \"swap_rollbacks\": {}\n    }}{}\n",
+            opts.sampler.name(),
             point.offered_rps,
             point.wall_secs,
             point.submitted,

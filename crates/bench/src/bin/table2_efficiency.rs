@@ -11,17 +11,22 @@
 //! Besides the human-readable table, the run writes `BENCH_serving.json`
 //! (all single-threaded measurements, so the numbers are valid on a 1-CPU
 //! container): per-table vs batched serving throughput, single-pass vs
-//! reference (per-alphabet-character) feature extraction µs/column, scratch
-//! (streaming) vs reference (mega-string) LDA topic estimation µs/table,
-//! the `gibbs_sampler` section — dense vs sparse/alias topic sampling
-//! µs/table with the mean L1 theta drift of the approximate sampler — and
+//! reference (per-alphabet-character) feature extraction µs/column (with a
+//! per-group char/word/para/stat breakdown of the reference cost), the
+//! `hashing` section — kernel-layer (prefix-extension) vs scalar
+//! (length-major) n-gram token hashing µs/token — scratch (streaming) vs
+//! reference (mega-string) LDA topic estimation µs/table, the `crf_decode`
+//! section — kernel-layer (row-major `relax_max_argmax`) vs reference
+//! (destination-major loop) Viterbi decode µs/chain — the `gibbs_sampler`
+//! section — dense vs sparse/alias vs Metropolis–Hastings topic sampling
+//! µs/table with the mean L1 theta drift of each approximate sampler — and
 //! the `artifact` section — JSON vs SATOART1 binary predictor artifact size
 //! and load time, plus a cold serve straight off the columnar (colstore)
 //! corpus bytes — each with its speedup recorded from the same run.
 //!
-//! `--sampler {dense,sparse}` selects the topic sampler the serving
+//! `--sampler {dense,sparse,mh}` selects the topic sampler the serving
 //! throughput measurements run with (the sampler comparison section always
-//! measures both).
+//! measures all three).
 
 use sato::{SamplerKind, SatoModel, SatoPredictor, SatoVariant, TopicSampler};
 use sato_bench::{banner, ExperimentOptions};
@@ -182,12 +187,29 @@ fn main() {
     println!("\n{}", table.render());
 
     // Single-pass vs reference feature extraction, timed on the same held
-    // out tables (µs per column, single-threaded).
-    let (single_pass_us, baseline_us) =
-        time_feature_extraction(&split.test, &config.features, opts.trials);
+    // out tables (µs per column, single-threaded), with the reference cost
+    // broken down per feature group.
+    let features_bench = time_feature_extraction(&split.test, &config.features, opts.trials);
+    let (single_pass_us, baseline_us) = (features_bench.single_pass_us, features_bench.baseline_us);
     println!(
         "feature extraction: single-pass {single_pass_us:.1} µs/col vs reference {baseline_us:.1} µs/col ({:.2}x)",
         baseline_us / single_pass_us.max(1e-9)
+    );
+    println!(
+        "  reference groups: char {:.1} / word {:.1} / para {:.1} / stat {:.1} µs/col",
+        features_bench.char_us,
+        features_bench.word_us,
+        features_bench.para_us,
+        features_bench.stat_us
+    );
+
+    // Kernel-layer (prefix-extension) vs scalar (length-major) n-gram token
+    // hashing over every whitespace token of the held-out corpus.
+    let (hashing_kernel_us, hashing_scalar_us) =
+        time_hashing(&split.test, config.features.word_dim, opts.trials);
+    println!(
+        "n-gram hashing: kernel {hashing_kernel_us:.3} µs/token vs scalar {hashing_scalar_us:.3} µs/token ({:.2}x)",
+        hashing_scalar_us / hashing_kernel_us.max(1e-12)
     );
 
     // Scratch (streaming encoder + reused Gibbs buffers) vs reference
@@ -205,16 +227,31 @@ fn main() {
         topic_reference_us / topic_scratch_us.max(1e-9)
     );
 
-    // Dense vs sparse/alias Gibbs sampling on the same intent estimator and
-    // held-out tables: µs/table for each sampler plus the mean L1 theta
-    // drift the approximate sampler introduces.
+    // Kernel-layer vs reference Viterbi decode on the Full model's CRF,
+    // over chains shaped like the held-out tables.
+    let crf = full_predictor
+        .as_ref()
+        .and_then(|p| p.crf())
+        .expect("the Full model carries a CRF");
+    let (crf_kernel_us, crf_reference_us) = time_crf_decode(crf, &split.test, opts.trials);
+    println!(
+        "crf decode: kernel {crf_kernel_us:.1} µs/chain vs reference {crf_reference_us:.1} µs/chain ({:.2}x)",
+        crf_reference_us / crf_kernel_us.max(1e-12)
+    );
+
+    // Dense vs sparse/alias vs Metropolis–Hastings Gibbs sampling on the
+    // same intent estimator and held-out tables: µs/table for each sampler
+    // plus the mean L1 theta drift each approximate sampler introduces.
     let gibbs = time_gibbs_samplers(intent, &split.test, opts.trials);
     println!(
-        "gibbs sampler: dense {:.1} µs/table vs sparse-alias {:.1} µs/table ({:.2}x), mean L1 drift {:.4}",
+        "gibbs sampler: dense {:.1} µs/table vs sparse-alias {:.1} µs/table ({:.2}x, L1 drift {:.4}) vs MH {:.1} µs/table ({:.2}x over sparse, L1 drift {:.4})",
         gibbs.dense_us,
         gibbs.sparse_us,
         gibbs.dense_us / gibbs.sparse_us.max(1e-9),
-        gibbs.mean_l1_drift
+        gibbs.mean_l1_drift,
+        gibbs.mh_us,
+        gibbs.sparse_us / gibbs.mh_us.max(1e-9),
+        gibbs.mh_l1_drift
     );
 
     // Artifact formats: JSON vs SATOART1 binary size and load time, plus a
@@ -246,10 +283,11 @@ fn main() {
         &split.test,
         &full_predict_times,
         &full_batched_times,
-        single_pass_us,
-        baseline_us,
+        &features_bench,
+        (hashing_kernel_us, hashing_scalar_us),
         topic_scratch_us,
         topic_reference_us,
+        (crf_kernel_us, crf_reference_us),
         &gibbs,
         &artifact,
     );
@@ -264,19 +302,33 @@ fn main() {
     );
 }
 
+/// Feature-extraction timings recorded in the `feature_extraction` section
+/// of `BENCH_serving.json`: single-pass vs joint reference, plus the
+/// reference cost of each feature group on its own (all mean µs/column).
+struct FeatureBench {
+    single_pass_us: f64,
+    baseline_us: f64,
+    char_us: f64,
+    word_us: f64,
+    para_us: f64,
+    stat_us: f64,
+}
+
 /// Time single-pass (scratch-reusing) and reference (per-alphabet-character)
-/// feature extraction over every column of `corpus`; returns mean µs/column
-/// for each, over `trials` repetitions.
+/// feature extraction over every column of `corpus`, plus each reference
+/// group separately; returns mean µs/column for each, over `trials`
+/// repetitions.
 fn time_feature_extraction(
     corpus: &Corpus,
     features: &sato_features::FeatureConfig,
     trials: usize,
-) -> (f64, f64) {
+) -> FeatureBench {
     let extractor = FeatureExtractor::new(features.clone());
     let total_cols: usize = corpus.iter().map(|t| t.num_columns()).sum();
     let total_cols = total_cols.max(1);
     let mut single_pass = Vec::new();
     let mut baseline = Vec::new();
+    let mut group_times = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
     for _ in 0..trials.max(1) {
         let mut scratch = FeatureScratch::new();
         let start = Instant::now();
@@ -297,8 +349,129 @@ fn time_feature_extraction(
             }
         }
         baseline.push(start.elapsed().as_secs_f64() * 1e6 / total_cols as f64);
+
+        // The same four reference groups timed on their own, so the
+        // breakdown and the joint baseline come from the same run.
+        for (g, times) in group_times.iter_mut().enumerate() {
+            let start = Instant::now();
+            for table in corpus.iter() {
+                for column in &table.columns {
+                    match g {
+                        0 => drop(black_box(reference::char_features(black_box(column)))),
+                        1 => drop(black_box(reference::word_features(
+                            column,
+                            features.word_dim,
+                        ))),
+                        2 => drop(black_box(reference::para_features(
+                            column,
+                            features.para_dim,
+                        ))),
+                        _ => drop(black_box(reference::stat_features(column))),
+                    }
+                }
+            }
+            times.push(start.elapsed().as_secs_f64() * 1e6 / total_cols as f64);
+        }
     }
-    (mean(&single_pass), mean(&baseline))
+    FeatureBench {
+        single_pass_us: mean(&single_pass),
+        baseline_us: mean(&baseline),
+        char_us: mean(&group_times[0]),
+        word_us: mean(&group_times[1]),
+        para_us: mean(&group_times[2]),
+        stat_us: mean(&group_times[3]),
+    }
+}
+
+/// Time kernel-layer (prefix-extension `sato_kernels::Fnv1a`) vs scalar
+/// (length-major window) n-gram hashing over every whitespace token of
+/// every cell of `corpus`, with the standard Word-group space (`(3, 5)`
+/// n-grams, `dim`-bucket output). Returns mean µs/token for each, over
+/// `trials` repetitions; asserts bit-for-bit parity on the side.
+fn time_hashing(corpus: &Corpus, dim: usize, trials: usize) -> (f64, f64) {
+    use sato_features::hashing::{hash_token_into, hash_token_into_scalar};
+    const NGRAMS: (usize, usize) = (3, 5);
+    let seed = sato_features::word_embed::WORD_EMBED_SEED;
+    let mut tokens: Vec<&str> = Vec::new();
+    for table in corpus.iter() {
+        for column in &table.columns {
+            for cell in &column.values {
+                tokens.extend(cell.split_whitespace());
+            }
+        }
+    }
+    let total = tokens.len().max(1) as f64;
+    let mut chars = Vec::new();
+    let (mut fast, mut slow) = (vec![0.0f32; dim], vec![0.0f32; dim]);
+    for &token in tokens.iter().take(500) {
+        hash_token_into(token, NGRAMS, seed, &mut chars, &mut fast);
+        hash_token_into_scalar(token, NGRAMS, seed, &mut chars, &mut slow);
+        assert_eq!(fast, slow, "kernel hashing drifted on token {token:?}");
+    }
+    let mut kernel_times = Vec::new();
+    let mut scalar_times = Vec::new();
+    for _ in 0..trials.max(1) {
+        let start = Instant::now();
+        for &token in &tokens {
+            hash_token_into(black_box(token), NGRAMS, seed, &mut chars, &mut fast);
+            black_box(&fast);
+        }
+        kernel_times.push(start.elapsed().as_secs_f64() * 1e6 / total);
+
+        let start = Instant::now();
+        for &token in &tokens {
+            hash_token_into_scalar(black_box(token), NGRAMS, seed, &mut chars, &mut slow);
+            black_box(&slow);
+        }
+        scalar_times.push(start.elapsed().as_secs_f64() * 1e6 / total);
+    }
+    (mean(&kernel_times), mean(&scalar_times))
+}
+
+/// Time kernel-layer (`viterbi_flat`, row-major `relax_max_argmax`) vs
+/// reference (destination-major loop) Viterbi decoding on `crf`, over one
+/// chain per table of `corpus` (chain length = column count) with
+/// deterministic pseudo-random unary potentials. Returns mean µs/chain for
+/// each, over `trials` repetitions; asserts identical decodes on the side.
+fn time_crf_decode(crf: &sato_crf::LinearChainCrf, corpus: &Corpus, trials: usize) -> (f64, f64) {
+    let k = crf.num_states();
+    // Deterministic unary potentials; a tiny LCG keeps the bench
+    // self-contained and repeatable.
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) * 10.0 - 5.0
+    };
+    let chains: Vec<Vec<f64>> = corpus
+        .iter()
+        .map(|t| (0..t.num_columns().max(1) * k).map(|_| next()).collect())
+        .collect();
+    let total = chains.len().max(1) as f64;
+    for unary in chains.iter().take(50) {
+        assert_eq!(
+            crf.viterbi_flat(unary),
+            crf.viterbi_flat_reference(unary),
+            "kernel Viterbi decode drifted"
+        );
+    }
+    let mut kernel_times = Vec::new();
+    let mut reference_times = Vec::new();
+    for _ in 0..trials.max(1) {
+        let start = Instant::now();
+        for unary in &chains {
+            black_box(crf.viterbi_flat(black_box(unary)));
+        }
+        kernel_times.push(start.elapsed().as_secs_f64() * 1e6 / total);
+
+        let start = Instant::now();
+        for unary in &chains {
+            black_box(crf.viterbi_flat_reference(black_box(unary)));
+        }
+        reference_times.push(start.elapsed().as_secs_f64() * 1e6 / total);
+    }
+    (mean(&kernel_times), mean(&reference_times))
 }
 
 /// Time the scratch (streaming) and reference (mega-string) topic-estimation
@@ -334,8 +507,8 @@ fn time_topic_estimation(
     (mean(&scratch_times), mean(&reference_times))
 }
 
-/// Dense vs sparse/alias sampler comparison recorded in the
-/// `gibbs_sampler` section of `BENCH_serving.json`.
+/// Dense vs sparse/alias vs Metropolis–Hastings sampler comparison recorded
+/// in the `gibbs_sampler` section of `BENCH_serving.json`.
 struct GibbsSamplerBench {
     /// Mean µs/table of the dense sampler (scratch path).
     dense_us: f64,
@@ -345,12 +518,31 @@ struct GibbsSamplerBench {
     /// Mean (over tables) L1 distance between the dense and sparse thetas —
     /// the quantified approximation cost of the fast sampler.
     mean_l1_drift: f64,
+    /// Mean µs/table of the Metropolis–Hastings cycle sampler (scratch
+    /// path; reuses the same pre-built alias tables).
+    mh_us: f64,
+    /// Mean (over tables) L1 distance between the dense and MH thetas.
+    mh_l1_drift: f64,
 }
 
-/// Time the dense and sparse/alias topic samplers over every table of
-/// `corpus` through one warm scratch each, and measure the mean L1 theta
-/// drift between them; returns mean µs/table per sampler, over `trials`
-/// repetitions.
+/// Mean (over tables) L1 distance between two theta corpora.
+fn mean_l1(a: &[Vec<f32>], b: &[Vec<f32>]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            x.iter()
+                .zip(y)
+                .map(|(p, q)| (p - q).abs() as f64)
+                .sum::<f64>()
+        })
+        .sum::<f64>()
+        / a.len().max(1) as f64
+}
+
+/// Time the dense, sparse/alias and Metropolis–Hastings topic samplers over
+/// every table of `corpus` through one warm scratch each, and measure the
+/// mean L1 theta drift of each approximate sampler against dense; returns
+/// mean µs/table per sampler, over `trials` repetitions.
 fn time_gibbs_samplers(
     intent: &TableIntentEstimator,
     corpus: &Corpus,
@@ -358,24 +550,18 @@ fn time_gibbs_samplers(
 ) -> GibbsSamplerBench {
     let tables = corpus.len().max(1) as f64;
     let sparse = intent.build_sampler(SamplerKind::SparseAlias);
+    let mh = intent.build_sampler(SamplerKind::MetropolisHastings);
     let mut scratch = TopicScratch::new();
 
     let dense_thetas = intent.estimate_corpus_with(corpus, &TopicSampler::Dense, &mut scratch);
     let sparse_thetas = intent.estimate_corpus_with(corpus, &sparse, &mut scratch);
-    let mean_l1_drift = dense_thetas
-        .iter()
-        .zip(&sparse_thetas)
-        .map(|(a, b)| {
-            a.iter()
-                .zip(b)
-                .map(|(x, y)| (x - y).abs() as f64)
-                .sum::<f64>()
-        })
-        .sum::<f64>()
-        / tables;
+    let mh_thetas = intent.estimate_corpus_with(corpus, &mh, &mut scratch);
+    let mean_l1_drift = mean_l1(&dense_thetas, &sparse_thetas);
+    let mh_l1_drift = mean_l1(&dense_thetas, &mh_thetas);
 
     let mut dense_times = Vec::new();
     let mut sparse_times = Vec::new();
+    let mut mh_times = Vec::new();
     for _ in 0..trials.max(1) {
         let start = Instant::now();
         black_box(intent.estimate_corpus_with(
@@ -388,11 +574,17 @@ fn time_gibbs_samplers(
         let start = Instant::now();
         black_box(intent.estimate_corpus_with(black_box(corpus), &sparse, &mut scratch));
         sparse_times.push(start.elapsed().as_secs_f64() * 1e6 / tables);
+
+        let start = Instant::now();
+        black_box(intent.estimate_corpus_with(black_box(corpus), &mh, &mut scratch));
+        mh_times.push(start.elapsed().as_secs_f64() * 1e6 / tables);
     }
     GibbsSamplerBench {
         dense_us: mean(&dense_times),
         sparse_us: mean(&sparse_times),
         mean_l1_drift,
+        mh_us: mean(&mh_times),
+        mh_l1_drift,
     }
 }
 
@@ -464,10 +656,11 @@ fn write_serving_json(
     test: &Corpus,
     per_table_secs: &[f64],
     batched_secs: &[f64],
-    single_pass_us: f64,
-    baseline_us: f64,
+    features: &FeatureBench,
+    (hashing_kernel_us, hashing_scalar_us): (f64, f64),
     topic_scratch_us: f64,
     topic_reference_us: f64,
+    (crf_kernel_us, crf_reference_us): (f64, f64),
     gibbs: &GibbsSamplerBench,
     artifact: &ArtifactBench,
 ) {
@@ -475,8 +668,9 @@ fn write_serving_json(
     let columns: usize = test.iter().map(|t| t.num_columns()).sum();
     let per_table = mean(per_table_secs);
     let batched = mean(batched_secs);
+    let (single_pass_us, baseline_us) = (features.single_pass_us, features.baseline_us);
     let json = format!(
-        "{{\n  \"schema\": \"sato-bench/serving-v1\",\n  \"single_threaded\": true,\n  \"model\": \"Sato (Full)\",\n  \"corpus\": {{ \"tables\": {}, \"columns\": {}, \"seed\": {}, \"trials\": {} }},\n  \"serving\": {{\n    \"batch_cols\": {BATCH_COLS},\n    \"sampler\": \"{}\",\n    \"per_table_secs\": {per_table:.6},\n    \"batched_secs\": {batched:.6},\n    \"per_table_tables_per_sec\": {:.2},\n    \"batched_tables_per_sec\": {:.2},\n    \"batched_speedup\": {:.3}\n  }},\n  \"feature_extraction\": {{\n    \"single_pass_us_per_column\": {single_pass_us:.2},\n    \"baseline_us_per_column\": {baseline_us:.2},\n    \"single_pass_speedup\": {:.3}\n  }},\n  \"topic_estimation\": {{\n    \"scratch_us_per_table\": {topic_scratch_us:.2},\n    \"reference_us_per_table\": {topic_reference_us:.2},\n    \"topic_speedup\": {:.3}\n  }},\n  \"gibbs_sampler\": {{\n    \"dense_us_per_table\": {:.2},\n    \"sparse_us_per_table\": {:.2},\n    \"sparse_speedup\": {:.3},\n    \"mean_l1_drift_vs_dense\": {:.4}\n  }},\n  \"artifact\": {{\n    \"json_bytes\": {},\n    \"binary_bytes\": {},\n    \"binary_size_ratio\": {:.3},\n    \"json_load_us\": {:.2},\n    \"binary_load_us\": {:.2},\n    \"binary_load_speedup\": {:.3},\n    \"colstore_bytes\": {},\n    \"colstore_cold_serve_secs\": {:.6},\n    \"colstore_cold_tables_per_sec\": {:.2}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"sato-bench/serving-v1\",\n  \"single_threaded\": true,\n  \"model\": \"Sato (Full)\",\n  \"corpus\": {{ \"tables\": {}, \"columns\": {}, \"seed\": {}, \"trials\": {} }},\n  \"serving\": {{\n    \"batch_cols\": {BATCH_COLS},\n    \"sampler\": \"{}\",\n    \"per_table_secs\": {per_table:.6},\n    \"batched_secs\": {batched:.6},\n    \"per_table_tables_per_sec\": {:.2},\n    \"batched_tables_per_sec\": {:.2},\n    \"batched_speedup\": {:.3}\n  }},\n  \"feature_extraction\": {{\n    \"single_pass_us_per_column\": {single_pass_us:.2},\n    \"baseline_us_per_column\": {baseline_us:.2},\n    \"single_pass_speedup\": {:.3},\n    \"reference_groups_us_per_column\": {{\n      \"char\": {:.2},\n      \"word\": {:.2},\n      \"para\": {:.2},\n      \"stat\": {:.2}\n    }}\n  }},\n  \"hashing\": {{\n    \"kernel_us_per_token\": {hashing_kernel_us:.4},\n    \"scalar_us_per_token\": {hashing_scalar_us:.4},\n    \"hashing_speedup\": {:.3}\n  }},\n  \"topic_estimation\": {{\n    \"scratch_us_per_table\": {topic_scratch_us:.2},\n    \"reference_us_per_table\": {topic_reference_us:.2},\n    \"topic_speedup\": {:.3}\n  }},\n  \"crf_decode\": {{\n    \"kernel_us_per_chain\": {crf_kernel_us:.2},\n    \"reference_us_per_chain\": {crf_reference_us:.2},\n    \"crf_decode_speedup\": {:.3}\n  }},\n  \"gibbs_sampler\": {{\n    \"dense_us_per_table\": {:.2},\n    \"sparse_us_per_table\": {:.2},\n    \"sparse_speedup\": {:.3},\n    \"mean_l1_drift_vs_dense\": {:.4}\n  }},\n  \"mh_sampler\": {{\n    \"mh_us_per_table\": {:.2},\n    \"mh_speedup\": {:.3},\n    \"mh_speedup_vs_dense\": {:.3},\n    \"mh_l1_drift_vs_dense\": {:.4}\n  }},\n  \"artifact\": {{\n    \"json_bytes\": {},\n    \"binary_bytes\": {},\n    \"binary_size_ratio\": {:.3},\n    \"json_load_us\": {:.2},\n    \"binary_load_us\": {:.2},\n    \"binary_load_speedup\": {:.3},\n    \"colstore_bytes\": {},\n    \"colstore_cold_serve_secs\": {:.6},\n    \"colstore_cold_tables_per_sec\": {:.2}\n  }}\n}}\n",
         test.len(),
         columns,
         opts.seed,
@@ -486,11 +680,21 @@ fn write_serving_json(
         tables / batched.max(1e-12),
         per_table / batched.max(1e-12),
         baseline_us / single_pass_us.max(1e-9),
+        features.char_us,
+        features.word_us,
+        features.para_us,
+        features.stat_us,
+        hashing_scalar_us / hashing_kernel_us.max(1e-12),
         topic_reference_us / topic_scratch_us.max(1e-9),
+        crf_reference_us / crf_kernel_us.max(1e-12),
         gibbs.dense_us,
         gibbs.sparse_us,
         gibbs.dense_us / gibbs.sparse_us.max(1e-9),
         gibbs.mean_l1_drift,
+        gibbs.mh_us,
+        gibbs.sparse_us / gibbs.mh_us.max(1e-9),
+        gibbs.dense_us / gibbs.mh_us.max(1e-9),
+        gibbs.mh_l1_drift,
         artifact.json_bytes,
         artifact.binary_bytes,
         artifact.json_bytes as f64 / artifact.binary_bytes.max(1) as f64,

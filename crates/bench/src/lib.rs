@@ -14,7 +14,7 @@
 //! --epochs E    column-wise network training epochs        (default 40)
 //! --trials T    repetitions for timing / permutation runs  (default 3)
 //! --threads N   serving threads for parallel prediction    (default: CPU count)
-//! --sampler S   serving topic sampler: dense | sparse      (default dense)
+//! --sampler S   serving topic sampler: dense | sparse | mh (default dense)
 //! --fast        shrink everything for a quick smoke run
 //! ```
 
@@ -41,7 +41,7 @@ pub struct ExperimentOptions {
     pub trials: usize,
     /// Number of serving threads for parallel prediction benchmarks.
     pub threads: usize,
-    /// Serving-time topic sampler (`--sampler dense|sparse`).
+    /// Serving-time topic sampler (`--sampler dense|sparse|mh`).
     pub sampler: SamplerKind,
     /// Whether `--fast` was passed.
     pub fast: bool,
@@ -105,13 +105,14 @@ impl ExperimentOptions {
                     opts.sampler = match iter.next().as_deref() {
                         Some("dense") => SamplerKind::Dense,
                         Some("sparse") | Some("sparse-alias") => SamplerKind::SparseAlias,
-                        other => panic!("--sampler expects dense|sparse (got {other:?})"),
+                        Some("mh") | Some("metropolis-hastings") => SamplerKind::MetropolisHastings,
+                        other => panic!("--sampler expects dense|sparse|mh (got {other:?})"),
                     }
                 }
                 "--fast" => opts.fast = true,
                 "--help" | "-h" if !lenient => {
                     println!(
-                        "options: --tables N --seed S --folds F --topics K --epochs E --trials T --threads N --sampler dense|sparse --fast"
+                        "options: --tables N --seed S --folds F --topics K --epochs E --trials T --threads N --sampler dense|sparse|mh --fast"
                     );
                     std::process::exit(0);
                 }
@@ -239,6 +240,8 @@ mod tests {
             ("dense", SamplerKind::Dense),
             ("sparse", SamplerKind::SparseAlias),
             ("sparse-alias", SamplerKind::SparseAlias),
+            ("mh", SamplerKind::MetropolisHastings),
+            ("metropolis-hastings", SamplerKind::MetropolisHastings),
         ] {
             let opts = ExperimentOptions::parse(args(&["--sampler", flag]));
             assert_eq!(opts.sampler, kind, "flag {flag}");
@@ -246,7 +249,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "--sampler expects dense|sparse")]
+    #[should_panic(expected = "--sampler expects dense|sparse|mh")]
     fn unknown_sampler_panics() {
         ExperimentOptions::parse(args(&["--sampler", "turbo"]));
     }

@@ -71,19 +71,14 @@ const SEC_LDAM: [u8; 4] = *b"LDAM";
 const SEC_CRFP: [u8; 4] = *b"CRFP";
 const SEC_ALIA: [u8; 4] = *b"ALIA";
 
-/// FNV-1a 64-bit checksum — deliberately duplicated from
-/// `sato_tabular::colstore` (the crates share no private helpers); any fix
-/// here must be mirrored there. Besides the per-section checksums this is
-/// also the predictor's *content hash*
-/// ([`SatoPredictor::content_hash`]): FNV-1a over the whole `SATOART1`
-/// byte stream.
+/// FNV-1a 64-bit checksum — the shared kernel-layer implementation
+/// (`sato_kernels::fnv1a64`, 8-byte chunked, bit-identical to the
+/// byte-at-a-time definition), the same function `sato_tabular::colstore`
+/// frames with. Besides the per-section checksums this is also the
+/// predictor's *content hash* ([`SatoPredictor::content_hash`]): FNV-1a
+/// over the whole `SATOART1` byte stream.
 pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
+    sato_kernels::fnv1a64(bytes)
 }
 
 /// The JSON-shaped `META` section: everything about the predictor that is
@@ -374,10 +369,13 @@ impl SatoPredictor {
             encode_crf(crf, &mut crfp);
             sections.push((SEC_CRFP, crfp));
         }
-        if let TopicSampler::SparseAlias(tables) = columnwise.sampler() {
-            let mut alia = Vec::new();
-            tables.write_bytes(&mut alia);
-            sections.push((SEC_ALIA, alia));
+        match columnwise.sampler() {
+            TopicSampler::SparseAlias(tables) | TopicSampler::MetropolisHastings(tables) => {
+                let mut alia = Vec::new();
+                tables.write_bytes(&mut alia);
+                sections.push((SEC_ALIA, alia));
+            }
+            TopicSampler::Dense => {}
         }
         assemble(&sections)
     }
@@ -434,7 +432,11 @@ impl SatoPredictor {
         // (always possible: the build is deterministic) rebuild from the
         // LDA model via the ordinary freeze path.
         let prebuilt = match (meta.sampler, &intent, sections.get(SEC_ALIA)) {
-            (SamplerKind::SparseAlias, Some(est), Some(payload)) => {
+            (
+                kind @ (SamplerKind::SparseAlias | SamplerKind::MetropolisHastings),
+                Some(est),
+                Some(payload),
+            ) => {
                 let tables = SparseAliasTables::from_bytes(payload)?;
                 if tables.num_topics() != est.num_topics()
                     || tables.vocab_size() != est.model().vocabulary().len()
@@ -443,7 +445,11 @@ impl SatoPredictor {
                         "alias tables were built for a different topic model".to_string(),
                     ));
                 }
-                Some(TopicSampler::SparseAlias(Box::new(tables)))
+                let boxed = Box::new(tables);
+                Some(match kind {
+                    SamplerKind::MetropolisHastings => TopicSampler::MetropolisHastings(boxed),
+                    _ => TopicSampler::SparseAlias(boxed),
+                })
             }
             _ => None,
         };

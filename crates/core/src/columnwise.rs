@@ -566,9 +566,10 @@ impl FrozenColumnwise {
 
     /// Reconfigure the topic-sampler axis, rebuilding whatever pre-computed
     /// state the strategy needs (per-word alias tables for
-    /// [`SamplerKind::SparseAlias`]) from the frozen intent model. For
-    /// models without a topic estimator the kind is recorded (and
-    /// serialized) but has no effect on predictions.
+    /// [`SamplerKind::SparseAlias`] and [`SamplerKind::MetropolisHastings`])
+    /// from the frozen intent model. For models without a topic estimator
+    /// the kind is recorded (and serialized) but has no effect on
+    /// predictions.
     pub(crate) fn with_sampler_kind(mut self, kind: SamplerKind) -> Self {
         self.sampler_kind = kind;
         self.sampler = self

@@ -295,6 +295,11 @@ impl SatoPredictor {
     ///   sampling; statistically close but not bit-identical. The per-word
     ///   alias tables are pre-built **here** (freeze time), never on the
     ///   serving hot path.
+    /// * [`SamplerKind::MetropolisHastings`] — `O(1)`-amortized-per-token
+    ///   LightLDA-style cycle proposals (alias word proposal + assignment
+    ///   array doc proposal, each with a Metropolis–Hastings accept step).
+    ///   Reuses the same pre-built alias tables; statistically close but
+    ///   not bit-identical.
     ///
     /// The choice is respected by every serving entry point (`predict`,
     /// `predict_corpus`, `predict_corpus_batched`,

@@ -106,19 +106,36 @@ impl LinearChainCrf {
         s
     }
 
+    /// One row-major forward DP step: `next[b] = lse_a(alpha[a] + P[a][b])`
+    /// for every destination at once, walking the pairwise matrix by
+    /// contiguous rows instead of stride-`k` columns. Per destination the
+    /// sources are visited in ascending order, so the result is
+    /// bit-identical to the historical destination-major loop.
+    #[inline]
+    fn forward_step(&self, alpha: &[f64], maxes: &mut [f64], acc: &mut [f64]) {
+        let k = self.num_states;
+        maxes.fill(f64::NEG_INFINITY);
+        acc.fill(0.0);
+        for (a, &alpha_a) in alpha.iter().enumerate() {
+            sato_kernels::max_add_update(alpha_a, &self.pairwise[a * k..(a + 1) * k], maxes);
+        }
+        for (a, &alpha_a) in alpha.iter().enumerate() {
+            sato_kernels::exp_sum_update(alpha_a, &self.pairwise[a * k..(a + 1) * k], maxes, acc);
+        }
+        sato_kernels::lse_finish(maxes, acc);
+    }
+
     /// `log Z(c)` computed with the forward algorithm in log space.
     pub fn log_partition(&self, unary: &[Vec<f64>]) -> f64 {
         self.check_unary(unary);
         let k = self.num_states;
         let mut alpha: Vec<f64> = unary[0].clone();
+        let mut maxes = vec![0.0f64; k];
         let mut next = vec![0.0f64; k];
-        let mut terms = vec![0.0f64; k];
         for u in &unary[1..] {
-            for (b, nb) in next.iter_mut().enumerate() {
-                for (a, term) in terms.iter_mut().enumerate() {
-                    *term = alpha[a] + self.pair(a, b);
-                }
-                *nb = log_sum_exp(&terms) + u[b];
+            self.forward_step(&alpha, &mut maxes, &mut next);
+            for (nb, &ub) in next.iter_mut().zip(u) {
+                *nb += ub;
             }
             std::mem::swap(&mut alpha, &mut next);
         }
@@ -139,9 +156,9 @@ impl LinearChainCrf {
         let k = self.num_states;
         let m = unary.len();
 
-        // One reusable term buffer for every log-sum-exp reduction below
-        // (the naive version allocated a fresh Vec per (position, state)).
-        let mut terms = vec![0.0f64; k];
+        // Reusable max buffer for the row-major forward steps (the naive
+        // version allocated a fresh term Vec per (position, state)).
+        let mut maxes = vec![0.0f64; k];
 
         // Forward messages alpha[i * k + s] (log space, including unary of i).
         let mut alpha = vec![0.0f64; m * k];
@@ -150,24 +167,26 @@ impl LinearChainCrf {
             let (prev, cur) = alpha.split_at_mut(i * k);
             let prev = &prev[(i - 1) * k..];
             let cur = &mut cur[..k];
-            for (b, cur_b) in cur.iter_mut().enumerate() {
-                for (a, term) in terms.iter_mut().enumerate() {
-                    *term = prev[a] + self.pair(a, b);
-                }
-                *cur_b = log_sum_exp(&terms) + unary[i][b];
+            self.forward_step(prev, &mut maxes, cur);
+            for (cur_b, &ub) in cur.iter_mut().zip(&unary[i]) {
+                *cur_b += ub;
             }
         }
         // Backward messages beta[i * k + s] (log space, excluding unary of i).
+        // For a fixed source `a` the terms `P[a][b] + unary[i+1][b] + next[b]`
+        // run over a contiguous pairwise row, which is exactly the fused
+        // three-slice log-sum-exp kernel.
         let mut beta = vec![0.0f64; m * k];
         for i in (0..m - 1).rev() {
             let (cur, next) = beta.split_at_mut((i + 1) * k);
             let cur = &mut cur[i * k..];
             let next = &next[..k];
             for (a, cur_a) in cur.iter_mut().enumerate() {
-                for (b, term) in terms.iter_mut().enumerate() {
-                    *term = self.pair(a, b) + unary[i + 1][b] + next[b];
-                }
-                *cur_a = log_sum_exp(&terms);
+                *cur_a = sato_kernels::log_sum_exp3(
+                    &self.pairwise[a * k..(a + 1) * k],
+                    &unary[i + 1],
+                    next,
+                );
             }
         }
         let log_z = log_sum_exp(&alpha[(m - 1) * k..]);
@@ -218,6 +237,12 @@ impl LinearChainCrf {
     /// Viterbi MAP decoding over a flat row-major `m × k` unary buffer —
     /// the serving hot path (no per-position `Vec`s anywhere).
     ///
+    /// The relaxation is row-major: each source state relaxes every
+    /// destination over a contiguous pairwise row
+    /// ([`sato_kernels::relax_max_argmax`]). Sources are visited in
+    /// ascending order and ties keep the first winner, so labels — and the
+    /// DP table bits — match [`Self::viterbi_flat_reference`] exactly.
+    ///
     /// Panics when `unary` is empty or not a multiple of the state count.
     pub fn viterbi_flat(&self, unary: &[f64]) -> Vec<usize> {
         let k = self.num_states;
@@ -229,6 +254,47 @@ impl LinearChainCrf {
         );
         let m = unary.len() / k;
         // DP tables as flat m × k buffers.
+        let mut delta = vec![f64::NEG_INFINITY; m * k];
+        let mut backptr = vec![0u32; m * k];
+        delta[..k].copy_from_slice(&unary[..k]);
+        for i in 1..m {
+            let (prev, cur) = delta.split_at_mut(i * k);
+            let prev = &prev[(i - 1) * k..];
+            let cur = &mut cur[..k];
+            let bp = &mut backptr[i * k..(i + 1) * k];
+            for (a, &prev_a) in prev.iter().enumerate() {
+                sato_kernels::relax_max_argmax(
+                    prev_a,
+                    &self.pairwise[a * k..(a + 1) * k],
+                    cur,
+                    bp,
+                    a as u32,
+                );
+            }
+            for (b, cur_b) in cur.iter_mut().enumerate() {
+                *cur_b += unary[i * k + b];
+            }
+        }
+        let mut labels = vec![0usize; m];
+        labels[m - 1] = argmax(&delta[(m - 1) * k..]);
+        for i in (0..m - 1).rev() {
+            labels[i] = backptr[(i + 1) * k + labels[i + 1]] as usize;
+        }
+        labels
+    }
+
+    /// The historical destination-major Viterbi loop (stride-`k` pairwise
+    /// reads, per-destination scalar scans). Kept as the parity oracle and
+    /// the `table2_efficiency` decode baseline.
+    pub fn viterbi_flat_reference(&self, unary: &[f64]) -> Vec<usize> {
+        let k = self.num_states;
+        assert!(!unary.is_empty(), "empty chain");
+        assert_eq!(
+            unary.len() % k,
+            0,
+            "flat unary length must be a multiple of {k}"
+        );
+        let m = unary.len() / k;
         let mut delta = vec![f64::NEG_INFINITY; m * k];
         let mut backptr = vec![0usize; m * k];
         delta[..k].copy_from_slice(&unary[..k]);
@@ -259,13 +325,11 @@ impl LinearChainCrf {
     }
 }
 
-/// Numerically stable `log Σ exp(x)`.
+/// Numerically stable `log Σ exp(x)` (the chunked kernel form, bit-identical
+/// to the historical sequential fold — see `sato_kernels`' exactness
+/// contract).
 pub fn log_sum_exp(values: &[f64]) -> f64 {
-    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    if max == f64::NEG_INFINITY {
-        return f64::NEG_INFINITY;
-    }
-    max + values.iter().map(|&v| (v - max).exp()).sum::<f64>().ln()
+    sato_kernels::log_sum_exp(values)
 }
 
 /// Index of the maximum value.
@@ -431,6 +495,13 @@ mod tests {
     }
 
     #[test]
+    fn viterbi_flat_matches_reference_loop() {
+        let (crf, unary) = sample_crf();
+        let flat: Vec<f64> = unary.iter().flatten().copied().collect();
+        assert_eq!(crf.viterbi_flat(&flat), crf.viterbi_flat_reference(&flat));
+    }
+
+    #[test]
     fn viterbi_flat_matches_nested_unary() {
         let (crf, unary) = sample_crf();
         let flat: Vec<f64> = unary.iter().flatten().copied().collect();
@@ -485,6 +556,20 @@ mod tests {
             let labels = &labels[..unary.len()];
             let map = crf.viterbi(&unary);
             prop_assert!(crf.score(&unary, &map) >= crf.score(&unary, labels) - 1e-9);
+        }
+
+        /// The kernelised row-major decode must agree with the historical
+        /// destination-major loop on random chains (exact label equality —
+        /// the relaxation is bit-identical, ties included).
+        #[test]
+        fn kernel_viterbi_matches_reference_on_random_chains(
+            unary in proptest::collection::vec(-5.0f64..5.0, 20),
+            pairwise in proptest::collection::vec(-2.0f64..2.0, 16),
+            m in 1usize..=5,
+        ) {
+            let crf = LinearChainCrf::with_pairwise(4, pairwise);
+            let flat = &unary[..m * 4];
+            prop_assert_eq!(crf.viterbi_flat(flat), crf.viterbi_flat_reference(flat));
         }
 
         #[test]

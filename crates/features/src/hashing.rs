@@ -9,47 +9,43 @@
 //! the downstream classifier actually exploits.
 
 /// Streaming FNV-1a state, so n-gram windows can be hashed char by char
-/// without materialising the gram as a `String` first.
+/// without materialising the gram as a `String` first. Thin wrapper over
+/// [`sato_kernels::Fnv1a`] keeping this crate's historical seeded
+/// constructor name.
 #[derive(Clone, Copy)]
-pub struct Fnv1a(u64);
+pub struct Fnv1a(sato_kernels::Fnv1a);
 
 impl Fnv1a {
     /// Start a seeded hash stream.
     #[inline]
     pub fn new(seed: u64) -> Self {
-        Fnv1a(0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        Fnv1a(sato_kernels::Fnv1a::with_seed(seed))
     }
 
     /// Absorb raw bytes.
     #[inline]
     pub fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
-        }
+        self.0.write(bytes);
     }
 
     /// Absorb a character's UTF-8 encoding (identical to hashing the bytes
     /// of a string containing it).
     #[inline]
     pub fn write_char(&mut self, c: char) {
-        let mut buf = [0u8; 4];
-        self.write(c.encode_utf8(&mut buf).as_bytes());
+        self.0.write_char(c);
     }
 
     /// The accumulated hash value.
     #[inline]
     pub fn finish(self) -> u64 {
-        self.0
+        self.0.finish()
     }
 }
 
 /// A simple, stable 64-bit FNV-1a hash (so features do not depend on the
 /// platform's `DefaultHasher` seed and stay identical across runs).
 pub fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
-    let mut h = Fnv1a::new(seed);
-    h.write(bytes);
-    h.finish()
+    sato_kernels::fnv1a64_seeded(bytes, seed)
 }
 
 /// Hash a token's character n-grams into a `dim`-bucket signed vector.
@@ -102,12 +98,59 @@ pub fn hash_token_into(
         }
     }
     chars_buf.push('>');
+    accumulate_ngrams(chars_buf, ngram_range, seed, out);
+    l2_normalize(out);
+}
+
+/// Hash every n-gram of `chars` into signed `out` buckets, extending each
+/// start position through the lengths `lo..=hi` so every character is
+/// absorbed once per start instead of once per (start, length) pair.
+///
+/// The bucket accumulations are `±1.0` added to `f32` — integer-valued sums
+/// far below 2^24 — so visiting the grams start-major instead of
+/// length-major produces bit-identical buckets to the historical
+/// [`accumulate_ngrams_scalar`] loop while doing a fraction of the hash
+/// work (for the standard `(3, 5)` range, each char is hashed once per
+/// start instead of up to three times).
+#[inline]
+fn accumulate_ngrams(chars: &[char], ngram_range: (usize, usize), seed: u64, out: &mut [f32]) {
+    let dim = out.len() as u64;
+    let (lo, hi) = ngram_range;
+    if lo == 0 {
+        // Degenerate range: defer to the reference loop's semantics
+        // (`windows(0)` panics there too, so normal configs never hit this).
+        return accumulate_ngrams_scalar(chars, ngram_range, seed, out);
+    }
+    for start in 0..chars.len().saturating_sub(lo - 1) {
+        let mut hasher = sato_kernels::Fnv1a::with_seed(seed);
+        let longest = hi.min(chars.len() - start);
+        for (off, &c) in chars[start..start + longest].iter().enumerate() {
+            hasher.write_char(c);
+            if off + 1 >= lo {
+                let h = hasher.finish();
+                let sign = if (h >> 63) & 1 == 0 { 1.0 } else { -1.0 };
+                out[(h % dim) as usize] += sign;
+            }
+        }
+    }
+}
+
+/// The historical length-major n-gram loop: for each `n`, hash every
+/// `n`-char window from scratch. Kept as the parity oracle and the
+/// `table2_efficiency` hashing baseline.
+pub fn accumulate_ngrams_scalar(
+    chars: &[char],
+    ngram_range: (usize, usize),
+    seed: u64,
+    out: &mut [f32],
+) {
+    let dim = out.len();
     let (lo, hi) = ngram_range;
     for n in lo..=hi {
-        if chars_buf.len() < n {
+        if chars.len() < n {
             continue;
         }
-        for window in chars_buf.windows(n) {
+        for window in chars.windows(n) {
             let mut hasher = Fnv1a::new(seed);
             for &c in window {
                 hasher.write_char(c);
@@ -118,6 +161,34 @@ pub fn hash_token_into(
             out[bucket] += sign;
         }
     }
+}
+
+/// Reference form of [`hash_token_into`] built on the length-major scalar
+/// loop — used by the parity tests and the benchmark baseline.
+pub fn hash_token_into_scalar(
+    token: &str,
+    ngram_range: (usize, usize),
+    seed: u64,
+    chars_buf: &mut Vec<char>,
+    out: &mut [f32],
+) {
+    assert!(!out.is_empty(), "embedding width must be positive");
+    out.fill(0.0);
+    chars_buf.clear();
+    chars_buf.push('<');
+    if token.chars().any(|c| !c.is_ascii() && c.is_uppercase()) {
+        chars_buf.extend(token.to_lowercase().chars());
+    } else {
+        for c in token.chars() {
+            if c.is_ascii() {
+                chars_buf.push(c.to_ascii_lowercase());
+            } else {
+                chars_buf.extend(c.to_lowercase());
+            }
+        }
+    }
+    chars_buf.push('>');
+    accumulate_ngrams_scalar(chars_buf, ngram_range, seed, out);
     l2_normalize(out);
 }
 
@@ -279,5 +350,43 @@ mod tests {
     fn fnv_differs_across_seeds_and_inputs() {
         assert_ne!(fnv1a(b"abc", 0), fnv1a(b"abd", 0));
         assert_ne!(fnv1a(b"abc", 0), fnv1a(b"abc", 1));
+    }
+
+    /// The start-major prefix-extension loop must reproduce the historical
+    /// length-major windows bit for bit (±1 integer sums in f32 are exact
+    /// under reordering), across token lengths, ranges and scripts.
+    #[test]
+    fn prefix_extension_matches_scalar_windows_bit_for_bit() {
+        let tokens = [
+            "",
+            "a",
+            "ab",
+            "Warsaw",
+            "Warszawa",
+            "1234567",
+            "ΟΔΟΣ",
+            "naïve",
+            "ßΣς",
+            "a-very-long-token-with-many-grams",
+        ];
+        let ranges = [(1, 1), (1, 3), (3, 5), (2, 7), (5, 3)];
+        let mut chars_a = Vec::new();
+        let mut chars_b = Vec::new();
+        for token in tokens {
+            for range in ranges {
+                for seed in [0u64, 1, 0xdead_beef] {
+                    let mut fast = vec![0.0f32; 64];
+                    let mut slow = vec![0.0f32; 64];
+                    hash_token_into(token, range, seed, &mut chars_a, &mut fast);
+                    hash_token_into_scalar(token, range, seed, &mut chars_b, &mut slow);
+                    let fast_bits: Vec<u32> = fast.iter().map(|v| v.to_bits()).collect();
+                    let slow_bits: Vec<u32> = slow.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(
+                        fast_bits, slow_bits,
+                        "diverged on {token:?} {range:?} {seed}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -33,6 +33,29 @@ const fn build_char_lut() -> [u8; 128] {
     lut
 }
 
+/// Byte → [`CHARSET`] index after ASCII lower-casing, [`HIST_SKIP`] when the
+/// (folded) byte is outside the alphabet. Drives the
+/// [`sato_kernels::lut_histogram`] pass for all-ASCII cells; `CHAR_LUT`'s
+/// absent marker (255) is the same value as the kernel's skip sentinel.
+const ASCII_HIST_LUT: [u8; 256] = build_ascii_hist_lut();
+
+use sato_kernels::HIST_SKIP;
+
+const fn build_ascii_hist_lut() -> [u8; 256] {
+    let mut lut = [HIST_SKIP; 256];
+    let mut b = 0usize;
+    while b < 128 {
+        let folded = if b >= b'A' as usize && b <= b'Z' as usize {
+            b + 32
+        } else {
+            b
+        };
+        lut[b] = CHAR_LUT[folded];
+        b += 1;
+    }
+    lut
+}
+
 /// Index of `c` in the Char alphabet (`c` must already be lower-cased).
 #[inline]
 pub(crate) fn charset_index(c: char) -> Option<usize> {
@@ -173,71 +196,25 @@ impl FeatureScratch {
             self.char_counts.resize(base + CHARSET_LEN, 0);
             let counts = &mut self.char_counts[base..base + CHARSET_LEN];
 
-            let mut chars = 0usize;
-            let mut digits = 0usize;
-            let mut non_ws = 0usize;
-            let mut tokens = 0usize;
-            let mut prev_ws = true;
-            let mut flags = FLAG_ALL_NUMISH | FLAG_ALL_ALPHA_WS;
             self.parse_buf.clear();
-            for c in cell.chars() {
-                chars += 1;
-                // Char histogram over the lower-cased cell. Non-ASCII
-                // characters may lower-case into the ASCII alphabet (e.g. the
-                // Kelvin sign), so expand the full case mapping for them.
-                if c.is_ascii() {
-                    if let Some(idx) = charset_index(c.to_ascii_lowercase()) {
-                        counts[idx] += 1;
-                    }
-                } else {
-                    for lc in c.to_lowercase() {
-                        if let Some(idx) = charset_index(lc) {
-                            counts[idx] += 1;
-                        }
-                    }
-                }
-                // Stat flags and counters, same predicates as the Stat group
-                // used to apply in separate passes.
-                let ws = c.is_whitespace();
-                if !ws {
-                    non_ws += 1;
-                    if prev_ws {
-                        tokens += 1;
-                    }
-                }
-                prev_ws = ws;
-                if c.is_ascii_digit() {
-                    digits += 1;
-                    flags |= FLAG_ANY_DIGIT;
-                }
-                if !(c.is_ascii_digit() || c == '.' || c == ',' || c == '-') {
-                    flags &= !FLAG_ALL_NUMISH;
-                }
-                if !(c.is_alphabetic() || ws) {
-                    flags &= !FLAG_ALL_ALPHA_WS;
-                }
-                if c.is_uppercase() {
-                    flags |= FLAG_ANY_UPPER;
-                }
-                if c == ' ' {
-                    flags |= FLAG_HAS_SPACE;
-                }
-                if !c.is_alphanumeric() && !ws {
-                    flags |= FLAG_ANY_SPECIAL;
-                }
-                if c.is_ascii_digit() || c == '.' || c == '-' {
-                    self.parse_buf.push(c);
-                }
-            }
-            self.lengths.push(chars as f32);
-            self.token_counts.push(tokens as f32);
-            self.flags.push(flags);
-            self.digit_fracs.push(digits as f32 / chars.max(1) as f32);
+            let scan = if cell.is_ascii() {
+                scan_cell_ascii(cell.as_bytes(), counts, &mut self.parse_buf)
+            } else {
+                scan_cell_unicode(cell, counts, &mut self.parse_buf)
+            };
+            self.lengths.push(scan.chars as f32);
+            self.token_counts.push(scan.tokens as f32);
+            self.flags.push(scan.flags);
+            self.digit_fracs
+                .push(scan.digits as f32 / scan.chars.max(1) as f32);
 
             // Numeric parse, tolerating separators and unit suffixes: the
             // cell counts as numeric when it has digits, they make up a
             // substantial part of it, and the cleaned form parses.
-            if !self.parse_buf.is_empty() && digits > 0 && digits as f32 >= 0.4 * non_ws as f32 {
+            if !self.parse_buf.is_empty()
+                && scan.digits > 0
+                && scan.digits as f32 >= 0.4 * scan.non_ws as f32
+            {
                 if let Ok(v) = self.parse_buf.parse::<f32>() {
                     self.numeric.push(v);
                 }
@@ -250,6 +227,138 @@ impl FeatureScratch {
     #[inline]
     pub(crate) fn char_count(&self, cell: usize, ci: usize) -> u32 {
         self.char_counts[cell * CHARSET_LEN + ci]
+    }
+}
+
+/// Counters gathered from one cell scan.
+struct CellScan {
+    chars: usize,
+    digits: usize,
+    non_ws: usize,
+    tokens: usize,
+    flags: u8,
+}
+
+/// Byte-level scan of an all-ASCII cell: a [`sato_kernels::lut_histogram`]
+/// pass over the fold-to-charset LUT, then one branch-light byte pass for
+/// the Stat counters.
+///
+/// The whitespace predicate must match `char::is_whitespace`, which for
+/// ASCII covers `' '` and `0x09..=0x0D` — one character more (`\x0B`,
+/// vertical tab) than `u8::is_ascii_whitespace`.
+fn scan_cell_ascii(bytes: &[u8], counts: &mut [u32], parse_buf: &mut String) -> CellScan {
+    sato_kernels::lut_histogram(bytes, &ASCII_HIST_LUT, counts);
+
+    let mut digits = 0usize;
+    let mut non_ws = 0usize;
+    let mut tokens = 0usize;
+    let mut prev_ws = true;
+    let mut flags = FLAG_ALL_NUMISH | FLAG_ALL_ALPHA_WS;
+    for &b in bytes {
+        let ws = matches!(b, b' ' | 0x09..=0x0D);
+        if !ws {
+            non_ws += 1;
+            if prev_ws {
+                tokens += 1;
+            }
+        }
+        prev_ws = ws;
+        if b.is_ascii_digit() {
+            digits += 1;
+            flags |= FLAG_ANY_DIGIT;
+        }
+        if !(b.is_ascii_digit() || b == b'.' || b == b',' || b == b'-') {
+            flags &= !FLAG_ALL_NUMISH;
+        }
+        if !(b.is_ascii_alphabetic() || ws) {
+            flags &= !FLAG_ALL_ALPHA_WS;
+        }
+        if b.is_ascii_uppercase() {
+            flags |= FLAG_ANY_UPPER;
+        }
+        if b == b' ' {
+            flags |= FLAG_HAS_SPACE;
+        }
+        if !b.is_ascii_alphanumeric() && !ws {
+            flags |= FLAG_ANY_SPECIAL;
+        }
+        if b.is_ascii_digit() || b == b'.' || b == b'-' {
+            parse_buf.push(b as char);
+        }
+    }
+    CellScan {
+        chars: bytes.len(),
+        digits,
+        non_ws,
+        tokens,
+        flags,
+    }
+}
+
+/// The general char-level scan (the historical loop), used for cells with
+/// any non-ASCII character.
+fn scan_cell_unicode(cell: &str, counts: &mut [u32], parse_buf: &mut String) -> CellScan {
+    let mut chars = 0usize;
+    let mut digits = 0usize;
+    let mut non_ws = 0usize;
+    let mut tokens = 0usize;
+    let mut prev_ws = true;
+    let mut flags = FLAG_ALL_NUMISH | FLAG_ALL_ALPHA_WS;
+    for c in cell.chars() {
+        chars += 1;
+        // Char histogram over the lower-cased cell. Non-ASCII characters may
+        // lower-case into the ASCII alphabet (e.g. the Kelvin sign), so
+        // expand the full case mapping for them.
+        if c.is_ascii() {
+            if let Some(idx) = charset_index(c.to_ascii_lowercase()) {
+                counts[idx] += 1;
+            }
+        } else {
+            for lc in c.to_lowercase() {
+                if let Some(idx) = charset_index(lc) {
+                    counts[idx] += 1;
+                }
+            }
+        }
+        // Stat flags and counters, same predicates as the Stat group used to
+        // apply in separate passes.
+        let ws = c.is_whitespace();
+        if !ws {
+            non_ws += 1;
+            if prev_ws {
+                tokens += 1;
+            }
+        }
+        prev_ws = ws;
+        if c.is_ascii_digit() {
+            digits += 1;
+            flags |= FLAG_ANY_DIGIT;
+        }
+        if !(c.is_ascii_digit() || c == '.' || c == ',' || c == '-') {
+            flags &= !FLAG_ALL_NUMISH;
+        }
+        if !(c.is_alphabetic() || ws) {
+            flags &= !FLAG_ALL_ALPHA_WS;
+        }
+        if c.is_uppercase() {
+            flags |= FLAG_ANY_UPPER;
+        }
+        if c == ' ' {
+            flags |= FLAG_HAS_SPACE;
+        }
+        if !c.is_alphanumeric() && !ws {
+            flags |= FLAG_ANY_SPECIAL;
+        }
+        if c.is_ascii_digit() || c == '.' || c == '-' {
+            parse_buf.push(c);
+        }
+    }
+    CellScan {
+        chars,
+        digits,
+        non_ws,
+        tokens,
+        flags,
     }
 }
 
@@ -294,6 +403,42 @@ mod tests {
         let mut s = FeatureScratch::new();
         s.scan(&Column::new(["1,777,972", "75 kg", "Warsaw", "-1.5"]));
         assert_eq!(s.numeric, vec![1_777_972.0, 75.0, -1.5]);
+    }
+
+    /// The byte-level ASCII fast path must agree with the char-level scan on
+    /// every ASCII cell — including `\x0B` (vertical tab), which
+    /// `char::is_whitespace` treats as whitespace but
+    /// `u8::is_ascii_whitespace` does not.
+    #[test]
+    fn ascii_fast_path_matches_unicode_scan() {
+        let cells = [
+            "ab cd",
+            "1,777.5 kg",
+            "UPPER lower",
+            "a\x0Bb",
+            "\ttab\tsep\t",
+            "x\x0C\x0Dy",
+            "-1.5e3",
+            "!@# $%^",
+            "",
+            "solo",
+        ];
+        for cell in cells {
+            assert!(cell.is_ascii());
+            let mut counts_a = vec![0u32; CHARSET_LEN];
+            let mut counts_b = vec![0u32; CHARSET_LEN];
+            let mut parse_a = String::new();
+            let mut parse_b = String::new();
+            let a = scan_cell_ascii(cell.as_bytes(), &mut counts_a, &mut parse_a);
+            let b = scan_cell_unicode(cell, &mut counts_b, &mut parse_b);
+            assert_eq!(counts_a, counts_b, "histogram diverged on {cell:?}");
+            assert_eq!(parse_a, parse_b, "parse buffer diverged on {cell:?}");
+            assert_eq!(a.chars, b.chars, "chars diverged on {cell:?}");
+            assert_eq!(a.digits, b.digits, "digits diverged on {cell:?}");
+            assert_eq!(a.non_ws, b.non_ws, "non_ws diverged on {cell:?}");
+            assert_eq!(a.tokens, b.tokens, "tokens diverged on {cell:?}");
+            assert_eq!(a.flags, b.flags, "flags diverged on {cell:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! `f32` vector primitives for the warm NN forward (and backward) path.
+
+/// `y[i] += a * x[i]`. Element-wise (no reassociation), so every form is
+/// bit-identical. The NN matmul calls this once per nonzero left-hand
+/// element; callers keep their zero-skip (`a * 0.0` adds can flip `-0.0`).
+#[inline]
+pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    #[cfg(feature = "simd")]
+    {
+        crate::simd::axpy(a, x, y);
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        for (o, &b) in y.iter_mut().zip(x.iter()) {
+            *o += a * b;
+        }
+    }
+}
+
+/// `y[i] += x[i]` (row-broadcast bias add). Element-wise, bit-identical in
+/// every form.
+#[inline]
+pub fn add_assign(x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "add_assign length mismatch");
+    #[cfg(feature = "simd")]
+    {
+        crate::simd::add_assign(x, y);
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        for (o, &b) in y.iter_mut().zip(x.iter()) {
+            *o += b;
+        }
+    }
+}
+
+/// `v[i] *= s`. Element-wise, bit-identical in every form.
+#[inline]
+pub fn scale(v: &mut [f32], s: f32) {
+    #[cfg(feature = "simd")]
+    {
+        crate::simd::scale(v, s);
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        for x in v.iter_mut() {
+            *x *= s;
+        }
+    }
+}
+
+/// Dot product over four independent accumulators (ULP-bounded vs the
+/// in-order scalar sum: partial sums are reassociated; slices shorter than
+/// a chunk stay in order). Used on the training backward path, where the
+/// contract is determinism-within-build, not cross-form bit parity.
+#[inline]
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    #[cfg(feature = "simd")]
+    {
+        crate::simd::dot(x, y)
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        chunked_dot(x, y)
+    }
+}
+
+#[cfg_attr(feature = "simd", allow(dead_code))]
+#[inline]
+pub(crate) fn chunked_dot(x: &[f32], y: &[f32]) -> f32 {
+    let mut cx = x.chunks_exact(4);
+    let mut cy = y.chunks_exact(4);
+    let mut acc = [0.0f32; 4];
+    for (a, b) in (&mut cx).zip(&mut cy) {
+        acc[0] += a[0] * b[0];
+        acc[1] += a[1] * b[1];
+        acc[2] += a[2] * b[2];
+        acc[3] += a[3] * b[3];
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (&a, &b) in cx.remainder().iter().zip(cy.remainder()) {
+        s += a * b;
+    }
+    s
+}
+
+/// Scalar reference forms (the parity oracle and benchmark baseline).
+pub mod scalar {
+    /// In-order `y += a * x`.
+    pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), y.len(), "axpy length mismatch");
+        for (o, &b) in y.iter_mut().zip(x.iter()) {
+            *o += a * b;
+        }
+    }
+
+    /// In-order single-accumulator dot product.
+    pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+        assert_eq!(x.len(), y.len(), "dot length mismatch");
+        let mut acc = 0.0f32;
+        for (&a, &b) in x.iter().zip(y.iter()) {
+            acc += a * b;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_matches_scalar_bits() {
+        let x: Vec<f32> = (0..19).map(|i| (i as f32 - 9.0) * 0.31).collect();
+        for len in 0..x.len() {
+            let mut a = vec![0.5f32; len];
+            let mut b = a.clone();
+            axpy(1.7, &x[..len], &mut a);
+            scalar::axpy(1.7, &x[..len], &mut b);
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn add_assign_and_scale_work() {
+        let mut y = vec![1.0f32, 2.0, 3.0];
+        add_assign(&[0.5, 0.5, 0.5], &mut y);
+        assert_eq!(y, vec![1.5, 2.5, 3.5]);
+        scale(&mut y, 2.0);
+        assert_eq!(y, vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn dot_is_close_to_scalar() {
+        let x: Vec<f32> = (0..37)
+            .map(|i| ((i * 13 % 7) as f32 - 3.0) * 0.21)
+            .collect();
+        let y: Vec<f32> = (0..37)
+            .map(|i| ((i * 5 % 11) as f32 - 5.0) * 0.17)
+            .collect();
+        for len in 0..x.len() {
+            let got = dot(&x[..len], &y[..len]);
+            let want = scalar::dot(&x[..len], &y[..len]);
+            assert!((got - want).abs() <= 1e-5 * (1.0 + want.abs()), "len {len}");
+            if len < 4 {
+                // Sub-chunk slices take the in-order remainder path exactly.
+                assert_eq!(got.to_bits(), want.to_bits(), "short len {len}");
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Opt-in `std::simd` kernel variants (nightly; `--features simd`).
+//!
+//! Only kernels whose SIMD form keeps the documented exactness contract
+//! are implemented here: element-wise maps (`axpy`, `add_assign`, `scale`),
+//! the DP relaxations (lane-wise compare+select, no reassociation of
+//! per-destination state) and the reassociation-tolerant `dot`. The
+//! exponential sums of the log-sum-exp kernels and the sequential FNV
+//! chain deliberately have no SIMD form.
+
+use std::simd::prelude::*;
+
+const F32_LANES: usize = 8;
+const F64_LANES: usize = 4;
+
+/// `y += a * x` with `f32x8` lanes; element-wise, bit-identical.
+#[inline]
+pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    let va = Simd::<f32, F32_LANES>::splat(a);
+    let mut xc = x.chunks_exact(F32_LANES);
+    let mut yc = y.chunks_exact_mut(F32_LANES);
+    for (xs, ys) in (&mut xc).zip(&mut yc) {
+        let v =
+            Simd::<f32, F32_LANES>::from_slice(ys) + va * Simd::<f32, F32_LANES>::from_slice(xs);
+        v.copy_to_slice(ys);
+    }
+    for (o, &b) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+        *o += a * b;
+    }
+}
+
+/// `y += x` with `f32x8` lanes; element-wise, bit-identical.
+#[inline]
+pub fn add_assign(x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "add_assign length mismatch");
+    let mut xc = x.chunks_exact(F32_LANES);
+    let mut yc = y.chunks_exact_mut(F32_LANES);
+    for (xs, ys) in (&mut xc).zip(&mut yc) {
+        let v = Simd::<f32, F32_LANES>::from_slice(ys) + Simd::<f32, F32_LANES>::from_slice(xs);
+        v.copy_to_slice(ys);
+    }
+    for (o, &b) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+        *o += b;
+    }
+}
+
+/// `v *= s` with `f32x8` lanes; element-wise, bit-identical.
+#[inline]
+pub fn scale(v: &mut [f32], s: f32) {
+    let vs = Simd::<f32, F32_LANES>::splat(s);
+    let mut vc = v.chunks_exact_mut(F32_LANES);
+    for ch in &mut vc {
+        let x = Simd::<f32, F32_LANES>::from_slice(ch) * vs;
+        x.copy_to_slice(ch);
+    }
+    for x in vc.into_remainder() {
+        *x *= s;
+    }
+}
+
+/// Lane-parallel dot product (ULP-bounded: lane partial sums are
+/// reassociated, like the chunked form).
+#[inline]
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    if x.len() < F32_LANES {
+        return crate::linalg::scalar::dot(x, y);
+    }
+    let mut xc = x.chunks_exact(F32_LANES);
+    let mut yc = y.chunks_exact(F32_LANES);
+    let mut acc = Simd::<f32, F32_LANES>::splat(0.0);
+    for (xs, ys) in (&mut xc).zip(&mut yc) {
+        acc += Simd::<f32, F32_LANES>::from_slice(xs) * Simd::<f32, F32_LANES>::from_slice(ys);
+    }
+    let mut s = acc.reduce_sum();
+    for (&a, &b) in xc.remainder().iter().zip(yc.remainder()) {
+        s += a * b;
+    }
+    s
+}
+
+/// Lane-wise Viterbi relaxation: `s = base + row`, compare-and-select into
+/// `best`/`arg`. Strict `>` keeps the first (lowest-`src`) winner exactly
+/// like the scalar scan, because `src` is constant within a call and calls
+/// arrive in ascending `src` order.
+#[inline]
+pub fn relax_max_argmax(base: f64, row: &[f64], best: &mut [f64], arg: &mut [u32], src: u32) {
+    let n = row.len();
+    assert!(best.len() == n && arg.len() == n, "relax length mismatch");
+    let vbase = Simd::<f64, F64_LANES>::splat(base);
+    let vsrc = Simd::<u32, F64_LANES>::splat(src);
+    let mut i = 0;
+    while i + F64_LANES <= n {
+        let s = vbase + Simd::<f64, F64_LANES>::from_slice(&row[i..]);
+        let b = Simd::<f64, F64_LANES>::from_slice(&best[i..]);
+        let gt = s.simd_gt(b);
+        gt.select(s, b).copy_to_slice(&mut best[i..i + F64_LANES]);
+        let a = Simd::<u32, F64_LANES>::from_slice(&arg[i..]);
+        gt.cast::<i32>()
+            .select(vsrc, a)
+            .copy_to_slice(&mut arg[i..i + F64_LANES]);
+        i += F64_LANES;
+    }
+    while i < n {
+        let s = base + row[i];
+        if s > best[i] {
+            best[i] = s;
+            arg[i] = src;
+        }
+        i += 1;
+    }
+}
+
+/// Lane-wise `best = max(best, base + row)`.
+#[inline]
+pub fn max_add_update(base: f64, row: &[f64], best: &mut [f64]) {
+    let n = row.len();
+    assert_eq!(best.len(), n, "max_add_update length mismatch");
+    let vbase = Simd::<f64, F64_LANES>::splat(base);
+    let mut i = 0;
+    while i + F64_LANES <= n {
+        let s = vbase + Simd::<f64, F64_LANES>::from_slice(&row[i..]);
+        let b = Simd::<f64, F64_LANES>::from_slice(&best[i..]);
+        b.simd_max(s).copy_to_slice(&mut best[i..i + F64_LANES]);
+        i += F64_LANES;
+    }
+    while i < n {
+        best[i] = best[i].max(base + row[i]);
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::linalg;
+
+    #[test]
+    fn simd_axpy_matches_scalar_bits() {
+        let x: Vec<f32> = (0..37).map(|i| (i as f32 - 18.0) * 0.13).collect();
+        for len in 0..x.len() {
+            let mut a = vec![0.25f32; len];
+            let mut b = a.clone();
+            super::axpy(-0.9, &x[..len], &mut a);
+            linalg::scalar::axpy(-0.9, &x[..len], &mut b);
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn simd_relax_matches_chunked() {
+        let k = 13;
+        let row: Vec<f64> = (0..k).map(|i| ((i * 7 % 5) as f64 - 2.0) * 0.41).collect();
+        let mut best_a = vec![f64::NEG_INFINITY; k];
+        let mut best_b = vec![f64::NEG_INFINITY; k];
+        let mut arg_a = vec![0u32; k];
+        let mut arg_b = vec![0u32; k];
+        for src in 0..4u32 {
+            let base = src as f64 * 0.3 - 0.2;
+            super::relax_max_argmax(base, &row, &mut best_a, &mut arg_a, src);
+            crate::reduce::chunked_relax_max_argmax(base, &row, &mut best_b, &mut arg_b, src);
+        }
+        assert_eq!(best_a, best_b);
+        assert_eq!(arg_a, arg_b);
+    }
+}

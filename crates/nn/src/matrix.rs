@@ -173,13 +173,13 @@ impl Matrix {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
             for (k, &a) in a_row.iter().enumerate() {
+                // Skipping exact zeros keeps the sparse one-hot inputs cheap
+                // AND preserves bits: an axpy with a == 0.0 could still flip
+                // a -0.0 accumulator to +0.0.
                 if a == 0.0 {
                     continue;
                 }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
+                sato_kernels::axpy(a, other.row(k), out_row);
             }
         }
     }
@@ -202,9 +202,7 @@ impl Matrix {
                     continue;
                 }
                 let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
+                sato_kernels::axpy(a, b_row, out_row);
             }
         }
         out
@@ -223,12 +221,7 @@ impl Matrix {
         for i in 0..self.rows {
             let a_row = self.row(i);
             for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out.data[i * other.rows + j] = acc;
+                out.data[i * other.rows + j] = sato_kernels::dot(a_row, other.row(j));
             }
         }
         out
@@ -260,9 +253,7 @@ impl Matrix {
     /// In-place `self += alpha * other`.
     pub fn add_scaled(&mut self, other: &Matrix, alpha: f32) {
         assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        sato_kernels::axpy(alpha, &other.data, &mut self.data);
     }
 
     /// Add a 1×cols row vector to every row (broadcast), in place.
@@ -271,9 +262,7 @@ impl Matrix {
         assert_eq!(row.cols, self.cols, "broadcast width mismatch");
         for r in 0..self.rows {
             let dst = &mut self.data[r * self.cols..(r + 1) * self.cols];
-            for (d, s) in dst.iter_mut().zip(&row.data) {
-                *d += s;
-            }
+            sato_kernels::add_assign(&row.data, dst);
         }
     }
 

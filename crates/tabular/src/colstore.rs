@@ -50,18 +50,13 @@ pub const COLSTORE_VERSION: u32 = 1;
 /// Sentinel `intent_len` value encoding "no intent".
 const NO_INTENT: u32 = u32::MAX;
 
-/// FNV-1a 64-bit hash, the frame checksum.
-///
-/// Deliberately the same tiny standalone function as the artifact framing
-/// in `sato-core` (the crates cannot share a private helper without a new
-/// dependency edge); a change here must be mirrored there.
+/// FNV-1a 64-bit hash, the frame checksum — the shared kernel-layer
+/// implementation (`sato_kernels::fnv1a64`, 8-byte chunked, bit-identical
+/// to the byte-at-a-time definition). The artifact framing in `sato-core`
+/// uses the same function, so the two on-disk formats stay
+/// checksum-compatible by construction.
 pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
+    sato_kernels::fnv1a64(bytes)
 }
 
 /// Typed decode/IO errors of the colstore format.

@@ -259,6 +259,9 @@ impl LdaModel {
             SamplerKind::SparseAlias => {
                 TopicSampler::SparseAlias(Box::new(SparseAliasTables::build(self)))
             }
+            SamplerKind::MetropolisHastings => {
+                TopicSampler::MetropolisHastings(Box::new(SparseAliasTables::build(self)))
+            }
         }
     }
 
@@ -310,6 +313,9 @@ impl LdaModel {
             TopicSampler::Dense => self.infer_dense(tokens, seed, scratch, out),
             TopicSampler::SparseAlias(tables) => {
                 self.infer_sparse_alias(tokens, seed, tables, scratch, out)
+            }
+            TopicSampler::MetropolisHastings(tables) => {
+                self.infer_mh(tokens, seed, tables, scratch, out)
             }
         }
     }
@@ -467,6 +473,158 @@ impl LdaModel {
                 // Sparse accumulation: only topics present in the document
                 // contribute beyond the constant `α / denom`, which is added
                 // for all `K` topics once at the end.
+                sampled_sweeps += 1;
+                for &t in nz_topics.iter() {
+                    accum[t] += doc_topic[t] as f64 / denom;
+                }
+            }
+        }
+        if self.config.infer_iterations == 0 {
+            finish_theta(&self.config, tokens.len(), scratch, out);
+            return;
+        }
+        let samples = f64::from(sampled_sweeps.max(1));
+        let alpha_share = alpha / denom;
+        for (o, &x) in out.iter_mut().zip(scratch.accum.iter()) {
+            *o = ((x / samples) + alpha_share) as f32;
+        }
+    }
+
+    /// The LightLDA-style cycle Metropolis–Hastings sweep: per token, one
+    /// *word proposal* (an `O(1)` alias draw from `q_w(t) ∝ phi_w(t)`) and
+    /// one *doc proposal* (an `O(1)` draw from `q_d(t) ∝ ñ_{d,t} + α`,
+    /// taken directly off the assignment array), each followed by an
+    /// accept/reject step against the target
+    /// `π(t) ∝ phi_w(t) · (n^{-i}_{d,t} + α)`.
+    ///
+    /// For the word proposal the `phi` factors cancel, leaving
+    /// `A = (n^{-i}_{t'} + α) / (n^{-i}_{s} + α)`. For the doc proposal the
+    /// proposal counts `ñ` include the token's **current** cycle state `s`
+    /// (that is the distribution the assignment-array draw actually
+    /// samples), giving
+    /// `A = [phi(t')·(n^{-i}_{t'} + α)·(ñ_s + α)] /
+    ///      [phi(s) ·(n^{-i}_{s}  + α)·(ñ_{t'} + α)]`.
+    ///
+    /// No per-token walk of any kind remains — amortized `O(1)` per token
+    /// versus `O(K)` dense and `O(k_d)` sparse/alias. [`MH_CYCLES`]
+    /// word+doc cycles run per token to keep the chain mixing close to the
+    /// exact Gibbs conditional.
+    fn infer_mh(
+        &self,
+        tokens: &[usize],
+        seed: u64,
+        tables: &SparseAliasTables,
+        scratch: &mut LdaInferScratch,
+        out: &mut [f32],
+    ) {
+        /// Word+doc proposal cycles per token per sweep — one cycle is
+        /// LightLDA's canonical two MH steps (one word proposal + one doc
+        /// proposal); still O(1) per token.
+        const MH_CYCLES: usize = 1;
+        let k = self.config.num_topics;
+        tables.assert_matches(k, self.vocab.len());
+        let alpha = self.config.alpha;
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let LdaInferScratch {
+            doc_topic,
+            assignments,
+            accum,
+            nz_topics,
+            topic_pos,
+            ..
+        } = scratch;
+        doc_topic.clear();
+        doc_topic.resize(k, 0);
+        topic_pos.clear();
+        topic_pos.resize(k, 0);
+        nz_topics.clear();
+        nz_topics.reserve(k);
+        // Identical initial-assignment RNG consumption to the other
+        // samplers, so a zero-sweep inference is bit-identical to Dense.
+        assignments.clear();
+        assignments.extend(tokens.iter().map(|_| rng.gen_range(0..k)));
+        for &z in assignments.iter() {
+            if doc_topic[z] == 0 {
+                topic_pos[z] = nz_topics.len() as u32 + 1;
+                nz_topics.push(z);
+            }
+            doc_topic[z] += 1;
+        }
+        accum.clear();
+        accum.resize(k, 0.0);
+        let len = tokens.len() as f64;
+        let denom = len + alpha * k as f64;
+        let doc_proposal_mass = len + alpha * k as f64;
+        let burn_in = self.config.infer_iterations / 2;
+
+        let mut sampled_sweeps = 0u32;
+        for iter in 0..self.config.infer_iterations {
+            for (i, &w) in tokens.iter().enumerate() {
+                let old = assignments[i];
+                // Remove the token from the sparse document counts (n^{-i}).
+                doc_topic[old] -= 1;
+                if doc_topic[old] == 0 {
+                    let pos = (topic_pos[old] - 1) as usize;
+                    nz_topics.swap_remove(pos);
+                    if let Some(&moved) = nz_topics.get(pos) {
+                        topic_pos[moved] = pos as u32 + 1;
+                    }
+                    topic_pos[old] = 0;
+                }
+                let phi_row = tables.phi_row(w);
+                let mut s = old;
+
+                for _ in 0..MH_CYCLES {
+                    // Word proposal: q_w(t) ∝ phi_w(t), one alias-table
+                    // draw. The phi factors of target and proposal cancel.
+                    let t_prop = tables.sample_alias(w, rng.gen_range(0.0..1.0));
+                    if t_prop != s {
+                        let accept =
+                            (doc_topic[t_prop] as f64 + alpha) / (doc_topic[s] as f64 + alpha);
+                        if accept >= 1.0 || rng.gen_range(0.0..1.0) < accept {
+                            s = t_prop;
+                        }
+                    }
+
+                    // Doc proposal: q_d(t'|s) ∝ ñ_t' + α where ñ counts the
+                    // token's current cycle state `s` — exactly what drawing
+                    // a slot off the assignment array (with slot `i` read as
+                    // `s`) samples. The α·K tail mass maps onto a uniform
+                    // topic. For t' ≠ s the forward draw has probability
+                    // ∝ n^{-i}_{t'} + α and the reverse move (from a chain
+                    // sitting at `t'`, whose slot `i` would read `t'`)
+                    // proposes `s` with probability ∝ n^{-i}_s + α, so both
+                    // count factors cancel against the target and the
+                    // acceptance ratio reduces to phi(t')/phi(s).
+                    let u = rng.gen_range(0.0..doc_proposal_mass);
+                    let t_prop = if u < len {
+                        let idx = (u as usize).min(tokens.len() - 1);
+                        if idx == i {
+                            s
+                        } else {
+                            assignments[idx]
+                        }
+                    } else {
+                        (((u - len) / alpha) as usize).min(k - 1)
+                    };
+                    if t_prop != s {
+                        let accept = phi_row[t_prop] / phi_row[s];
+                        if accept >= 1.0 || rng.gen_range(0.0..1.0) < accept {
+                            s = t_prop;
+                        }
+                    }
+                }
+
+                assignments[i] = s;
+                if doc_topic[s] == 0 {
+                    topic_pos[s] = nz_topics.len() as u32 + 1;
+                    nz_topics.push(s);
+                }
+                doc_topic[s] += 1;
+            }
+            if iter >= burn_in {
+                // Same sparse accumulation as the sparse/alias sweep.
                 sampled_sweeps += 1;
                 for &t in nz_topics.iter() {
                     accum[t] += doc_topic[t] as f64 / denom;
@@ -834,6 +992,114 @@ mod tests {
         assert!(out.iter().all(|&x| x > 0.0), "theta has zero entries");
         // With zero sweeps only the (identically seeded) initial assignment
         // matters, so the two samplers agree exactly.
+        let mut dense = vec![0.0f32; model.num_topics()];
+        model.infer_tokens_into(&tokens, 3, &TopicSampler::Dense, &mut scratch, &mut dense);
+        assert_eq!(out, dense);
+    }
+
+    #[test]
+    fn mh_sampler_is_deterministic_under_seed() {
+        let model = LdaModel::fit(&themed_documents(), 1, LdaConfig::tiny());
+        let sampler = model.sampler(SamplerKind::MetropolisHastings);
+        let tokens = model
+            .vocabulary()
+            .encode("rock jazz blues artist album city");
+        let mut scratch = LdaInferScratch::new();
+        let mut a = vec![0.0f32; model.num_topics()];
+        let mut b = vec![0.0f32; model.num_topics()];
+        for seed in [0u64, 7, 12345] {
+            model.infer_tokens_into(&tokens, seed, &sampler, &mut scratch, &mut a);
+            model.infer_tokens_into(&tokens, seed, &sampler, &mut scratch, &mut b);
+            assert_eq!(a, b, "MH sampler not deterministic for seed {seed}");
+        }
+        // A rebuilt sampler (fresh alias tables from the same frozen counts)
+        // reproduces the same proposal/accept chain.
+        let rebuilt = model.sampler(SamplerKind::MetropolisHastings);
+        model.infer_tokens_into(&tokens, 7, &rebuilt, &mut scratch, &mut b);
+        model.infer_tokens_into(&tokens, 7, &sampler, &mut scratch, &mut a);
+        assert_eq!(a, b, "rebuilt MH tables diverged");
+    }
+
+    #[test]
+    fn mh_sampler_returns_valid_distributions() {
+        let model = LdaModel::fit(&themed_documents(), 1, LdaConfig::tiny());
+        let sampler = model.sampler(SamplerKind::MetropolisHastings);
+        let mut scratch = LdaInferScratch::new();
+        let mut out = vec![0.0f32; model.num_topics()];
+        let docs = [
+            "rock jazz blues artist album",
+            "warsaw", // one-token document
+            "",       // empty document → uniform
+            "warsaw london paris rock jazz city country guitar",
+        ];
+        for doc in docs {
+            let tokens = model.vocabulary().encode(doc);
+            model.infer_tokens_into(&tokens, 7, &sampler, &mut scratch, &mut out);
+            let sum: f32 = out.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-3, "{doc:?}: sum={sum}");
+            assert!(out.iter().all(|&x| x >= 0.0), "{doc:?}: negative theta");
+        }
+        // Empty document is exactly uniform, like the dense sampler.
+        let k = model.num_topics() as f32;
+        model.infer_tokens_into(&[], 7, &sampler, &mut scratch, &mut out);
+        assert!(out.iter().all(|&x| (x - 1.0 / k).abs() < 1e-6));
+    }
+
+    /// The MH cycle targets the exact per-token conditional
+    /// `π(t) ∝ phi_w(t) · (n^{-i}_{d,t} + α)`, so after burn-in its thetas
+    /// must land statistically close to the dense Gibbs sweep — about as
+    /// close as Dense is to itself under a different seed.
+    #[test]
+    fn mh_sampler_is_close_to_dense() {
+        let model = LdaModel::fit(&themed_documents(), 1, LdaConfig::tiny());
+        let sampler = model.sampler(SamplerKind::MetropolisHastings);
+        let mut scratch = LdaInferScratch::new();
+        let k = model.num_topics();
+        let (mut dense, mut mh) = (vec![0.0f32; k], vec![0.0f32; k]);
+        let tokens = model
+            .vocabulary()
+            .encode("rock jazz blues artist album guitar song");
+        let mut l1 = 0.0f32;
+        let seeds = [1u64, 2, 3, 4, 5];
+        for &seed in &seeds {
+            model.infer_tokens_into(
+                &tokens,
+                seed,
+                &TopicSampler::Dense,
+                &mut scratch,
+                &mut dense,
+            );
+            model.infer_tokens_into(&tokens, seed, &sampler, &mut scratch, &mut mh);
+            l1 += dense
+                .iter()
+                .zip(&mh)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f32>();
+        }
+        let mean_l1 = l1 / seeds.len() as f32;
+        assert!(
+            mean_l1 < 0.8,
+            "MH sampler drifted from dense: mean L1 = {mean_l1}"
+        );
+    }
+
+    #[test]
+    fn mh_zero_infer_iterations_matches_dense_exactly() {
+        let cfg = LdaConfig {
+            infer_iterations: 0,
+            ..LdaConfig::tiny()
+        };
+        let model = LdaModel::fit(&themed_documents(), 1, cfg);
+        let sampler = model.sampler(SamplerKind::MetropolisHastings);
+        let tokens = model.vocabulary().encode("rock jazz album");
+        let mut scratch = LdaInferScratch::new();
+        let mut out = vec![0.0f32; model.num_topics()];
+        model.infer_tokens_into(&tokens, 3, &sampler, &mut scratch, &mut out);
+        let sum: f32 = out.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "theta does not sum to one: {sum}");
+        assert!(out.iter().all(|&x| x > 0.0), "theta has zero entries");
+        // With zero sweeps only the (identically seeded) initial assignment
+        // matters, so MH and Dense agree bit-for-bit.
         let mut dense = vec![0.0f32; model.num_topics()];
         model.infer_tokens_into(&tokens, 3, &TopicSampler::Dense, &mut scratch, &mut dense);
         assert_eq!(out, dense);

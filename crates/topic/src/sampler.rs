@@ -19,6 +19,14 @@
 //!   Same target distribution, different floating-point/RNG consumption,
 //!   so outputs are statistically close but **not** bit-identical to
 //!   Dense.
+//! * [`TopicSampler::MetropolisHastings`] — LightLDA-style cycle
+//!   Metropolis–Hastings over the same target: each token alternates a
+//!   *word proposal* (an `O(1)` alias draw from `q_w ∝ phi_w`, reusing the
+//!   same pre-built [`SparseAliasTables`]) with a *doc proposal* (an `O(1)`
+//!   draw from `q_d ∝ n_{d,·} + α` taken directly off the assignment
+//!   array), each followed by an accept/reject step whose ratio needs only
+//!   a handful of multiplies. `O(1)` amortized per token with **no**
+//!   per-token walk at all — not even the sparse `O(k_d)` document scan.
 //!
 //! The sampler is an enum-dispatched strategy (not `dyn`) so the per-token
 //! hot loops stay monomorphized; the serialized artifact only records the
@@ -40,6 +48,9 @@ pub enum SamplerKind {
     Dense,
     /// Sparse document part + per-word alias tables for the static part.
     SparseAlias,
+    /// LightLDA-style cycle Metropolis–Hastings: alternating word/doc
+    /// proposals with `O(1)` accept/reject steps per token.
+    MetropolisHastings,
 }
 
 impl SamplerKind {
@@ -48,6 +59,7 @@ impl SamplerKind {
         match self {
             SamplerKind::Dense => "dense",
             SamplerKind::SparseAlias => "sparse-alias",
+            SamplerKind::MetropolisHastings => "mh",
         }
     }
 }
@@ -63,6 +75,9 @@ pub enum TopicSampler {
     Dense,
     /// Sparse/alias sampling against pre-built per-word tables.
     SparseAlias(Box<SparseAliasTables>),
+    /// Cycle Metropolis–Hastings; the word proposal draws from the same
+    /// pre-built per-word alias tables as [`TopicSampler::SparseAlias`].
+    MetropolisHastings(Box<SparseAliasTables>),
 }
 
 impl TopicSampler {
@@ -71,6 +86,7 @@ impl TopicSampler {
         match self {
             TopicSampler::Dense => SamplerKind::Dense,
             TopicSampler::SparseAlias(_) => SamplerKind::SparseAlias,
+            TopicSampler::MetropolisHastings(_) => SamplerKind::MetropolisHastings,
         }
     }
 }
@@ -304,7 +320,11 @@ mod tests {
     #[test]
     fn kind_round_trips_through_json_and_defaults_to_dense() {
         assert_eq!(SamplerKind::default(), SamplerKind::Dense);
-        for kind in [SamplerKind::Dense, SamplerKind::SparseAlias] {
+        for kind in [
+            SamplerKind::Dense,
+            SamplerKind::SparseAlias,
+            SamplerKind::MetropolisHastings,
+        ] {
             let json = serde_json::to_string(&kind).unwrap();
             let back: SamplerKind = serde_json::from_str(&json).unwrap();
             assert_eq!(kind, back);
@@ -312,6 +332,7 @@ mod tests {
         assert!(serde_json::from_str::<SamplerKind>("\"Turbo\"").is_err());
         assert_eq!(SamplerKind::Dense.name(), "dense");
         assert_eq!(SamplerKind::SparseAlias.name(), "sparse-alias");
+        assert_eq!(SamplerKind::MetropolisHastings.name(), "mh");
     }
 
     #[test]
@@ -424,6 +445,10 @@ mod tests {
         assert_eq!(
             model.sampler(SamplerKind::SparseAlias).kind(),
             SamplerKind::SparseAlias
+        );
+        assert_eq!(
+            model.sampler(SamplerKind::MetropolisHastings).kind(),
+            SamplerKind::MetropolisHastings
         );
         assert!(matches!(
             model.sampler(SamplerKind::Dense),

@@ -278,7 +278,7 @@ mod tests {
         let model = trained();
         let built = match model.sampler(SamplerKind::SparseAlias) {
             TopicSampler::SparseAlias(t) => t,
-            TopicSampler::Dense => unreachable!(),
+            _ => unreachable!(),
         };
         let mut bytes = Vec::new();
         built.write_bytes(&mut bytes);
@@ -309,7 +309,7 @@ mod tests {
         let mut alias_bytes = Vec::new();
         match model.sampler(SamplerKind::SparseAlias) {
             TopicSampler::SparseAlias(t) => t.write_bytes(&mut alias_bytes),
-            TopicSampler::Dense => unreachable!(),
+            _ => unreachable!(),
         }
         for cut in [0, 8, alias_bytes.len() - 1] {
             assert!(matches!(
@@ -349,7 +349,7 @@ mod tests {
         let model = trained();
         let built = match model.sampler(SamplerKind::SparseAlias) {
             TopicSampler::SparseAlias(t) => t,
-            TopicSampler::Dense => unreachable!(),
+            _ => unreachable!(),
         };
         let mut bytes = Vec::new();
         built.write_bytes(&mut bytes);

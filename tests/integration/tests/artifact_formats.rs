@@ -51,7 +51,11 @@ proptest! {
         for variant in SatoVariant::ALL {
             let mut predictor =
                 SatoModel::train(&corpus, tiny_config(seed ^ 0xb1a2), variant).into_predictor();
-            for kind in [SamplerKind::Dense, SamplerKind::SparseAlias] {
+            for kind in [
+                SamplerKind::Dense,
+                SamplerKind::SparseAlias,
+                SamplerKind::MetropolisHastings,
+            ] {
                 predictor = predictor.with_sampler(kind);
                 let loaded = SatoPredictor::from_bytes(&predictor.to_bytes())
                     .expect("artifact written by to_bytes must load");

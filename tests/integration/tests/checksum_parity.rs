@@ -1,0 +1,89 @@
+//! Cross-crate checksum parity: the workspace historically carried three
+//! private copies of FNV-1a 64 (feature hashing, colstore framing, artifact
+//! framing). All three now delegate to `sato_kernels::fnv1a64`, and these
+//! tests pin the observable consequences: every `SATOCOL1` frame checksum
+//! and every `SATOART1` content hash is reproducible by calling the shared
+//! kernel directly on the raw bytes, and the kernel itself matches the
+//! byte-at-a-time textbook definition on arbitrary input.
+
+use proptest::prelude::*;
+use sato::{SatoConfig, SatoModel, SatoPredictor, SatoVariant};
+use sato_tabular::colstore::corpus_to_bytes;
+use sato_tabular::corpus::default_corpus;
+
+/// The textbook byte-at-a-time FNV-1a 64 — the definition the three
+/// historical copies spelled out verbatim.
+fn fnv1a64_reference(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The shared kernel (8-byte chunked) is bit-identical to the
+    /// byte-at-a-time definition on arbitrary byte strings.
+    #[test]
+    fn kernel_fnv_matches_textbook_definition(
+        bytes in proptest::collection::vec(0u8..=255, 64),
+        n in 0usize..=64,
+    ) {
+        let bytes = &bytes[..n];
+        prop_assert_eq!(sato_kernels::fnv1a64(bytes), fnv1a64_reference(bytes));
+    }
+}
+
+/// Every frame of a `SATOCOL1` stream carries `fnv1a64(payload)` as its
+/// trailing checksum — recomputable with the shared kernel straight off the
+/// wire bytes, which proves `sato_tabular::colstore` frames with the same
+/// function this test links from `sato-kernels`.
+#[test]
+fn colstore_frame_checksums_match_shared_kernel() {
+    let corpus = default_corpus(12, 41);
+    let bytes = corpus_to_bytes(&corpus);
+    // header := magic (8) | version u32 | flags u32
+    let mut off = 16usize;
+    let mut frames = 0usize;
+    loop {
+        let len = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()) as usize;
+        off += 8;
+        if len == 0 {
+            break;
+        }
+        let payload = &bytes[off..off + len];
+        off += len;
+        let checksum = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+        off += 8;
+        assert_eq!(
+            checksum,
+            sato_kernels::fnv1a64(payload),
+            "frame {frames} checksum is not the shared kernel FNV of its payload"
+        );
+        frames += 1;
+    }
+    assert_eq!(frames, corpus.len(), "walked a different number of frames");
+    assert_eq!(off, bytes.len(), "trailing bytes after the terminator");
+}
+
+/// The predictor's content hash — the identity the serving stack keys
+/// hot-swap validation on — is `fnv1a64` of the full `SATOART1` byte
+/// stream, recomputable with the shared kernel.
+#[test]
+fn artifact_content_hash_matches_shared_kernel() {
+    let mut config = SatoConfig::fast().with_seed(23);
+    config.network.epochs = 2;
+    config.lda.train_iterations = 10;
+    config.lda.infer_iterations = 5;
+    config.crf.epochs = 1;
+    let predictor =
+        SatoModel::train(&default_corpus(15, 23), config, SatoVariant::Base).into_predictor();
+    let bytes = predictor.to_bytes();
+    assert_eq!(predictor.content_hash(), sato_kernels::fnv1a64(&bytes));
+    // And the loaded artifact agrees with itself.
+    let loaded = SatoPredictor::from_bytes(&bytes).expect("artifact must load");
+    assert_eq!(loaded.content_hash(), predictor.content_hash());
+}

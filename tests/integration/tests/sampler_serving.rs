@@ -1,8 +1,9 @@
 //! Serving-level tests of the pluggable topic-sampler layer: the
-//! sparse/alias sampler must be deterministic, internally consistent across
-//! every serving entry point, quantifiably close to the dense parity
-//! oracle, and faithfully round-tripped through the predictor artifact
-//! (including artifacts that predate the sampler field).
+//! sparse/alias and Metropolis–Hastings samplers must be deterministic,
+//! internally consistent across every serving entry point, quantifiably
+//! close to the dense parity oracle, and faithfully round-tripped through
+//! the predictor artifact (including artifacts that predate the sampler
+//! field).
 
 use proptest::prelude::*;
 use sato::{SamplerKind, SatoConfig, SatoModel, SatoVariant, ServingScratch};
@@ -68,22 +69,24 @@ fn ragged_corpus(shapes: &[Vec<usize>], salt: usize) -> Corpus {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// Both samplers yield valid probability distributions (non-negative,
-    /// summing to one) over arbitrarily ragged corpora — zero-column
-    /// tables, OOV-only documents and one-token documents included — and
-    /// the sparse sampler is deterministic across repeated estimates.
+    /// All three samplers yield valid probability distributions
+    /// (non-negative, summing to one) over arbitrarily ragged corpora —
+    /// zero-column tables, OOV-only documents and one-token documents
+    /// included — and the approximate samplers are deterministic across
+    /// repeated estimates.
     #[test]
-    fn both_samplers_yield_valid_distributions_on_ragged_corpora(
+    fn all_samplers_yield_valid_distributions_on_ragged_corpora(
         shapes in proptest::collection::vec(
             proptest::collection::vec(0usize..5, 0..5), 1..8),
         salt in 0usize..10_000,
     ) {
         let est = estimator();
         let sparse = est.build_sampler(SamplerKind::SparseAlias);
+        let mh = est.build_sampler(SamplerKind::MetropolisHastings);
         let corpus = ragged_corpus(&shapes, salt);
         let mut scratch = TopicScratch::new();
         for table in corpus.iter() {
-            for sampler in [&TopicSampler::Dense, &sparse] {
+            for sampler in [&TopicSampler::Dense, &sparse, &mh] {
                 let theta = est.estimate_with(table, sampler, &mut scratch);
                 prop_assert_eq!(theta.len(), est.num_topics());
                 let sum: f32 = theta.iter().sum();
@@ -95,9 +98,11 @@ proptest! {
                 prop_assert!(theta.iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
             }
             // Determinism under the fixed serving seed.
-            let a = est.estimate_with(table, &sparse, &mut scratch);
-            prop_assert_eq!(&a, &est.estimate_with(table, &sparse, &mut scratch));
-            prop_assert_eq!(&a, &est.estimate_sampled(table, &sparse));
+            for sampler in [&sparse, &mh] {
+                let a = est.estimate_with(table, sampler, &mut scratch);
+                prop_assert_eq!(&a, &est.estimate_with(table, sampler, &mut scratch));
+                prop_assert_eq!(&a, &est.estimate_sampled(table, sampler));
+            }
         }
     }
 }
@@ -130,11 +135,39 @@ fn sparse_sampler_thetas_are_statistically_close_to_dense() {
     assert_ne!(dense_thetas, sparse_thetas);
 }
 
-/// The sparse sampler is a *serving mode*: every serving entry point of a
-/// `with_sampler(SparseAlias)` predictor agrees with every other — for all
-/// four variants — and repeated serves are deterministic.
+/// The Metropolis–Hastings sampler targets the same per-token conditional
+/// through cycle proposals, so its thetas must stay within the same
+/// Monte-Carlo band of the dense oracle. The tolerance is looser than the
+/// sparse sampler's: MH resolves each token with accept/reject noise on
+/// top of the shared proposal tables, so per-seed drift sits closer to the
+/// dense sampler's own seed-to-seed spread.
 #[test]
-fn sparse_serving_mode_is_consistent_across_entry_points() {
+fn mh_sampler_thetas_are_statistically_close_to_dense() {
+    let est = estimator();
+    let mh = est.build_sampler(SamplerKind::MetropolisHastings);
+    let corpus = default_corpus(40, 77);
+    let mut scratch = TopicScratch::new();
+    let dense_thetas = est.estimate_corpus_with(&corpus, &TopicSampler::Dense, &mut scratch);
+    let mh_thetas = est.estimate_corpus_with(&corpus, &mh, &mut scratch);
+    let mean_l1 = dense_thetas
+        .iter()
+        .zip(&mh_thetas)
+        .map(|(a, b)| a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f32>())
+        .sum::<f32>()
+        / corpus.len() as f32;
+    assert!(
+        mean_l1 < 0.8,
+        "MH sampler drifted from dense: mean L1 = {mean_l1}"
+    );
+    assert_ne!(dense_thetas, mh_thetas);
+}
+
+/// The approximate samplers are *serving modes*: every serving entry point
+/// of a `with_sampler(SparseAlias)` or `with_sampler(MetropolisHastings)`
+/// predictor agrees with every other — for all four variants — and
+/// repeated serves are deterministic.
+#[test]
+fn approximate_serving_modes_are_consistent_across_entry_points() {
     let train = default_corpus(25, 13);
     let mut corpus = default_corpus(8, 99);
     corpus.tables.push(Table::unlabelled(800, vec![]));
@@ -146,39 +179,44 @@ fn sparse_serving_mode_is_consistent_across_entry_points() {
         vec![Column::new(["zzzzqq"]), Column::new(["qqxx", "yyzz"])],
     ));
     for variant in SatoVariant::ALL {
-        let predictor = SatoModel::train(&train, tiny_config(), variant)
-            .into_predictor()
-            .with_sampler(SamplerKind::SparseAlias);
-        assert_eq!(predictor.sampler_kind(), SamplerKind::SparseAlias);
-        let sequential = predictor.predict_corpus(&corpus);
-        assert_eq!(
-            sequential,
-            predictor.predict_corpus(&corpus),
-            "variant {}: sparse serving must be deterministic",
-            variant.name()
-        );
-        let mut scratch = ServingScratch::new();
-        let mut memo_scratch = ServingScratch::new().with_topic_memo();
-        for batch_cols in [1, 7, 1000] {
+        let mut predictor = SatoModel::train(&train, tiny_config(), variant).into_predictor();
+        for kind in [SamplerKind::SparseAlias, SamplerKind::MetropolisHastings] {
+            predictor = predictor.with_sampler(kind);
+            assert_eq!(predictor.sampler_kind(), kind);
+            let sequential = predictor.predict_corpus(&corpus);
             assert_eq!(
                 sequential,
-                predictor.predict_corpus_batched_with(&corpus, batch_cols, &mut scratch),
-                "variant {} batch_cols {batch_cols}",
-                variant.name()
+                predictor.predict_corpus(&corpus),
+                "variant {} / {}: serving must be deterministic",
+                variant.name(),
+                kind.name()
             );
+            let mut scratch = ServingScratch::new();
+            let mut memo_scratch = ServingScratch::new().with_topic_memo();
+            for batch_cols in [1, 7, 1000] {
+                assert_eq!(
+                    sequential,
+                    predictor.predict_corpus_batched_with(&corpus, batch_cols, &mut scratch),
+                    "variant {} / {} batch_cols {batch_cols}",
+                    variant.name(),
+                    kind.name()
+                );
+                assert_eq!(
+                    sequential,
+                    predictor.predict_corpus_batched_with(&corpus, batch_cols, &mut memo_scratch),
+                    "variant {} / {} batch_cols {batch_cols} (memoised)",
+                    variant.name(),
+                    kind.name()
+                );
+            }
             assert_eq!(
                 sequential,
-                predictor.predict_corpus_batched_with(&corpus, batch_cols, &mut memo_scratch),
-                "variant {} batch_cols {batch_cols} (memoised)",
-                variant.name()
+                predictor.predict_corpus_parallel_batched(&corpus, 8, 3),
+                "variant {} / {} parallel batched",
+                variant.name(),
+                kind.name()
             );
         }
-        assert_eq!(
-            sequential,
-            predictor.predict_corpus_parallel_batched(&corpus, 8, 3),
-            "variant {} parallel batched",
-            variant.name()
-        );
     }
 }
 
@@ -189,13 +227,13 @@ fn sparse_serving_mode_is_consistent_across_entry_points() {
 fn sampler_choice_affects_only_topic_aware_variants() {
     let train = default_corpus(25, 13);
     let corpus = default_corpus(10, 55);
-    // Topic-free: identical predictions under either sampler.
+    // Topic-free: identical predictions under any sampler.
     let base = SatoModel::train(&train, tiny_config(), SatoVariant::Base).into_predictor();
     let base_dense = base.predict_corpus(&corpus);
-    let base_sparse = base
-        .with_sampler(SamplerKind::SparseAlias)
-        .predict_corpus(&corpus);
-    assert_eq!(base_dense, base_sparse);
+    let base_sparse = base.with_sampler(SamplerKind::SparseAlias);
+    assert_eq!(base_dense, base_sparse.predict_corpus(&corpus));
+    let base_mh = base_sparse.with_sampler(SamplerKind::MetropolisHastings);
+    assert_eq!(base_dense, base_mh.predict_corpus(&corpus));
     // Topic-aware: the probability rows must differ somewhere (thetas are
     // close but not bit-identical, and the network consumes them).
     let full = SatoModel::train(&train, tiny_config(), SatoVariant::Full).into_predictor();
@@ -208,6 +246,16 @@ fn sampler_choice_affects_only_topic_aware_variants() {
     assert_ne!(
         dense_probs, sparse_probs,
         "sparse sampler did not change the topic inputs of a topic-aware model"
+    );
+    let full_mh = full_sparse.with_sampler(SamplerKind::MetropolisHastings);
+    let mh_probs: Vec<_> = corpus.iter().map(|t| full_mh.predict_proba(t)).collect();
+    assert_ne!(
+        dense_probs, mh_probs,
+        "MH sampler did not change the topic inputs of a topic-aware model"
+    );
+    assert_ne!(
+        sparse_probs, mh_probs,
+        "MH serving must be a distinct mode, not an alias of sparse"
     );
 }
 
@@ -232,6 +280,15 @@ fn sampler_artifact_versioning() {
     let loaded = SatoPredictor::from_json(&json).unwrap();
     assert_eq!(loaded.sampler_kind(), SamplerKind::SparseAlias);
     assert_eq!(expected, loaded.predict_corpus(&corpus));
+
+    // The Metropolis–Hastings kind round-trips the same way.
+    let mh = predictor.with_sampler(SamplerKind::MetropolisHastings);
+    let mh_expected = mh.predict_corpus(&corpus);
+    let mh_json = mh.to_json();
+    assert!(mh_json.contains("\"sampler\":\"MetropolisHastings\""));
+    let loaded = SatoPredictor::from_json(&mh_json).unwrap();
+    assert_eq!(loaded.sampler_kind(), SamplerKind::MetropolisHastings);
+    assert_eq!(mh_expected, loaded.predict_corpus(&corpus));
 
     // Pre-sampler-era artifact (no sampler field at all) → Dense.
     let dense = SatoModel::train(&train, tiny_config(), SatoVariant::Full).into_predictor();
