@@ -222,6 +222,7 @@ fn run_load_point(
             queue_depth: QUEUE_DEPTH,
             default_deadline: Some(DEADLINE),
             topic_memo_capacity: 0,
+            index_on_annotate: None,
         },
     );
     let expected_hash = predictor.content_hash();

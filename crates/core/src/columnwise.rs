@@ -449,7 +449,9 @@ pub struct ServingScratch {
     net: MultiInferScratch,
     head: InferScratch,
     groups: Vec<Matrix>,
-    embedding: Matrix,
+    /// Row-major column embeddings of the last batch (one row per column
+    /// across all tables of the batch; the head reads it, never writes it).
+    pub(crate) embedding: Matrix,
     /// Flat row-major probability matrix of the last batch (one row per
     /// column across all tables of the batch).
     pub(crate) probs: Matrix,
@@ -502,6 +504,17 @@ impl ServingScratch {
     /// The memo's id capacity (0 when the memo is disabled).
     pub fn topic_memo_capacity(&self) -> usize {
         self.topic_memo.as_ref().map_or(0, |m| m.capacity)
+    }
+
+    /// The column embeddings of the **last batch** run through this
+    /// scratch: one row per column, table after table in batch order (the
+    /// final hidden representation before the output layer). Valid after
+    /// any batched entry point — `SatoPredictor::predict_batch` computes
+    /// them on the way to its probabilities, so an annotate-and-index
+    /// pipeline reads them here without a second forward pass. An empty
+    /// batch leaves a 0-row matrix.
+    pub fn embeddings(&self) -> &Matrix {
+        &self.embedding
     }
 
     /// Bind the topic memo to the artifact identified by `content_hash`
@@ -630,11 +643,55 @@ impl FrozenColumnwise {
         tables: &[&T],
         scratch: &mut ServingScratch,
     ) {
+        if !self.fill_batch_groups(tables, scratch) {
+            scratch.embedding.resize(0, 0);
+            scratch.probs.resize(0, NUM_TYPES);
+            return;
+        }
+        self.net
+            .infer_with(&scratch.groups, &mut scratch.net, &mut scratch.embedding);
+        self.head
+            .infer_with(&scratch.embedding, &mut scratch.head, &mut scratch.probs);
+        softmax_in_place(&mut scratch.probs);
+    }
+
+    /// Run the batched pipeline only as far as the **column embeddings**
+    /// (the final hidden representation before the output layer;
+    /// Section 5.6 / Figure 10): identical feature extraction, topic
+    /// estimation, standardisation and network trunk as
+    /// [`Self::infer_batch_cells`], but the classification head and
+    /// softmax never run. `scratch.embedding` ends up holding one
+    /// embedding row per column, table after table in order — the batched,
+    /// allocation-lean counterpart of [`Self::column_embeddings`], and
+    /// bit-identical to it row for row (the per-table path differs only in
+    /// buffer ownership; every numeric stage is shared).
+    pub(crate) fn embed_batch_cells<T: TableCells + ?Sized>(
+        &self,
+        tables: &[&T],
+        scratch: &mut ServingScratch,
+    ) {
+        if !self.fill_batch_groups(tables, scratch) {
+            scratch.embedding.resize(0, 0);
+            return;
+        }
+        self.net
+            .infer_with(&scratch.groups, &mut scratch.net, &mut scratch.embedding);
+    }
+
+    /// Fill `scratch.groups` with one input-matrix row per column across
+    /// all `tables` (the shared front half of [`Self::infer_batch_cells`]
+    /// and [`Self::embed_batch_cells`]), then standardize in place.
+    /// Returns `false` — leaving the group matrices untouched — when the
+    /// batch carries no columns at all.
+    fn fill_batch_groups<T: TableCells + ?Sized>(
+        &self,
+        tables: &[&T],
+        scratch: &mut ServingScratch,
+    ) -> bool {
         let widths = &self.group_widths;
         let total_rows: usize = tables.iter().map(|t| t.cell_columns()).sum();
         if total_rows == 0 {
-            scratch.probs.resize(0, NUM_TYPES);
-            return;
+            return false;
         }
         scratch.groups.resize_with(widths.len(), Matrix::default);
         for (group, &w) in scratch.groups.iter_mut().zip(widths) {
@@ -707,11 +764,7 @@ impl FrozenColumnwise {
         for (scaler, group) in self.scalers.iter().zip(scratch.groups.iter_mut()) {
             scaler.transform_in_place(group);
         }
-        self.net
-            .infer_with(&scratch.groups, &mut scratch.net, &mut scratch.embedding);
-        self.head
-            .infer_with(&scratch.embedding, &mut scratch.head, &mut scratch.probs);
-        softmax_in_place(&mut scratch.probs);
+        true
     }
 
     /// Column embeddings (the final hidden representation before the output

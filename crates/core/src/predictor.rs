@@ -348,6 +348,94 @@ impl SatoPredictor {
         self.columnwise.column_embeddings(table)
     }
 
+    /// Width of the column-embedding space (the network's final hidden
+    /// dimension) — the `dim` an ANN index over this predictor's
+    /// embeddings must be created with.
+    pub fn embedding_dim(&self) -> usize {
+        self.config.network.hidden_dim
+    }
+
+    /// [`Self::column_embeddings`] through a caller-owned
+    /// [`ServingScratch`]: the returned matrix (one row per column,
+    /// [`Self::embedding_dim`] wide) borrows the scratch's reusable
+    /// embedding buffer, so a warm loop extracts embeddings table after
+    /// table with **zero steady-state allocations** — and every row is
+    /// bit-identical to the allocating path.
+    pub fn column_embeddings_into<'s>(
+        &self,
+        table: &Table,
+        scratch: &'s mut ServingScratch,
+    ) -> &'s sato_nn::Matrix {
+        self.embed_batch(&[table], scratch)
+    }
+
+    /// Run exactly one micro-batch to the **column embeddings** (no
+    /// classification head, no CRF): one row per column, table after table
+    /// in order, borrowed from the scratch. The batched counterpart of
+    /// [`Self::column_embeddings`] and the embedding sibling of
+    /// [`Self::predict_batch`] — same feature extraction, topic
+    /// estimation (memo included) and network trunk, so rows are
+    /// bit-identical to the per-table path. An empty batch yields a 0-row
+    /// matrix.
+    pub fn embed_batch<'s, T: TableCells + ?Sized>(
+        &self,
+        batch: &[&T],
+        scratch: &'s mut ServingScratch,
+    ) -> &'s sato_nn::Matrix {
+        scratch.bind_artifact(self.content_hash);
+        self.columnwise.embed_batch_cells(batch, scratch);
+        scratch.embeddings()
+    }
+
+    /// Stream the column embeddings of a whole corpus in column
+    /// micro-batches (the same accumulation rule as
+    /// [`Self::predict_corpus_batched`]): `on_column` is called once per
+    /// column, table after table in corpus order, with the owning table's
+    /// id, the column position and the embedding row — the feed an ANN
+    /// index build consumes without materializing a `Vec` per column.
+    pub fn embed_corpus_batched_with(
+        &self,
+        corpus: &Corpus,
+        batch_cols: usize,
+        scratch: &mut ServingScratch,
+        mut on_column: impl FnMut(u64, u32, &[f32]),
+    ) {
+        let batch_cols = batch_cols.max(1);
+        let mut batch: Vec<&Table> = Vec::new();
+        let mut pending_cols = 0usize;
+        for table in &corpus.tables {
+            batch.push(table);
+            pending_cols += table.num_columns();
+            if pending_cols >= batch_cols {
+                self.flush_embed_batch(&batch, scratch, &mut on_column);
+                batch.clear();
+                pending_cols = 0;
+            }
+        }
+        if !batch.is_empty() {
+            self.flush_embed_batch(&batch, scratch, &mut on_column);
+        }
+    }
+
+    /// Embed one micro-batch and hand each row to `on_column` with its
+    /// `(table_id, col_idx)` identity.
+    fn flush_embed_batch<T: TableCells + ?Sized>(
+        &self,
+        batch: &[&T],
+        scratch: &mut ServingScratch,
+        on_column: &mut impl FnMut(u64, u32, &[f32]),
+    ) {
+        scratch.bind_artifact(self.content_hash);
+        self.columnwise.embed_batch_cells(batch, scratch);
+        let mut row = 0usize;
+        for table in batch {
+            for c in 0..table.cell_columns() {
+                on_column(table.table_id(), c as u32, scratch.embedding.row(row));
+                row += 1;
+            }
+        }
+    }
+
     fn predict_table(&self, table: &Table) -> TablePrediction {
         TablePrediction {
             table_id: table.id,
@@ -883,6 +971,74 @@ mod tests {
         // An entirely empty corpus also works.
         let empty = Corpus::new(vec![]);
         assert!(predictor.predict_corpus_batched(&empty, 8).is_empty());
+    }
+
+    #[test]
+    fn batched_embeddings_match_per_table_path_bit_for_bit() {
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        let corpus = default_corpus(20, 9);
+        let predictor =
+            SatoModel::train(&corpus, tiny_config(), SatoVariant::Full).into_predictor();
+        assert_eq!(predictor.embedding_dim(), tiny_config().network.hidden_dim);
+        let mut scratch = ServingScratch::new();
+        // Per-table into-path parity, twice (cold buffers, then warm).
+        for pass in 0..2 {
+            for table in corpus.iter().take(8) {
+                let reference = predictor.column_embeddings(table);
+                let into = predictor.column_embeddings_into(table, &mut scratch);
+                assert_eq!(into.rows(), reference.len());
+                assert_eq!(into.cols(), predictor.embedding_dim());
+                for (r, want) in reference.iter().enumerate() {
+                    assert_eq!(
+                        bits(into.row(r)),
+                        bits(want),
+                        "pass {pass} table {} row {r}",
+                        table.id
+                    );
+                }
+            }
+        }
+        // Corpus streaming in micro-batches: identical rows in identical
+        // (table, column) order at every batch width, ragged shapes
+        // included.
+        let ragged = {
+            use sato_tabular::table::{Column, Table};
+            let mut tables = vec![
+                Table::unlabelled(900, vec![]),
+                Table::unlabelled(901, vec![Column::new(["Warsaw", "London"])]),
+            ];
+            tables.extend(corpus.tables.iter().cloned());
+            Corpus::new(tables)
+        };
+        let reference: Vec<(u64, u32, Vec<f32>)> = ragged
+            .iter()
+            .flat_map(|t| {
+                predictor
+                    .column_embeddings(t)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(c, e)| (t.id, c as u32, e))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for batch_cols in [1, 7, 64, 100_000] {
+            let mut streamed = Vec::new();
+            predictor.embed_corpus_batched_with(&ragged, batch_cols, &mut scratch, |id, c, row| {
+                streamed.push((id, c, row.to_vec()));
+            });
+            assert_eq!(streamed.len(), reference.len(), "batch_cols {batch_cols}");
+            for (got, want) in streamed.iter().zip(&reference) {
+                assert_eq!(
+                    (got.0, got.1),
+                    (want.0, want.1),
+                    "batch_cols {batch_cols} column identity"
+                );
+                assert_eq!(bits(&got.2), bits(&want.2), "batch_cols {batch_cols}");
+            }
+        }
+        // An empty batch yields a 0-row matrix (and stays well-defined).
+        let none: [&Table; 0] = [];
+        assert_eq!(predictor.embed_batch(&none, &mut scratch).rows(), 0);
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Allocation-count regression test for the warm embedding-extraction path.
+//!
+//! The ANN index build feeds on `SatoPredictor::column_embeddings_into` /
+//! `embed_batch`; the contract is that once a `ServingScratch` is warm,
+//! extracting the embeddings of already-seen table shapes performs **zero**
+//! heap allocations — features, topic estimation and the network trunk all
+//! run through reused buffers, and the result matrix is borrowed, not
+//! built. A counting global allocator makes that a hard assertion, and the
+//! same pass re-checks bit-parity with the allocating
+//! `column_embeddings` path.
+//!
+//! This file deliberately contains a single `#[test]`: the counter is
+//! process-global, and a concurrent test would pollute the window between
+//! the two counter reads (same convention as `sato-nn`'s
+//! `alloc_free_infer`).
+
+use sato::{SatoConfig, SatoModel, SatoVariant, ServingScratch};
+use sato_tabular::corpus::default_corpus;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocation_count() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warm_embedding_extraction_allocates_nothing() {
+    let mut config = SatoConfig::fast();
+    config.network.epochs = 5;
+    config.lda.train_iterations = 15;
+    config.crf.epochs = 2;
+    let corpus = default_corpus(16, 21);
+    let predictor = SatoModel::train(&corpus, config, SatoVariant::Full).into_predictor();
+
+    // The allocating reference rows, captured up front.
+    let reference: Vec<Vec<Vec<f32>>> = corpus
+        .iter()
+        .map(|t| predictor.column_embeddings(t))
+        .collect();
+
+    let mut scratch = ServingScratch::new();
+    // Warm-up: two passes size every buffer (feature scratch, topic Gibbs
+    // buffers, group matrices, the network ping-pong pair) for every table
+    // shape in the corpus.
+    for _ in 0..2 {
+        for table in corpus.iter() {
+            predictor.column_embeddings_into(table, &mut scratch);
+        }
+    }
+
+    let before = allocation_count();
+    for (table, want_rows) in corpus.iter().zip(&reference) {
+        let embeddings = predictor.column_embeddings_into(table, &mut scratch);
+        assert_eq!(embeddings.rows(), want_rows.len());
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "warm column_embeddings_into must not allocate (got {} allocations over {} tables)",
+        after - before,
+        corpus.tables.len()
+    );
+
+    // Same contract for an externally-formed micro-batch (the serve-hook
+    // shape: many tables, one forward pass).
+    let batch: Vec<&sato_tabular::table::Table> = corpus.tables.iter().take(6).collect();
+    predictor.embed_batch(&batch, &mut scratch);
+    let before = allocation_count();
+    for _ in 0..5 {
+        predictor.embed_batch(&batch, &mut scratch);
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "warm embed_batch must not allocate (got {} allocations over 5 batches)",
+        after - before
+    );
+
+    // The warm rows are still bit-identical to the allocating path.
+    for (table, want_rows) in corpus.iter().zip(&reference) {
+        let embeddings = predictor.column_embeddings_into(table, &mut scratch);
+        for (r, want) in want_rows.iter().enumerate() {
+            assert_eq!(
+                embeddings
+                    .row(r)
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "table {} row {r}",
+                table.id
+            );
+        }
+    }
+}

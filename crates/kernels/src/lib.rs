@@ -26,6 +26,7 @@
 //! | [`max_argmax`], [`relax_max_argmax`], [`max_add_update`], [`exp_sum_update`], [`lse_finish`] | bit-identical¹ | bit-identical¹ |
 //! | [`axpy`], [`add_assign`], [`scale`] | bit-identical | bit-identical |
 //! | [`dot`] | ULP-bounded (reassociated partial sums) | ULP-bounded |
+//! | [`squared_l2`] | ULP-bounded (reassociated partial sums) | (no simd form) |
 //! | [`lut_histogram`] | exact (integer counts) | (no simd form) |
 //!
 //! ¹ for NaN-free inputs; max reductions are reassociated, which is exact
@@ -50,7 +51,7 @@ pub mod simd;
 
 pub use fnv::{fnv1a64, fnv1a64_seeded, Fnv1a};
 pub use hist::{lut_histogram, HIST_SKIP};
-pub use linalg::{add_assign, axpy, dot, scale};
+pub use linalg::{add_assign, axpy, dot, scale, squared_l2};
 pub use reduce::{
     exp_sum_update, log_sum_exp, log_sum_exp3, lse_finish, max_add_update, max_argmax,
     relax_max_argmax,

@@ -67,6 +67,37 @@ pub fn dot(x: &[f32], y: &[f32]) -> f32 {
     }
 }
 
+/// Squared Euclidean distance `Σ (x[i] - y[i])²` over four independent
+/// accumulators (ULP-bounded vs the in-order scalar sum, like [`dot`]:
+/// partial sums are reassociated; slices shorter than a chunk stay in
+/// order). This is the ANN index's distance reduction — nearest-neighbor
+/// *ranking* tolerates reassociation, and the recall oracle uses the same
+/// form on both sides so rankings agree bit-for-bit. No `simd` form: the
+/// chunked loop autovectorizes and the index is not on the bit-parity path.
+#[inline]
+pub fn squared_l2(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "squared_l2 length mismatch");
+    let mut cx = x.chunks_exact(4);
+    let mut cy = y.chunks_exact(4);
+    let mut acc = [0.0f32; 4];
+    for (a, b) in (&mut cx).zip(&mut cy) {
+        let d0 = a[0] - b[0];
+        let d1 = a[1] - b[1];
+        let d2 = a[2] - b[2];
+        let d3 = a[3] - b[3];
+        acc[0] += d0 * d0;
+        acc[1] += d1 * d1;
+        acc[2] += d2 * d2;
+        acc[3] += d3 * d3;
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (&a, &b) in cx.remainder().iter().zip(cy.remainder()) {
+        let d = a - b;
+        s += d * d;
+    }
+    s
+}
+
 #[cfg_attr(feature = "simd", allow(dead_code))]
 #[inline]
 pub(crate) fn chunked_dot(x: &[f32], y: &[f32]) -> f32 {
@@ -105,6 +136,17 @@ pub mod scalar {
         }
         acc
     }
+
+    /// In-order single-accumulator squared Euclidean distance.
+    pub fn squared_l2(x: &[f32], y: &[f32]) -> f32 {
+        assert_eq!(x.len(), y.len(), "squared_l2 length mismatch");
+        let mut acc = 0.0f32;
+        for (&a, &b) in x.iter().zip(y.iter()) {
+            let d = a - b;
+            acc += d * d;
+        }
+        acc
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +176,27 @@ mod tests {
         assert_eq!(y, vec![1.5, 2.5, 3.5]);
         scale(&mut y, 2.0);
         assert_eq!(y, vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn squared_l2_is_close_to_scalar() {
+        let x: Vec<f32> = (0..37)
+            .map(|i| ((i * 13 % 7) as f32 - 3.0) * 0.21)
+            .collect();
+        let y: Vec<f32> = (0..37)
+            .map(|i| ((i * 5 % 11) as f32 - 5.0) * 0.17)
+            .collect();
+        for len in 0..x.len() {
+            let got = squared_l2(&x[..len], &y[..len]);
+            let want = scalar::squared_l2(&x[..len], &y[..len]);
+            assert!(got >= 0.0, "len {len}: squared distance must be >= 0");
+            assert!((got - want).abs() <= 1e-5 * (1.0 + want.abs()), "len {len}");
+            if len < 4 {
+                // Sub-chunk slices take the in-order remainder path exactly.
+                assert_eq!(got.to_bits(), want.to_bits(), "short len {len}");
+            }
+        }
+        assert_eq!(squared_l2(&x, &x), 0.0, "self-distance is exactly zero");
     }
 
     #[test]

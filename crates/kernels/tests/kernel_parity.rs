@@ -150,6 +150,22 @@ proptest! {
     }
 
     #[test]
+    fn squared_l2_is_ulp_bounded_vs_scalar(
+        n in 0usize..53,
+        x_buf in proptest::collection::vec(-10.0f32..10.0, 53),
+        y_buf in proptest::collection::vec(-10.0f32..10.0, 53),
+    ) {
+        let (x, y) = (&x_buf[..n], &y_buf[..n]);
+        let got = sato_kernels::squared_l2(x, y);
+        let want = sato_kernels::linalg::scalar::squared_l2(x, y);
+        // Reassociation over <=53 squared differences of magnitude <=400.
+        prop_assert!((got - want).abs() <= 1e-3 + 1e-5 * want.abs(),
+            "squared_l2 diverged: {} vs {}", got, want);
+        prop_assert!(got >= 0.0);
+        prop_assert_eq!(sato_kernels::squared_l2(x, x), 0.0);
+    }
+
+    #[test]
     fn histogram_matches_scalar(bytes in proptest::collection::vec(0u8..=255, 0..67)) {
         let mut lut = [sato_kernels::HIST_SKIP; 256];
         for b in 0..128u8 {

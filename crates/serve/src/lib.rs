@@ -64,6 +64,18 @@
 //!   panic-at-first-predict artifact is rejected with
 //!   [`ServeError::Swap`] — counted in [`ServiceStats::swap_rollbacks`] —
 //!   and the incumbent keeps serving as if nothing happened.
+//! - **Index-on-annotate (opt-in).** With
+//!   [`ServiceConfig::index_on_annotate`] set, every annotated column's
+//!   embedding is also inserted — keyed `(table_id, col_idx)`, idempotent,
+//!   no second forward pass — into an in-process ANN index
+//!   ([`sato_index::HnswIndex`]), so the lake becomes searchable
+//!   ([`SatoService::search_index`]) as a side effect of being annotated.
+//!   The index is keyed to the artifact that embedded its vectors:
+//!   hot-swaps invalidate it cleanly, and a `SATOIDX1` sidecar only loads
+//!   ([`SatoService::load_index`]) next to the artifact it was built from —
+//!   anything else rolls back with the incumbent index untouched
+//!   ([`ServiceStats::index_rollbacks`]). Indexing failures never fail
+//!   annotation.
 //! - **Failure is per-request, never per-service.** The batcher runs under
 //!   a supervisor: every round is panic-contained, a panicking round is
 //!   bisected to quarantine the single poison-pill request (answered
@@ -104,3 +116,7 @@ pub use service::{
     MAX_CONSECUTIVE_RESTARTS, SWAP_LOAD_ATTEMPTS,
 };
 pub use stats::{LatencySnapshot, ServiceStats, FILL_BUCKETS, LATENCY_BUCKETS};
+
+// Re-exported so service clients can configure and query the
+// annotate-time index without naming `sato-index` themselves.
+pub use sato_index::{ColumnRef, HnswConfig, IndexError, Neighbor};

@@ -17,6 +17,7 @@
 
 use crate::stats::{ServiceStats, StatsCell};
 use sato::{ArtifactMeta, PredictorError, SatoPredictor, ServingScratch, TablePrediction};
+use sato_index::{ColumnRef, HnswConfig, HnswIndex, IndexError, Neighbor};
 use sato_tabular::colstore::{self, ColStoreError};
 use sato_tabular::table::{Column, Corpus, Table};
 use std::cell::Cell;
@@ -96,6 +97,16 @@ pub struct ServiceConfig {
     /// keyed by id within an artifact (it is invalidated across hot-swaps
     /// automatically).
     pub topic_memo_capacity: usize,
+    /// Opt-in **index-on-annotate**: when set, every column served by the
+    /// batcher also has its embedding inserted into a shared in-process
+    /// [`HnswIndex`] (built with this configuration), keyed by
+    /// `(table_id, col_idx)` — so a data lake becomes ANN-searchable as a
+    /// side effect of being annotated. The index is keyed to the artifact
+    /// that embedded its vectors and is invalidated by hot-swaps; inserts
+    /// are idempotent, so re-submitted tables (including quarantine
+    /// re-serves) never duplicate nodes. `None` (the default) disables
+    /// indexing entirely — the serving hot path is untouched.
+    pub index_on_annotate: Option<HnswConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -105,6 +116,7 @@ impl Default for ServiceConfig {
             queue_depth: 256,
             default_deadline: None,
             topic_memo_capacity: 0,
+            index_on_annotate: None,
         }
     }
 }
@@ -147,6 +159,16 @@ pub enum ServeError {
     /// could not be loaded (after transient-I/O retries) or failed canary
     /// validation. The incumbent artifact is still serving, untouched.
     Swap(PredictorError),
+    /// An index operation failed. For [`SatoService::load_index`] this is a
+    /// rejected-and-rolled-back sidecar (unreadable, corrupt, or keyed to a
+    /// different artifact than the one serving) — the incumbent index, if
+    /// any, is untouched.
+    Index(IndexError),
+    /// The annotate-time ANN index is not available: indexing is disabled
+    /// ([`ServiceConfig::index_on_annotate`] is `None`), nothing has been
+    /// annotated yet, or a hot-swap invalidated the index and no round has
+    /// rebuilt it since.
+    IndexUnavailable,
 }
 
 impl std::fmt::Display for ServeError {
@@ -163,6 +185,13 @@ impl std::fmt::Display for ServeError {
                 write!(f, "request quarantined: serving it panics the predictor")
             }
             ServeError::Swap(e) => write!(f, "hot-swap rolled back: {e}"),
+            ServeError::Index(e) => write!(f, "index operation failed: {e}"),
+            ServeError::IndexUnavailable => {
+                write!(
+                    f,
+                    "annotate-time index unavailable (disabled, empty or invalidated)"
+                )
+            }
         }
     }
 }
@@ -278,6 +307,12 @@ struct Shared {
     /// inference); the worker re-reads it at every batch-formation round,
     /// so in-flight rounds drain on the artifact they started with.
     predictor: Mutex<Arc<SatoPredictor>>,
+    /// The annotate-time ANN index (see
+    /// [`ServiceConfig::index_on_annotate`]). `None` until the first
+    /// indexed round, and again after a hot-swap invalidates it. Locked
+    /// only outside the unwind boundary of a round — a panicking round
+    /// never touches it, so the graph can never be observed torn.
+    index: Mutex<Option<HnswIndex>>,
     stats: StatsCell,
     config: ServiceConfig,
     /// Service start time: the origin of the heartbeat clock.
@@ -316,6 +351,7 @@ impl SatoService {
             }),
             cond: Condvar::new(),
             predictor: Mutex::new(Arc::new(predictor)),
+            index: Mutex::new(None),
             stats: StatsCell::new(),
             config,
             started: Instant::now(),
@@ -424,8 +460,18 @@ impl SatoService {
     /// candidate and rolls back on any failure.
     pub fn swap_predictor(&self, predictor: SatoPredictor) -> ArtifactMeta {
         let meta = predictor.artifact_meta();
+        let hash = predictor.content_hash();
         *lock_recover(&self.shared.predictor) = Arc::new(predictor);
         self.shared.stats.swaps.fetch_add(1, Relaxed);
+        // The annotate-time index is keyed to the artifact that embedded
+        // its vectors: embeddings across artifacts are not comparable, so a
+        // swap to a different artifact invalidates the index outright (it
+        // rebuilds from subsequent annotated traffic, or via
+        // [`Self::load_index`] from a sidecar of the new artifact).
+        let mut index = lock_recover(&self.shared.index);
+        if index.as_ref().is_some_and(|i| i.artifact_hash() != hash) {
+            *index = None;
+        }
         meta
     }
 
@@ -480,6 +526,78 @@ impl SatoService {
         lock_recover(&self.shared.predictor).artifact_meta()
     }
 
+    /// Columns currently in the annotate-time ANN index: 0 when indexing is
+    /// disabled, nothing has been annotated yet, or a hot-swap invalidated
+    /// the index.
+    pub fn index_len(&self) -> usize {
+        lock_recover(&self.shared.index)
+            .as_ref()
+            .map_or(0, HnswIndex::len)
+    }
+
+    /// k-nearest-neighbour search over the annotate-time index: which
+    /// already-annotated columns embed closest to `query`? Returns up to
+    /// `k` neighbours in ascending distance. `query` is a column embedding
+    /// of the serving artifact (e.g. from
+    /// [`sato::SatoPredictor::column_embeddings_into`] or a previous
+    /// response's tables re-embedded client-side).
+    pub fn search_index(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, ServeError> {
+        let guard = lock_recover(&self.shared.index);
+        let Some(index) = guard.as_ref() else {
+            return Err(ServeError::IndexUnavailable);
+        };
+        if query.len() != index.dim() {
+            return Err(ServeError::Index(IndexError::Corrupt(format!(
+                "query dimension {} does not match index dimension {}",
+                query.len(),
+                index.dim()
+            ))));
+        }
+        Ok(index.search_knn(query, k))
+    }
+
+    /// Persist the annotate-time index as a `SATOIDX1` sidecar file (keyed
+    /// to the artifact that embedded its vectors, so it can only ever be
+    /// loaded back next to that artifact).
+    pub fn save_index(&self, path: impl AsRef<std::path::Path>) -> Result<(), ServeError> {
+        let guard = lock_recover(&self.shared.index);
+        let Some(index) = guard.as_ref() else {
+            return Err(ServeError::IndexUnavailable);
+        };
+        index.save(path).map_err(ServeError::Index)
+    }
+
+    /// **Validated index load** from a `SATOIDX1` sidecar file, mirroring
+    /// [`Self::load_artifact`]'s rollback contract: the candidate must
+    /// parse, checksum, pass graph validation *and* be keyed to the
+    /// artifact currently serving. On any failure the incumbent index (if
+    /// any) keeps serving untouched and the attempt is counted in
+    /// [`ServiceStats::index_rollbacks`]. Returns the loaded column count.
+    pub fn load_index(&self, path: impl AsRef<std::path::Path>) -> Result<usize, ServeError> {
+        // Parse and checksum without any lock held (file I/O is slow), then
+        // pin the serving artifact while validating the pairing and
+        // publishing the index, so a concurrent hot-swap cannot slip a
+        // mismatched artifact in between validation and publication.
+        let candidate = match HnswIndex::load(&path) {
+            Ok(candidate) => candidate,
+            Err(e) => return Err(self.reject_index(e)),
+        };
+        let predictor = lock_recover(&self.shared.predictor);
+        if let Err(e) = candidate.verify_artifact(predictor.content_hash()) {
+            return Err(self.reject_index(e));
+        }
+        let len = candidate.len();
+        *lock_recover(&self.shared.index) = Some(candidate);
+        drop(predictor);
+        Ok(len)
+    }
+
+    /// Record a rolled-back index load/apply and build its error.
+    fn reject_index(&self, error: IndexError) -> ServeError {
+        self.shared.stats.index_rollbacks.fetch_add(1, Relaxed);
+        ServeError::Index(error)
+    }
+
     /// Requests currently queued.
     pub fn queue_len(&self) -> usize {
         lock_recover(&self.shared.queue).deque.len()
@@ -501,6 +619,8 @@ impl SatoService {
             rounds: stats.rounds.load(Relaxed),
             worker_restarts: stats.worker_restarts.load(Relaxed),
             quarantined: stats.quarantined.load(Relaxed),
+            indexed_columns: stats.indexed_columns.load(Relaxed),
+            index_rollbacks: stats.index_rollbacks.load(Relaxed),
             heartbeat_age_us: elapsed_us(self.shared.started)
                 .saturating_sub(stats.heartbeat_us.load(Relaxed)),
             queue_len,
@@ -708,10 +828,74 @@ fn serve_round(
         compute_outputs(shared, predictor, scratch, &live, target)
     }));
     match outcome {
-        Ok(outputs) => respond(shared, predictor.content_hash(), live, outputs),
+        Ok((outputs, pending)) => {
+            // The round succeeded: apply its captured embeddings to the
+            // shared ANN index *before* answering, so a client that reads
+            // its response and immediately queries the index sees its own
+            // columns. On a panicking round `pending` is simply dropped —
+            // the index never observes a half-computed round.
+            apply_index(shared, predictor, pending);
+            respond(shared, predictor.content_hash(), live, outputs);
+        }
         Err(_) => {
             *scratch = fresh_scratch(&shared.config);
             quarantine(shared, predictor, scratch, live, target);
+        }
+    }
+}
+
+/// Column embeddings captured while a round computes, applied to the
+/// shared ANN index only after the round's unwind boundary is crossed.
+/// Rows are `dim`-wide, one per key, in batch order.
+#[derive(Default)]
+struct PendingIndex {
+    dim: usize,
+    keys: Vec<ColumnRef>,
+    vecs: Vec<f32>,
+}
+
+/// Apply one round's captured embeddings to the shared annotate-time index
+/// (opt-in via [`ServiceConfig::index_on_annotate`]; a no-op otherwise).
+///
+/// Indexing is best-effort and must never fail annotation: the inserts run
+/// inside their own unwind boundary, and a panic while growing the graph
+/// (e.g. an injected `index.insert` fault) may have torn links mid-write,
+/// so the whole index is dropped — counted in
+/// [`ServiceStats::index_rollbacks`] — and rebuilds from subsequent
+/// traffic, while the round's clients are answered normally. Hot-swaps
+/// also invalidate lazily here: an index keyed to a different artifact
+/// than the round's pinned predictor is replaced with a fresh one before
+/// any insert (embeddings across artifacts are not comparable).
+fn apply_index(shared: &Shared, predictor: &SatoPredictor, pending: PendingIndex) {
+    let Some(hnsw_config) = shared.config.index_on_annotate else {
+        return;
+    };
+    if pending.keys.is_empty() {
+        return;
+    }
+    let hash = predictor.content_hash();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut guard = lock_recover(&shared.index);
+        let index = match guard.as_mut() {
+            Some(index) if index.artifact_hash() == hash => index,
+            _ => guard.insert(HnswIndex::new(pending.dim, hash, hnsw_config)),
+        };
+        let mut inserted = 0u64;
+        for (i, &key) in pending.keys.iter().enumerate() {
+            let vector = &pending.vecs[i * pending.dim..(i + 1) * pending.dim];
+            if index.insert(key, vector) {
+                inserted += 1;
+            }
+        }
+        inserted
+    }));
+    match outcome {
+        Ok(inserted) => {
+            shared.stats.indexed_columns.fetch_add(inserted, Relaxed);
+        }
+        Err(_) => {
+            *lock_recover(&shared.index) = None;
+            shared.stats.index_rollbacks.fetch_add(1, Relaxed);
         }
     }
 }
@@ -757,7 +941,7 @@ fn compute_outputs(
     scratch: &mut ServingScratch,
     live: &[QueuedRequest],
     target: usize,
-) -> Vec<Vec<TablePrediction>> {
+) -> (Vec<Vec<TablePrediction>>, PendingIndex) {
     // Named injection point `serve.round`, keyed by the number of requests
     // in the round (chaos builds only). Inside the unwind boundary: an
     // injected panic exercises quarantine, an injected delay stalls the
@@ -768,6 +952,7 @@ fn compute_outputs(
         .iter()
         .map(|r| Vec::with_capacity(r.tables.len()))
         .collect();
+    let mut embeddings = PendingIndex::default();
     let mut batch: Vec<(usize, usize)> = Vec::new(); // (request idx, table idx)
     let mut pending = 0usize;
     for (r, req) in live.iter().enumerate() {
@@ -782,6 +967,7 @@ fn compute_outputs(
                     &mut batch,
                     live,
                     &mut outputs,
+                    &mut embeddings,
                     pending,
                     target,
                 );
@@ -796,10 +982,11 @@ fn compute_outputs(
         &mut batch,
         live,
         &mut outputs,
+        &mut embeddings,
         pending,
         target,
     );
-    outputs
+    (outputs, embeddings)
 }
 
 /// Answer every request of a computed round: record latency and completion
@@ -835,6 +1022,7 @@ fn run_batch(
     batch: &mut Vec<(usize, usize)>,
     live: &[QueuedRequest],
     outputs: &mut [Vec<TablePrediction>],
+    embeddings: &mut PendingIndex,
     cols: usize,
     target: usize,
 ) {
@@ -844,6 +1032,26 @@ fn run_batch(
     let refs: Vec<&Table> = batch.iter().map(|&(r, t)| &live[r].tables[t]).collect();
     let predictions = predictor.predict_batch(&refs, scratch);
     shared.stats.record_batch(cols, target);
+    // Index-on-annotate capture: `predict_batch` leaves this micro-batch's
+    // column embeddings (one row per column, in batch order) sitting in the
+    // scratch — the head reads them without overwriting — so indexing costs
+    // a row copy, never a second forward pass.
+    if shared.config.index_on_annotate.is_some() {
+        let rows = scratch.embeddings();
+        embeddings.dim = rows.cols();
+        let mut row = 0usize;
+        for &(r, t) in batch.iter() {
+            let table = &live[r].tables[t];
+            for col in 0..table.num_columns() {
+                embeddings.keys.push(ColumnRef {
+                    table_id: table.id,
+                    col_idx: col as u32,
+                });
+                embeddings.vecs.extend_from_slice(rows.row(row));
+                row += 1;
+            }
+        }
+    }
     for (&(r, _), prediction) in batch.iter().zip(predictions) {
         outputs[r].push(prediction);
     }
@@ -1238,5 +1446,139 @@ mod tests {
         let (a, b) = predictors();
         assert!(validate_candidate(a).is_ok());
         assert!(validate_candidate(b).is_ok());
+    }
+
+    #[test]
+    fn indexing_is_off_by_default() {
+        let (a, _) = predictors();
+        let service = SatoService::start(copy_of(a), ServiceConfig::default());
+        let corpus = default_corpus(4, 61);
+        service.annotate(corpus.tables).unwrap();
+        assert_eq!(service.index_len(), 0);
+        assert!(matches!(
+            service.search_index(&[0.0; 4], 3),
+            Err(ServeError::IndexUnavailable)
+        ));
+        assert!(matches!(
+            service.save_index(temp_path("never_written.satoidx")),
+            Err(ServeError::IndexUnavailable)
+        ));
+        let stats = service.shutdown();
+        assert_eq!(stats.indexed_columns, 0);
+        assert_eq!(stats.index_rollbacks, 0);
+    }
+
+    #[test]
+    fn index_on_annotate_builds_searchable_idempotent_index() {
+        let (a, _) = predictors();
+        let corpus = default_corpus(8, 91);
+        let total_cols: usize = corpus.iter().map(|t| t.num_columns()).sum();
+        let config = ServiceConfig {
+            batch_cols: 7, // force the round to span several micro-batches
+            index_on_annotate: Some(HnswConfig::default()),
+            ..ServiceConfig::default()
+        };
+        let service = SatoService::start(copy_of(a), config);
+        assert!(matches!(
+            service.search_index(&[0.0; 4], 3),
+            Err(ServeError::IndexUnavailable)
+        ));
+
+        service.annotate(corpus.tables.clone()).unwrap();
+        assert_eq!(service.index_len(), total_cols);
+
+        // Self-lookup: each annotated column's own embedding (recomputed on
+        // the reference copy of the same artifact) finds itself at distance
+        // zero — the index holds exactly the bytes the serving path
+        // embedded, across micro-batch boundaries.
+        for table in corpus.iter().take(4) {
+            for (c, embedding) in a.column_embeddings(table).iter().enumerate() {
+                let hits = service.search_index(embedding, 1).unwrap();
+                assert_eq!(
+                    hits[0].key,
+                    ColumnRef {
+                        table_id: table.id,
+                        col_idx: c as u32
+                    },
+                    "table {} col {c}",
+                    table.id
+                );
+                assert_eq!(hits[0].distance, 0.0);
+            }
+        }
+
+        // A query of the wrong width is a typed error, not a panic.
+        assert!(matches!(
+            service.search_index(&[0.0; 3], 1),
+            Err(ServeError::Index(IndexError::Corrupt(_)))
+        ));
+
+        // Re-annotating the same tables re-serves fine and indexes nothing
+        // new: inserts are idempotent by (table_id, col_idx).
+        service.annotate(corpus.tables.clone()).unwrap();
+        assert_eq!(service.index_len(), total_cols);
+
+        let stats = service.shutdown();
+        assert_eq!(stats.indexed_columns, total_cols as u64);
+        assert_eq!(stats.index_rollbacks, 0);
+    }
+
+    #[test]
+    fn hot_swap_invalidates_index_and_sidecar_load_is_validated() {
+        let (a, b) = predictors();
+        let config = ServiceConfig {
+            index_on_annotate: Some(HnswConfig::default()),
+            ..ServiceConfig::default()
+        };
+        let service = SatoService::start(copy_of(a), config);
+        let corpus = default_corpus(5, 92);
+        service.annotate(corpus.tables.clone()).unwrap();
+        let built = service.index_len();
+        assert!(built > 0);
+
+        // Persist the index under artifact A, then hot-swap to B: the
+        // index is keyed to A's embeddings, so the swap invalidates it.
+        let sidecar = temp_path("swap.satoidx");
+        service.save_index(&sidecar).unwrap();
+        service.swap_predictor(copy_of(b));
+        assert_eq!(service.index_len(), 0, "hot-swap must invalidate the index");
+
+        // The sidecar is keyed to A; loading it while B serves is rejected
+        // and rolled back (there is no incumbent to disturb).
+        assert!(matches!(
+            service.load_index(&sidecar),
+            Err(ServeError::Index(IndexError::ArtifactMismatch { .. }))
+        ));
+        assert_eq!(service.index_len(), 0);
+
+        // Annotating under B rebuilds the index from B's embeddings.
+        service.annotate(corpus.tables.clone()).unwrap();
+        assert_eq!(service.index_len(), built);
+
+        // Swapping back to A invalidates again, and A's sidecar restores
+        // the saved index wholesale.
+        service.swap_predictor(copy_of(a));
+        assert_eq!(service.index_len(), 0);
+        assert_eq!(service.load_index(&sidecar).unwrap(), built);
+        assert_eq!(service.index_len(), built);
+
+        // A corrupt sidecar is rejected with the incumbent untouched.
+        let corrupt = temp_path("corrupt.satoidx");
+        let mut bytes = std::fs::read(&sidecar).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&corrupt, &bytes).unwrap();
+        assert!(matches!(
+            service.load_index(&corrupt),
+            Err(ServeError::Index(IndexError::Checksum(_)))
+        ));
+        assert_eq!(service.index_len(), built);
+
+        let stats = service.shutdown();
+        assert_eq!(stats.index_rollbacks, 2);
+        assert_eq!(stats.swaps, 2);
+        for path in [sidecar, corrupt] {
+            let _ = std::fs::remove_file(path);
+        }
     }
 }

@@ -122,6 +122,8 @@ pub(crate) struct StatsCell {
     pub(crate) rounds: AtomicU64,
     pub(crate) worker_restarts: AtomicU64,
     pub(crate) quarantined: AtomicU64,
+    pub(crate) indexed_columns: AtomicU64,
+    pub(crate) index_rollbacks: AtomicU64,
     /// µs since service start at the worker's last liveness beat.
     pub(crate) heartbeat_us: AtomicU64,
     pub(crate) fill: [AtomicU64; FILL_BUCKETS],
@@ -142,6 +144,8 @@ impl StatsCell {
             rounds: AtomicU64::new(0),
             worker_restarts: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
+            indexed_columns: AtomicU64::new(0),
+            index_rollbacks: AtomicU64::new(0),
             heartbeat_us: AtomicU64::new(0),
             fill: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: LatencyHistogram::new(),
@@ -203,6 +207,20 @@ pub struct ServiceStats {
     ///
     /// [`ServeError::Poisoned`]: crate::ServeError::Poisoned
     pub quarantined: u64,
+    /// Columns inserted into the annotate-time ANN index (opt-in via
+    /// [`ServiceConfig::index_on_annotate`]; idempotent re-inserts of an
+    /// already-indexed column are not counted).
+    ///
+    /// [`ServiceConfig::index_on_annotate`]: crate::ServiceConfig::index_on_annotate
+    pub indexed_columns: u64,
+    /// Index operations rejected and rolled back: a
+    /// [`SatoService::load_index`] candidate that failed to parse,
+    /// checksum or match the serving artifact (the incumbent index kept
+    /// serving), or an indexing pass that panicked mid-insert and dropped
+    /// the possibly-torn index (it rebuilds from subsequent traffic).
+    ///
+    /// [`SatoService::load_index`]: crate::SatoService::load_index
+    pub index_rollbacks: u64,
     /// Age of the worker's last liveness heartbeat in µs at snapshot time.
     /// The worker beats at least every ~100 ms while alive (even idle or
     /// paused); a large value means the worker is stalled or gone.

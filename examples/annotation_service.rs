@@ -47,6 +47,7 @@ fn main() {
             queue_depth: 128,
             default_deadline: Some(Duration::from_secs(30)),
             topic_memo_capacity: 0,
+            index_on_annotate: None,
         },
     );
 

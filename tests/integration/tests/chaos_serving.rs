@@ -14,7 +14,8 @@ use proptest::prelude::*;
 use sato::{PredictorError, SatoModel, SatoPredictor, SatoVariant, TablePrediction};
 use sato_faults::{self as faults, FaultSpec};
 use sato_serve::{
-    RequestOptions, SatoService, ServeError, ServiceConfig, MAX_CONSECUTIVE_RESTARTS,
+    ColumnRef, HnswConfig, IndexError, RequestOptions, SatoService, ServeError, ServiceConfig,
+    MAX_CONSECUTIVE_RESTARTS,
 };
 use sato_tabular::colstore;
 use sato_tabular::table::{Column, Corpus, Table};
@@ -362,6 +363,147 @@ fn colstore_decode_fault_degrades_one_submission_not_the_service() {
     let stats = service.shutdown();
     assert_eq!(stats.completed, 1);
     assert_eq!(stats.admitted, 1);
+}
+
+/// The validated index-load path rolls back on every failure class —
+/// injected sidecar I/O, a torn write, a flipped payload byte — while the
+/// incumbent in-memory index keeps answering searches, and the untouched
+/// sidecar still loads cleanly once the fault clears.
+#[test]
+fn corrupt_index_load_rolls_back_and_the_incumbent_keeps_serving() {
+    let _gate = serial();
+    quiet_injected_panics();
+    let _faults = faults::scoped();
+    let a = predictor(false);
+
+    let service = SatoService::start(
+        predictor(false),
+        ServiceConfig {
+            batch_cols: 4,
+            index_on_annotate: Some(HnswConfig::default()),
+            ..ServiceConfig::default()
+        },
+    );
+    let tables = request_tables(&[2, 1, 3], 0, 11);
+    service.annotate(tables.clone()).expect("served");
+    let indexed = service.index_len();
+    assert_eq!(indexed, 6, "every annotated column is indexed");
+
+    let sidecar = temp_path("index_sidecar.satoidx");
+    service.save_index(&sidecar).expect("sidecar saved");
+
+    // Injected I/O on the sidecar read fails the load typed ...
+    faults::set("index.load", FaultSpec::error());
+    assert!(matches!(
+        service.load_index(&sidecar),
+        Err(ServeError::Index(IndexError::Io(_)))
+    ));
+    assert_eq!(faults::fired("index.load"), 1);
+    faults::clear("index.load");
+
+    // ... as do a torn write (truncation) and a flipped payload byte ...
+    let bytes = std::fs::read(&sidecar).unwrap();
+    let torn = temp_path("index_torn.satoidx");
+    std::fs::write(&torn, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(matches!(
+        service.load_index(&torn),
+        Err(ServeError::Index(_))
+    ));
+    let mut flipped = bytes.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x20;
+    std::fs::write(&torn, &flipped).unwrap();
+    assert!(matches!(
+        service.load_index(&torn),
+        Err(ServeError::Index(IndexError::Checksum(_)))
+    ));
+
+    // ... and every rollback left the incumbent index answering queries.
+    assert_eq!(service.index_len(), indexed);
+    let query = a.column_embeddings(&tables[0]);
+    let hits = service
+        .search_index(&query[0], 1)
+        .expect("still searchable");
+    assert_eq!(
+        hits[0].key,
+        ColumnRef {
+            table_id: 0,
+            col_idx: 0
+        }
+    );
+    assert_eq!(hits[0].distance, 0.0, "self-query must be exact");
+
+    // The untouched sidecar still loads cleanly.
+    assert_eq!(service.load_index(&sidecar).expect("healthy load"), indexed);
+
+    let stats = service.shutdown();
+    assert_eq!(stats.index_rollbacks, 3, "one rollback per failed load");
+    assert_eq!(stats.indexed_columns, 6);
+    for path in [sidecar, torn] {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+/// An injected panic inside a graph insert must never fail annotation: the
+/// round's client is answered bit-identical to the oracle, the
+/// possibly-torn index is dropped whole (`index_rollbacks`), and later
+/// traffic rebuilds it from scratch.
+#[test]
+fn index_insert_panic_drops_the_index_but_never_the_response() {
+    let _gate = serial();
+    quiet_injected_panics();
+    let _faults = faults::scoped();
+    let a = predictor(false);
+    faults::set("index.insert", FaultSpec::panic().once());
+
+    let batch_cols = 4;
+    let service = SatoService::start(
+        predictor(false),
+        ServiceConfig {
+            batch_cols,
+            index_on_annotate: Some(HnswConfig::default()),
+            ..ServiceConfig::default()
+        },
+    );
+
+    // The round that hits the insert fault still answers its client.
+    let poisoned_round = request_tables(&[2, 2], 0, 3);
+    let response = service
+        .annotate(poisoned_round.clone())
+        .expect("indexing failures never fail annotation");
+    assert_eq!(
+        response.predictions,
+        oracle(&a, &poisoned_round, batch_cols)
+    );
+    assert_eq!(faults::fired("index.insert"), 1);
+    assert_eq!(service.index_len(), 0, "torn index must be dropped whole");
+    assert!(matches!(
+        service.search_index(&[0.0; 4], 1),
+        Err(ServeError::IndexUnavailable)
+    ));
+
+    // The fault is spent: fresh traffic rebuilds the index from scratch.
+    let rebuild = request_tables(&[1, 2], 100, 4);
+    service.annotate(rebuild.clone()).expect("served");
+    assert_eq!(service.index_len(), 3);
+    let query = a.column_embeddings(&rebuild[1]);
+    let hits = service
+        .search_index(&query[1], 1)
+        .expect("searchable again");
+    assert_eq!(
+        hits[0].key,
+        ColumnRef {
+            table_id: 101,
+            col_idx: 1
+        }
+    );
+
+    let stats = service.shutdown();
+    assert_eq!(stats.index_rollbacks, 1);
+    assert_eq!(
+        stats.indexed_columns, 3,
+        "only the rebuilt round's inserts count"
+    );
 }
 
 proptest! {
